@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test test-short vet bench experiments examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One benchmark per paper table/figure plus the design-choice ablations.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' .
+
+# Regenerate every evaluation table/figure as text.
+experiments:
+	$(GO) run ./cmd/adabench all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/ratelimiter
+	$(GO) run ./examples/rcp
+	$(GO) run ./examples/heavyhitter
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

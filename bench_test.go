@@ -1,0 +1,228 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§V). Each benchmark runs the corresponding experiment and reports its
+// headline quantities via b.ReportMetric, so `go test -bench=. -benchmem`
+// doubles as the reproduction harness. cmd/adabench prints the full series.
+package ada_test
+
+import (
+	"testing"
+
+	"github.com/ada-repro/ada/internal/experiments"
+	"github.com/ada-repro/ada/internal/netsim"
+)
+
+// BenchmarkFig1aQueueSizeCDF reproduces the §II-B motivation: queue sizes at
+// an edge port are heavily skewed (<200 KB nearly all the time) under both
+// Cubic and DCTCP.
+func BenchmarkFig1aQueueSizeCDF(b *testing.B) {
+	cfg := experiments.DefaultFig1aConfig()
+	cfg.Duration = 10 * netsim.Millisecond
+	var rows []experiments.Fig1aRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunFig1a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.FracBelow200KB*100, r.Protocol+"_below200KB_%")
+	}
+}
+
+// BenchmarkFig1bInterArrivalCDF reproduces the narrow inter-arrival band
+// (120–360 ns) under a rate limiter whose limit halves three times.
+func BenchmarkFig1bInterArrivalCDF(b *testing.B) {
+	var res experiments.Fig1bResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig1b(experiments.DefaultFig1bConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.P50)/float64(netsim.Nanosecond), "p50_gap_ns")
+	b.ReportMetric(res.FracInBand*100, "in_band_%")
+}
+
+// BenchmarkFig1cRateTrace reproduces the two-valued rate-limit operand trace
+// (94 → 47 Gbps).
+func BenchmarkFig1cRateTrace(b *testing.B) {
+	var points []experiments.Fig1cPoint
+	for i := 0; i < b.N; i++ {
+		points = experiments.RunFig1c(experiments.DefaultFig1cConfig())
+	}
+	b.ReportMetric(float64(experiments.Fig1cDistinctValues(points)), "distinct_operands")
+}
+
+// BenchmarkFig5Convergence reproduces Fig 5a–e: the binning trie converges
+// to uniform, exponential, Fisher-F, and mixture distributions.
+func BenchmarkFig5Convergence(b *testing.B) {
+	var rows []experiments.Fig5Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunFig5(experiments.DefaultFig5Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worst := 0.0
+	for _, r := range rows {
+		if r.TVFinal > worst {
+			worst = r.TVFinal
+		}
+	}
+	b.ReportMetric(worst, "worst_TV_converged")
+}
+
+// BenchmarkFig6AdaptiveIncrement reproduces Fig 6: starting from b = 1, the
+// expansion rule grows the monitoring trie to match a tight Gaussian.
+func BenchmarkFig6AdaptiveIncrement(b *testing.B) {
+	var rows []experiments.Fig6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunFig6(experiments.DefaultFig6Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(last.Bins), "final_bins")
+	b.ReportMetric(last.TV, "final_TV")
+}
+
+// BenchmarkFig7aErrorVsSigBits reproduces Fig 7a: average error falls with
+// the significant-bit count; G×G is the worst combination.
+func BenchmarkFig7aErrorVsSigBits(b *testing.B) {
+	cfg := experiments.DefaultFig7aConfig()
+	cfg.Samples = 8000
+	var rows []experiments.Fig7aRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunFig7a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	b.ReportMetric(first.Errors["G(x)*G(y)"], "GxG_err%_s1")
+	b.ReportMetric(last.Errors["G(x)*G(y)"], "GxG_err%_s8")
+}
+
+// BenchmarkFig7bTableSize reproduces Fig 7b: table size grows exponentially
+// with significant bits.
+func BenchmarkFig7bTableSize(b *testing.B) {
+	var rows []experiments.Fig7bRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.RunFig7b([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(last.UnaryEntries), "unary_entries_s10")
+}
+
+// BenchmarkFig7cErrorPropagation reproduces Fig 7c: iterating x² amplifies
+// lookup error by orders of magnitude more than iterating 2x.
+func BenchmarkFig7cErrorPropagation(b *testing.B) {
+	cfg := experiments.DefaultFig7cConfig()
+	cfg.Seeds = 20
+	cfg.AdaptRounds = 10
+	var rows []experiments.Fig7cRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunFig7c(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MaxPct, r.Function+"_"+r.Scheme+"_peak_err%")
+	}
+}
+
+// BenchmarkFig8NimbleThroughput reproduces Fig 8: Nimble with a frozen
+// population breaks on the 24→12 Gbps change; with ADA it recovers.
+func BenchmarkFig8NimbleThroughput(b *testing.B) {
+	var rows []experiments.Fig8Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunFig8(experiments.DefaultFig8Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Phase2AvgGbps, string(r.Variant)+"_phase2_Gbps")
+	}
+}
+
+// BenchmarkFig9ControlPlaneDelay reproduces Fig 9: control-plane convergence
+// delay grows with the calculation budget, ≈3.15 ms at 128 entries.
+func BenchmarkFig9ControlPlaneDelay(b *testing.B) {
+	cfg := experiments.DefaultFig9Config()
+	cfg.Rounds = 6
+	var rows []experiments.Fig9Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunFig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.Delay.Seconds()*1000, "delay_ms_at_128")
+}
+
+// BenchmarkFig10ShortFlowFCT reproduces Fig 10: short-flow FCT for TCP, RCP
+// and Nimble with ideal vs ADA arithmetic across load.
+func BenchmarkFig10ShortFlowFCT(b *testing.B) {
+	cfg := experiments.DefaultFig10Config()
+	cfg.Loads = []float64{0.4}
+	cfg.Duration = 10 * netsim.Millisecond
+	var rows []experiments.Fig10Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunFig10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.ShortFCT.Mean.Seconds()*1e6, string(r.Scheme)+"_mean_FCT_us")
+	}
+}
+
+// BenchmarkTable2ResourceUsage reproduces Table II: stage counts (2/2/3) and
+// control-plane read/write rates for ADA(R), ADA(ΔT), ADA(ΔT, R).
+func BenchmarkTable2ResourceUsage(b *testing.B) {
+	var rows []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunTable2(experiments.DefaultTable2Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Stages), r.Variant+"_stages")
+		b.ReportMetric(r.AvgReads, r.Variant+"_reads")
+		b.ReportMetric(r.AvgWrites, r.Variant+"_writes")
+	}
+}
+
+// BenchmarkExtXCPFCT runs the XCP extension (Table I's heaviest arithmetic
+// consumer) with ideal vs ADA arithmetic.
+func BenchmarkExtXCPFCT(b *testing.B) {
+	cfg := experiments.DefaultExtXCPConfig()
+	cfg.Duration = 8 * netsim.Millisecond
+	var rows []experiments.ExtXCPRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunExtXCP(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.ShortFCT.Mean.Seconds()*1e6, r.Variant+"_mean_FCT_us")
+	}
+}

@@ -1,0 +1,147 @@
+// Command adabench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	adabench [experiment...]
+//
+// Experiments: fig1a fig1b fig1c fig5 fig6 fig7a fig7b fig7c fig8 fig9
+// fig10 table2 all (default: all). Each prints the same rows/series the
+// paper reports; see EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/ada-repro/ada/internal/experiments"
+)
+
+var runners = map[string]func() (string, error){
+	"fig1a": func() (string, error) {
+		rows, err := experiments.RunFig1a(experiments.DefaultFig1aConfig())
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig1a(rows), nil
+	},
+	"fig1b": func() (string, error) {
+		res, err := experiments.RunFig1b(experiments.DefaultFig1bConfig())
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig1b(res), nil
+	},
+	"fig1c": func() (string, error) {
+		return experiments.RenderFig1c(experiments.RunFig1c(experiments.DefaultFig1cConfig())), nil
+	},
+	"fig5": func() (string, error) {
+		rows, err := experiments.RunFig5(experiments.DefaultFig5Config())
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig5(rows), nil
+	},
+	"fig6": func() (string, error) {
+		rows, err := experiments.RunFig6(experiments.DefaultFig6Config())
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig6(rows), nil
+	},
+	"fig7a": func() (string, error) {
+		rows, err := experiments.RunFig7a(experiments.DefaultFig7aConfig())
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig7a(rows), nil
+	},
+	"fig7b": func() (string, error) {
+		return experiments.RenderFig7b(experiments.RunFig7b([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})), nil
+	},
+	"fig7c": func() (string, error) {
+		rows, err := experiments.RunFig7c(experiments.DefaultFig7cConfig())
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig7c(rows), nil
+	},
+	"fig8": func() (string, error) {
+		rows, err := experiments.RunFig8(experiments.DefaultFig8Config())
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig8(rows), nil
+	},
+	"fig9": func() (string, error) {
+		rows, err := experiments.RunFig9(experiments.DefaultFig9Config())
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig9(rows), nil
+	},
+	"fig10": func() (string, error) {
+		rows, err := experiments.RunFig10(experiments.DefaultFig10Config())
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig10(rows), nil
+	},
+	"xcp": func() (string, error) {
+		rows, err := experiments.RunExtXCP(experiments.DefaultExtXCPConfig())
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderExtXCP(rows), nil
+	},
+	"table2": func() (string, error) {
+		rows, err := experiments.RunTable2(experiments.DefaultTable2Config())
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable2(rows), nil
+	},
+}
+
+func order() []string {
+	names := make([]string, 0, len(runners))
+	for n := range runners {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: adabench [experiment...]\nexperiments: %v all\n", order())
+	}
+	flag.Parse()
+	names := flag.Args()
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		names = order()
+	}
+	if err := run(names); err != nil {
+		fmt.Fprintln(os.Stderr, "adabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(names []string) error {
+	for _, name := range names {
+		r, ok := runners[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (want one of %v)", name, order())
+		}
+		start := time.Now()
+		out, err := r()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunnersRegistered(t *testing.T) {
+	want := []string{"fig1a", "fig1b", "fig1c", "fig5", "fig6", "fig7a",
+		"fig7b", "fig7c", "fig8", "fig9", "fig10", "table2", "xcp"}
+	for _, name := range want {
+		if _, ok := runners[name]; !ok {
+			t.Errorf("experiment %q not registered", name)
+		}
+	}
+	if len(runners) != len(want) {
+		t.Errorf("runner count = %d, want %d", len(runners), len(want))
+	}
+}
+
+func TestRunFastExperiments(t *testing.T) {
+	// The fast experiments must produce non-empty tables through the same
+	// path main uses.
+	for _, name := range []string{"fig1c", "fig6", "fig7b", "table2"} {
+		out, err := runners[name]()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(out) == 0 {
+			t.Errorf("%s: empty output", name)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"nope"}); err == nil {
+		t.Error("unknown experiment: want error")
+	}
+}

@@ -1,0 +1,135 @@
+// Command adactl is the offline analogue of ADA's control plane: it reads a
+// trace of operand values (one unsigned integer per line, or inline via
+// -values), runs the monitoring trie to convergence, and prints the
+// monitoring bins plus the calculation TCAM population it would install for
+// the chosen operation — exactly what the gRPC controller pushes to the
+// switch.
+//
+// Usage:
+//
+//	adactl -op square -width 16 -monitor 12 -calc 64 < trace.txt
+//	adactl -op double -values 94,94,94,47,47
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/population"
+	"github.com/ada-repro/ada/internal/stats"
+	"github.com/ada-repro/ada/internal/trie"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "adactl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("adactl", flag.ContinueOnError)
+	var (
+		opName    = fs.String("op", "square", "operation: square, double, sqrt, log2, recip")
+		width     = fs.Int("width", 16, "operand width in bits")
+		monitorN  = fs.Int("monitor", 12, "monitoring TCAM entries")
+		calcN     = fs.Int("calc", 64, "calculation TCAM entries")
+		rounds    = fs.Int("rounds", 8, "control rounds over the trace")
+		thBalance = fs.Float64("th-balance", 0.20, "Algorithm 2 rebalance threshold")
+		values    = fs.String("values", "", "comma-separated operand values (default: read stdin)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ops := map[string]arith.UnaryOp{
+		"square": arith.OpSquare, "double": arith.OpDouble,
+		"sqrt": arith.OpSqrt, "log2": arith.OpLog2, "recip": arith.OpRecip,
+	}
+	op, ok := ops[*opName]
+	if !ok {
+		return fmt.Errorf("unknown operation %q", *opName)
+	}
+
+	trace, err := readTrace(stdin, *values)
+	if err != nil {
+		return err
+	}
+	if len(trace) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+
+	tr, err := trie.NewInitial(*monitorN, *width)
+	if err != nil {
+		return err
+	}
+	chunk := (len(trace) + *rounds - 1) / *rounds
+	for start := 0; start < len(trace); start += chunk {
+		end := start + chunk
+		if end > len(trace) {
+			end = len(trace)
+		}
+		tr.ResetHits()
+		tr.RecordAll(trace[start:end])
+		for i := 0; i < 4 && tr.Rebalance(*thBalance); i++ {
+		}
+	}
+	tr.ResetHits()
+	tr.RecordAll(trace)
+
+	mon := stats.NewTable(
+		fmt.Sprintf("Monitoring TCAM (%d bins over %d-bit operands, %d samples)",
+			tr.NumLeaves(), *width, len(trace)),
+		"entry", "range", "hits")
+	for _, b := range tr.Leaves() {
+		mon.AddF(b.Prefix.String(), fmt.Sprintf("[%d, %d]", b.Prefix.Lo(), b.Prefix.Hi()), b.Hits)
+	}
+	fmt.Fprintln(stdout, mon.String())
+
+	entries, err := population.ADAUnary(tr, op.Func(), *calcN, population.Midpoint)
+	if err != nil {
+		return err
+	}
+	calc := stats.NewTable(
+		fmt.Sprintf("Calculation TCAM for %v (%d entries)", op, len(entries)),
+		"entry", "range", "result")
+	for _, e := range entries {
+		calc.AddF(e.P.String(), fmt.Sprintf("[%d, %d]", e.P.Lo(), e.P.Hi()), e.Result)
+	}
+	fmt.Fprintln(stdout, calc.String())
+	return nil
+}
+
+func readTrace(stdin io.Reader, inline string) ([]uint64, error) {
+	var fields []string
+	if inline != "" {
+		fields = strings.Split(inline, ",")
+	} else {
+		sc := bufio.NewScanner(stdin)
+		for sc.Scan() {
+			fields = append(fields, strings.Fields(sc.Text())...)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]uint64, 0, len(fields))
+	for _, f := range fields {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad trace value %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

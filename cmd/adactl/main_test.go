@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunInlineValues(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-op", "double", "-width", "8", "-monitor", "8", "-calc", "16",
+		"-values", "94,94,94,94,94,94,47,47,47",
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Monitoring TCAM") || !strings.Contains(s, "Calculation TCAM") {
+		t.Fatalf("missing sections:\n%s", s)
+	}
+	if !strings.Contains(s, "2x") {
+		t.Errorf("operation name missing:\n%s", s)
+	}
+}
+
+func TestRunStdinTrace(t *testing.T) {
+	var out strings.Builder
+	trace := "10\n10 10\n12\n"
+	if err := run([]string{"-op", "square", "-width", "8", "-monitor", "4", "-calc", "8"},
+		strings.NewReader(trace), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "4 samples") {
+		t.Errorf("sample count missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-op", "nope", "-values", "1"}, strings.NewReader(""), &out); err == nil {
+		t.Error("unknown op: want error")
+	}
+	if err := run([]string{"-values", ""}, strings.NewReader(""), &out); err == nil {
+		t.Error("empty trace: want error")
+	}
+	if err := run([]string{"-values", "abc"}, strings.NewReader(""), &out); err == nil {
+		t.Error("bad value: want error")
+	}
+	if err := run([]string{"-width", "99", "-values", "1"}, strings.NewReader(""), &out); err == nil {
+		t.Error("bad width: want error")
+	}
+}
+
+func TestReadTraceWhitespace(t *testing.T) {
+	vals, err := readTrace(strings.NewReader(" 1  2\n\n3 "), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 || vals[0] != 1 || vals[2] != 3 {
+		t.Fatalf("vals = %v", vals)
+	}
+	vals, err = readTrace(nil, "5, 6 ,7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 || vals[1] != 6 {
+		t.Fatalf("inline vals = %v", vals)
+	}
+}

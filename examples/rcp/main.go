@@ -1,0 +1,72 @@
+// RCP: run the Rate Control Protocol on a small leaf-spine datacenter, with
+// the router's rate computation (multiplications and divisions the PISA ALU
+// cannot do) executed either exactly or through ADA's adaptive TCAM tables.
+// Short-flow completion times should be close in both cases (the paper's
+// Fig 10 claim).
+//
+//	go run ./examples/rcp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ada-repro/ada/internal/apps"
+	"github.com/ada-repro/ada/internal/netsim"
+	"github.com/ada-repro/ada/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fabric := netsim.LeafSpineConfig{
+		Spines: 2, Leaves: 4, HostsPerLeaf: 4,
+		LinkRateBps: 10e9, LinkDelay: netsim.Microsecond,
+	}
+	const (
+		load     = 0.5
+		duration = 15 * netsim.Millisecond
+	)
+
+	table := stats.NewTable("RCP on a 16-host leaf-spine fabric, load 50%",
+		"arithmetic", "short flows", "unfinished", "mean FCT", "p99 FCT")
+
+	for _, useADA := range []bool{false, true} {
+		topo := netsim.BuildLeafSpine(fabric)
+		net := topo.Net
+		sim := net.Sim
+
+		sites := netsim.UniformRCPSites(netsim.IdealArith{})
+		name := "ideal (exact)"
+		if useADA {
+			// One adaptive table per arithmetic statement in the RCP update,
+			// as a P4 program would lay it out.
+			ada, err := apps.NewADARCPSites(uint64(fabric.LinkRateBps/1e6), 128, 12)
+			if err != nil {
+				return err
+			}
+			ada.ScheduleSync(sim, 500*netsim.Microsecond)
+			sites = ada.Sites()
+			name = "ADA (adaptive TCAM)"
+		}
+		for _, p := range topo.AllSwitchPorts() {
+			netsim.AttachRCPSites(sim, p, sites, 28*netsim.Microsecond)
+		}
+
+		wl := netsim.DefaultWorkload(load, duration, 7)
+		flows := netsim.GenerateFlows(net, fabric.Hosts(), fabric.LinkRateBps, wl)
+		if err := netsim.StartAll(net, flows, netsim.NewRCPTransport(fabric.LinkRateBps)); err != nil {
+			return err
+		}
+		sim.Run(duration * 5)
+
+		short := netsim.CollectFCT(net.Flows(), netsim.ShortFlows(wl.ShortMax))
+		table.AddF(name, short.N, short.Unfinished, short.Mean.String(), short.P99.String())
+	}
+	fmt.Println(table.String())
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/ada-repro/ada
+
+go 1.22

@@ -1,0 +1,262 @@
+package apps
+
+import (
+	"testing"
+
+	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/core"
+	"github.com/ada-repro/ada/internal/netsim"
+	"github.com/ada-repro/ada/internal/population"
+)
+
+func TestNimbleConfig(t *testing.T) {
+	if _, err := NewNimble(nil, 10, 1000); err == nil {
+		t.Error("nil arith: want error")
+	}
+	if _, err := NewNimble(netsim.IdealArith{}, 0, 1000); err == nil {
+		t.Error("zero rate: want error")
+	}
+	if _, err := NewNimble(netsim.IdealArith{}, 10, 0); err == nil {
+		t.Error("zero limit: want error")
+	}
+}
+
+func TestNimbleEnforcesRateIdeal(t *testing.T) {
+	// Feed packets at 10 Gbps into a 1 Gbps Nimble limit: ~90% must drop,
+	// and the passing rate must approximate 1 Gbps.
+	n, err := NewNimble(netsim.IdealArith{}, 1, 30*1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pktSize = 1500
+	gap := netsim.Time(float64(pktSize*8) / 10e9 * float64(netsim.Second)) // 10 Gbps arrivals
+	now := netsim.Time(0)
+	var passedBytes uint64
+	const nPkts = 100000
+	for i := 0; i < nPkts; i++ {
+		if n.Allow(&netsim.Packet{Size: pktSize}, now) {
+			passedBytes += pktSize
+		}
+		now += gap
+	}
+	elapsed := now.Seconds()
+	gotRate := float64(passedBytes*8) / elapsed
+	if gotRate < 0.8e9 || gotRate > 1.2e9 {
+		t.Errorf("passed rate = %.2g bps, want ≈1 Gbps", gotRate)
+	}
+	if n.Drops == 0 || n.Passed == 0 {
+		t.Errorf("drops=%d passed=%d", n.Drops, n.Passed)
+	}
+}
+
+func TestNimbleMatchesTokenBucket(t *testing.T) {
+	// Same arrival pattern through Nimble (ideal arithmetic) and a token
+	// bucket: admitted byte counts must be within 15%.
+	nim, err := NewNimble(netsim.IdealArith{}, 2, 40*1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := NewTokenBucket(2e9, 40*1500)
+	gap := netsim.Time(float64(1500*8) / 8e9 * float64(netsim.Second))
+	now := netsim.Time(0)
+	var nimBytes, tbBytes float64
+	for i := 0; i < 50000; i++ {
+		p := &netsim.Packet{Size: 1500}
+		if nim.Allow(p, now) {
+			nimBytes += 1500
+		}
+		if tb.Allow(p, now) {
+			tbBytes += 1500
+		}
+		now += gap
+	}
+	ratio := nimBytes / tbBytes
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("nimble/token-bucket admitted ratio = %.3f", ratio)
+	}
+}
+
+func TestNimbleOperandHook(t *testing.T) {
+	n, err := NewNimble(netsim.IdealArith{}, 24, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rates, dts []uint64
+	n.OnOperands = func(r, dt uint64) { rates = append(rates, r); dts = append(dts, dt) }
+	n.Allow(&netsim.Packet{Size: 100}, 0)
+	n.Allow(&netsim.Packet{Size: 100}, 120*netsim.Nanosecond)
+	n.Allow(&netsim.Packet{Size: 100}, 360*netsim.Nanosecond)
+	if len(rates) != 2 || rates[0] != 24 || dts[0] != 120 || dts[1] != 240 {
+		t.Errorf("operand trace: rates=%v dts=%v", rates, dts)
+	}
+	n.SetRateGbps(12)
+	if n.RateGbps() != 12 {
+		t.Error("SetRateGbps")
+	}
+}
+
+func TestStaticTCAMArith(t *testing.T) {
+	s, err := NewStaticTCAMArith(10, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() == "" {
+		t.Error("name")
+	}
+	// Coarse but sane: result within an order of magnitude mid-domain.
+	got := s.Multiply(500, 500)
+	if got < 25000 || got > 2500000 {
+		t.Errorf("Multiply(500,500) = %d, want within 10× of 250000", got)
+	}
+	if s.Divide(10, 0) == 0 {
+		t.Error("divide by zero must saturate")
+	}
+	// Out-of-width operands clamp instead of missing.
+	if v := s.Multiply(1<<20, 2); v == 0 {
+		t.Error("oversized operand must clamp, not miss")
+	}
+}
+
+func TestADAArithAdaptsNimbleOperands(t *testing.T) {
+	cfg := core.DefaultConfig(12)
+	cfg.CalcEntries = 128
+	cfg.MonitorEntries = 12
+	a, err := NewADAArith(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "ada" {
+		t.Error("name")
+	}
+	// Nimble-like operands: rate fixed at 24, ΔT clustered around 480 ns.
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 500; i++ {
+			a.Multiply(24, uint64(470+i%20))
+		}
+		if _, err := a.Sync(); err != nil {
+			t.Fatalf("Sync: %v", err)
+		}
+	}
+	// After adaptation, error at the hot operating point must be small.
+	// The joint table splits its budget across two dimensions (~11 entries
+	// per side at 128), so a few percent is the honest floor.
+	got := a.Multiply(24, 480)
+	exact := uint64(24 * 480)
+	rel := arith.RelError(got, exact)
+	if rel > 0.10 {
+		t.Errorf("adapted Multiply(24,480) = %d (exact %d), rel error %.3f", got, exact, rel)
+	}
+	// And it must beat the static naive population at the same budget.
+	static, err := NewStaticTCAMArith(12, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staticRel := arith.RelError(static.Multiply(24, 480), exact); staticRel <= rel {
+		t.Errorf("ADA error %.3f not below static %.3f at the hot point", rel, staticRel)
+	}
+}
+
+func TestADAUnaryMultiplier(t *testing.T) {
+	cfg := core.DefaultConfig(8)
+	cfg.CalcEntries = 64
+	m, err := NewADAUnaryMultiplier(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() == "" {
+		t.Error("name")
+	}
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 200; i++ {
+			m.Multiply(24, 100)
+		}
+		if _, err := m.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := m.Multiply(24, 100)
+	rel := arith.RelError(got, 2400)
+	if rel > 0.10 {
+		t.Errorf("ADA(R) Multiply(24,100) = %d, rel error %.3f", got, rel)
+	}
+	if m.Divide(100, 10) != 10 {
+		t.Error("ADA(R) divide must be exact")
+	}
+	if m.Divide(1, 0) == 0 {
+		t.Error("divide by zero must saturate")
+	}
+	if m.System() == nil {
+		t.Error("System accessor")
+	}
+}
+
+func TestHeavyHitterBasics(t *testing.T) {
+	if _, err := NewHeavyHitter(0, nil); err == nil {
+		t.Error("zero slots: want error")
+	}
+	h, err := NewHeavyHitter(64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One elephant, background mice.
+	for i := 0; i < 5000; i++ {
+		h.Observe(7)
+		if i%10 == 0 {
+			h.Observe(1000 + i)
+		}
+	}
+	flow, count := h.Top()
+	if flow != 7 {
+		t.Errorf("top flow = %d, want 7", flow)
+	}
+	if count < 4000 {
+		t.Errorf("top count = %d, want ≈5000", count)
+	}
+	if h.Count(7) != count {
+		t.Error("Count accessor mismatch")
+	}
+	if h.Count(424242) != 0 {
+		t.Error("untracked flow must count 0")
+	}
+}
+
+func TestHeavyHitterMSEWithTCAMSquares(t *testing.T) {
+	entries, err := population.NaiveUnary(arith.OpSquare.Func(), 16, 512, population.Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := arith.NewUnaryEngine("sq", 16, 0, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactH, _ := NewHeavyHitter(32, nil)
+	tcamH, _ := NewHeavyHitter(32, sq)
+	// Skewed counters: one elephant plus uniform mice, so the deviations
+	// are large enough for the 512-entry table's granularity.
+	for i := 0; i < 3000; i++ {
+		exactH.Observe(0)
+		tcamH.Observe(0)
+	}
+	for f := 1; f < 32; f++ {
+		for i := 0; i < 100; i++ {
+			exactH.Observe(f)
+			tcamH.Observe(f)
+		}
+	}
+	e, a := exactH.MSE(), tcamH.MSE()
+	if e == 0 {
+		t.Fatal("degenerate counter distribution")
+	}
+	rel := (a - e) / e
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.5 {
+		t.Errorf("TCAM MSE %.1f deviates %.0f%% from exact %.1f", a, rel*100, e)
+	}
+	var empty HeavyHitter
+	empty.slots = make([]hhSlot, 4)
+	if empty.MSE() != 0 {
+		t.Error("empty MSE must be 0")
+	}
+}

@@ -1,0 +1,133 @@
+package apps
+
+import (
+	"errors"
+
+	"github.com/ada-repro/ada/internal/arith"
+)
+
+// HeavyHitter is a PRECISION-style [9] heavy-hitter detector: per-flow
+// packet counters in a fixed-size table with probabilistic recirculation
+// admission, plus a mean-square-error estimate over the counters whose x²
+// operations go through a TCAM square engine — the arithmetic PRECISION
+// borrows from [12] and that ADA improves.
+type HeavyHitter struct {
+	square interface {
+		Eval(x uint64) (uint64, error)
+	}
+	slots   []hhSlot
+	rngPool uint64 // cheap xorshift state for the admission coin
+
+	// Recirculations counts admission attempts (the PRECISION overhead
+	// metric).
+	Recirculations uint64
+}
+
+type hhSlot struct {
+	flow  int
+	count uint64
+	used  bool
+}
+
+// NewHeavyHitter builds a detector with the given table size and square
+// engine (nil = exact squares).
+func NewHeavyHitter(slots int, square *arith.UnaryEngine) (*HeavyHitter, error) {
+	if slots < 1 {
+		return nil, errors.New("apps: heavy hitter needs at least one slot")
+	}
+	h := &HeavyHitter{slots: make([]hhSlot, slots), rngPool: 0x9E3779B97F4A7C15}
+	if square != nil {
+		h.square = square
+	}
+	return h, nil
+}
+
+func (h *HeavyHitter) rand() uint64 {
+	h.rngPool ^= h.rngPool << 13
+	h.rngPool ^= h.rngPool >> 7
+	h.rngPool ^= h.rngPool << 17
+	return h.rngPool
+}
+
+// Observe processes one packet of the given flow.
+func (h *HeavyHitter) Observe(flow int) {
+	idx := flow % len(h.slots)
+	s := &h.slots[idx]
+	if s.used && s.flow == flow {
+		s.count++
+		return
+	}
+	if !s.used {
+		*s = hhSlot{flow: flow, count: 1, used: true}
+		return
+	}
+	// PRECISION: replace the incumbent with probability 1/(count+1),
+	// approximated by a recirculation coin flip.
+	h.Recirculations++
+	if h.rand()%(s.count+1) == 0 {
+		*s = hhSlot{flow: flow, count: s.count + 1, used: true}
+	}
+}
+
+// Top returns the flow with the largest counter.
+func (h *HeavyHitter) Top() (flow int, count uint64) {
+	best := -1
+	for i, s := range h.slots {
+		if s.used && (best < 0 || s.count > h.slots[best].count) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, 0
+	}
+	return h.slots[best].flow, h.slots[best].count
+}
+
+// Count returns the tracked count for a flow (0 if untracked).
+func (h *HeavyHitter) Count(flow int) uint64 {
+	s := h.slots[flow%len(h.slots)]
+	if s.used && s.flow == flow {
+		return s.count
+	}
+	return 0
+}
+
+// MSE estimates the mean square error of the counters around their mean,
+// Σ(cᵢ−µ)²/n, with each square going through the TCAM engine when one is
+// configured. Misses fall back to zero contribution, as an out-of-range
+// operand would on the switch.
+func (h *HeavyHitter) MSE() float64 {
+	var sum, n uint64
+	for _, s := range h.slots {
+		if s.used {
+			sum += s.count
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	mean := sum / n
+	var acc float64
+	for _, s := range h.slots {
+		if !s.used {
+			continue
+		}
+		var d uint64
+		if s.count >= mean {
+			d = s.count - mean
+		} else {
+			d = mean - s.count
+		}
+		sq := d * d
+		if h.square != nil {
+			if v, err := h.square.Eval(d); err == nil {
+				sq = v
+			} else {
+				sq = 0
+			}
+		}
+		acc += float64(sq)
+	}
+	return acc / float64(n)
+}

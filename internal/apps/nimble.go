@@ -1,0 +1,157 @@
+// Package apps implements the arithmetic-heavy in-network applications the
+// paper evaluates ADA with (Table I, §V-B/C): the Nimble rate limiter
+// (bytes_enqueued = rate × ΔT through a TCAM multiplier), RCP arithmetic
+// adapters, and a PRECISION-style heavy-hitter MSE estimator.
+package apps
+
+import (
+	"errors"
+	"math"
+
+	"github.com/ada-repro/ada/internal/netsim"
+)
+
+// ErrConfig reports an invalid application configuration.
+var ErrConfig = errors.New("apps: invalid configuration")
+
+// Nimble is the paper's in-network rate limiter [10], deployed as an
+// enqueue filter on a switch port. It tracks a virtual buffer: on each
+// arrival the buffer drains by rate × ΔT (the multiplication PISA cannot do
+// natively — it goes through the Arithmetic implementation) and grows by the
+// packet size; packets are dropped while the virtual buffer exceeds the
+// configured depth.
+//
+// Units are chosen for TCAM-friendly operand ranges: rate in bits/ns (a
+// 100 Gbps limit is the value 100) and ΔT in ns.
+type Nimble struct {
+	arith netsim.Arithmetic
+
+	rateBpns   uint64 // bits per nanosecond (== Gbps)
+	limitBytes uint64
+
+	bufBytes    uint64
+	lastArrival netsim.Time
+	seen        bool
+
+	// OnOperands, when set, observes every (rate, ΔT ns) operand pair —
+	// this is where ADA's monitoring samples come from when the multiplier
+	// itself does not monitor.
+	OnOperands func(rateBpns, dtNs uint64)
+
+	// ECNThresholdBytes, when non-zero, marks packets CE with probability
+	// ramping from 0 at the threshold to 1 at three times it (RED-style),
+	// so DCTCP senders settle at the limit without global synchronisation.
+	// Drops still occur at the full buffer.
+	ECNThresholdBytes uint64
+	// Marked counts packets ECN-marked by the limiter.
+	Marked uint64
+
+	rngState uint64
+
+	// Drops counts packets rejected by the limiter.
+	Drops uint64
+	// Passed counts packets admitted.
+	Passed uint64
+}
+
+// NewNimble builds a rate limiter. rateGbps is the limit (1 Gbps resolution,
+// matching the paper's 24/12 Gbps settings); limitBytes is the virtual
+// buffer depth.
+func NewNimble(arith netsim.Arithmetic, rateGbps, limitBytes uint64) (*Nimble, error) {
+	if arith == nil {
+		return nil, errors.New("apps: nimble needs an arithmetic implementation")
+	}
+	if rateGbps == 0 || limitBytes == 0 {
+		return nil, ErrConfig
+	}
+	return &Nimble{arith: arith, rateBpns: rateGbps, limitBytes: limitBytes}, nil
+}
+
+// SetRateGbps changes the rate limit (the Fig 8 mid-run event). The TCAM
+// population backing the arithmetic is NOT touched here — exactly the
+// paper's point: without ADA the stale population keeps answering for the
+// old operating range.
+func (n *Nimble) SetRateGbps(rate uint64) { n.rateBpns = rate }
+
+// RateGbps returns the current limit.
+func (n *Nimble) RateGbps() uint64 { return n.rateBpns }
+
+// VirtualBuffer returns the current estimate in bytes.
+func (n *Nimble) VirtualBuffer() uint64 { return n.bufBytes }
+
+// Allow implements netsim.EnqueueFilter.
+func (n *Nimble) Allow(p *netsim.Packet, now netsim.Time) bool {
+	if n.seen {
+		dtNs := uint64((now - n.lastArrival) / netsim.Nanosecond)
+		if dtNs > 0 {
+			if n.OnOperands != nil {
+				n.OnOperands(n.rateBpns, dtNs)
+			}
+			drainedBits := n.arith.Multiply(n.rateBpns, dtNs)
+			drainedBytes := drainedBits / 8
+			if drainedBytes >= n.bufBytes {
+				n.bufBytes = 0
+			} else {
+				n.bufBytes -= drainedBytes
+			}
+		}
+	}
+	n.lastArrival = now
+	n.seen = true
+	if n.bufBytes+uint64(p.Size) > n.limitBytes {
+		n.Drops++
+		return false
+	}
+	n.bufBytes += uint64(p.Size)
+	if k := n.ECNThresholdBytes; k > 0 && n.bufBytes > k {
+		span := 2 * k // full marking at 3k
+		excess := n.bufBytes - k
+		if excess >= span || n.randU16() < uint64(excess*65536/span) {
+			p.ECN = true
+			n.Marked++
+		}
+	}
+	n.Passed++
+	return true
+}
+
+// randU16 draws a deterministic pseudo-random value in [0, 65536).
+func (n *Nimble) randU16() uint64 {
+	if n.rngState == 0 {
+		n.rngState = 0x9E3779B97F4A7C15
+	}
+	n.rngState ^= n.rngState << 13
+	n.rngState ^= n.rngState >> 7
+	n.rngState ^= n.rngState << 17
+	return n.rngState & 0xFFFF
+}
+
+// TokenBucket is the classic reference limiter used to validate Nimble's
+// behaviour in tests: exact arithmetic, same drain law.
+type TokenBucket struct {
+	rateBps    float64
+	burstBytes float64
+	tokens     float64
+	last       netsim.Time
+	seen       bool
+}
+
+// NewTokenBucket builds an exact limiter with the given rate and burst.
+func NewTokenBucket(rateBps, burstBytes float64) *TokenBucket {
+	return &TokenBucket{rateBps: rateBps, burstBytes: burstBytes, tokens: burstBytes}
+}
+
+// Allow implements netsim.EnqueueFilter.
+func (t *TokenBucket) Allow(p *netsim.Packet, now netsim.Time) bool {
+	if t.seen {
+		dt := (now - t.last).Seconds()
+		t.tokens = math.Min(t.burstBytes, t.tokens+dt*t.rateBps/8)
+	}
+	t.last = now
+	t.seen = true
+	if float64(p.Size) > t.tokens {
+		return false
+	}
+	t.tokens -= float64(p.Size)
+	return true
+}

@@ -1,0 +1,139 @@
+package apps
+
+import (
+	"errors"
+
+	"github.com/ada-repro/ada/internal/netsim"
+)
+
+// QCN implements the IEEE 802.1Qau quantized congestion notification loop
+// from the paper's Table I ("1 multiplication, quantized congestion
+// notification"): a congestion point (CP) at a switch queue samples arrivals
+// and quantizes a feedback value
+//
+//	Fb = −(Qoff + w·Qdelta),  Qoff = q − Qeq, Qdelta = q − qOld
+//
+// and the reaction point (RP) at the source applies a multiplicative rate
+// decrease rate ← rate·(1 − Gd·|Fb|), recovering additively afterwards. The
+// rate×Fb product is the multiplication a PISA switch must emulate in TCAM;
+// it goes through the Arithmetic implementation.
+
+// QCNCP is the congestion-point side: queue sampling and feedback
+// quantization.
+type QCNCP struct {
+	// QeqBytes is the queue equilibrium setpoint.
+	QeqBytes int
+	// W weights the queue derivative (the standard value is 2).
+	W int
+	// SampleEvery counts arrivals between samples (hardware samples ~1% of
+	// frames).
+	SampleEvery int
+
+	arrivals int
+	qOld     int
+	// Notifications counts generated feedback messages.
+	Notifications uint64
+}
+
+// NewQCNCP builds a congestion point with standard parameters.
+func NewQCNCP(qeqBytes int) *QCNCP {
+	return &QCNCP{QeqBytes: qeqBytes, W: 2, SampleEvery: 100}
+}
+
+// Sample processes one arrival at the monitored queue and returns a
+// quantized feedback magnitude |Fb| in [0, 63] (0 = no congestion or not
+// sampled this arrival; the 6-bit quantization is the protocol's).
+func (cp *QCNCP) Sample(queueBytes int) uint64 {
+	cp.arrivals++
+	if cp.arrivals%cp.SampleEvery != 0 {
+		return 0
+	}
+	qoff := queueBytes - cp.QeqBytes
+	qdelta := queueBytes - cp.qOld
+	cp.qOld = queueBytes
+	fb := qoff + cp.W*qdelta // w is a constant: shift-add on the switch
+	if fb <= 0 {
+		return 0
+	}
+	// Quantize to 6 bits against the maximum meaningful offset (8·Qeq).
+	maxFb := 8 * cp.QeqBytes
+	q := fb * 63 / maxFb
+	if q < 1 {
+		q = 1
+	}
+	if q > 63 {
+		q = 63
+	}
+	cp.Notifications++
+	return uint64(q)
+}
+
+// QCNRP is the reaction-point rate limiter at the source.
+type QCNRP struct {
+	arith netsim.Arithmetic
+
+	// RateMbps is the current sending rate.
+	RateMbps uint64
+	// TargetRateMbps tracks the rate before the last decrease (fast
+	// recovery's target).
+	TargetRateMbps uint64
+	// GdShift encodes the decrease gain Gd = 2^-GdShift (standard: 1/128).
+	GdShift uint
+	// RecoveryBytes is the byte-counter threshold per recovery cycle.
+	RecoveryBytes uint64
+
+	bytesSinceFb uint64
+	// Decreases and Recoveries count state transitions.
+	Decreases, Recoveries uint64
+}
+
+// NewQCNRP builds a reaction point starting at lineRateMbps.
+func NewQCNRP(arith netsim.Arithmetic, lineRateMbps uint64) (*QCNRP, error) {
+	if arith == nil {
+		return nil, errors.New("apps: qcn needs an arithmetic implementation")
+	}
+	if lineRateMbps == 0 {
+		return nil, ErrConfig
+	}
+	return &QCNRP{
+		arith:          arith,
+		RateMbps:       lineRateMbps,
+		TargetRateMbps: lineRateMbps,
+		GdShift:        7, // Gd = 1/128
+		RecoveryBytes:  150 * 1024,
+	}, nil
+}
+
+// OnFeedback applies a congestion notification with quantized magnitude fb:
+// the multiplicative decrease rate·(Gd·Fb) is the TCAM multiplication.
+func (rp *QCNRP) OnFeedback(fb uint64) {
+	if fb == 0 {
+		return
+	}
+	rp.TargetRateMbps = rp.RateMbps
+	// decrease = Gd · rate × Fb with Gd = 2^-GdShift, so the maximum
+	// quantized feedback (63) halves the rate. The ×Fb product is
+	// variable×variable (TCAM); the gain is a native shift.
+	decrease := rp.arith.Multiply(rp.RateMbps, fb) >> rp.GdShift
+	if decrease >= rp.RateMbps {
+		decrease = rp.RateMbps / 2
+	}
+	rp.RateMbps -= decrease
+	if rp.RateMbps < 1 {
+		rp.RateMbps = 1
+	}
+	rp.bytesSinceFb = 0
+	rp.Decreases++
+}
+
+// OnSent credits sent bytes toward fast recovery: after each
+// RecoveryBytes without feedback, the rate moves halfway back to the
+// pre-decrease target (adds and shifts, native).
+func (rp *QCNRP) OnSent(bytes uint64) {
+	rp.bytesSinceFb += bytes
+	for rp.bytesSinceFb >= rp.RecoveryBytes {
+		rp.bytesSinceFb -= rp.RecoveryBytes
+		rp.RateMbps = (rp.RateMbps + rp.TargetRateMbps) / 2
+		rp.Recoveries++
+	}
+}

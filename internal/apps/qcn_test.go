@@ -1,0 +1,163 @@
+package apps
+
+import (
+	"testing"
+
+	"github.com/ada-repro/ada/internal/core"
+	"github.com/ada-repro/ada/internal/netsim"
+)
+
+func TestQCNConfig(t *testing.T) {
+	if _, err := NewQCNRP(nil, 10000); err == nil {
+		t.Error("nil arith: want error")
+	}
+	if _, err := NewQCNRP(netsim.IdealArith{}, 0); err == nil {
+		t.Error("zero rate: want error")
+	}
+}
+
+func TestQCNCPSampling(t *testing.T) {
+	cp := NewQCNCP(100 * 1024)
+	cp.SampleEvery = 1 // sample every arrival for the test
+	cp.Sample(50 * 1024)
+	// Queue below the setpoint and falling: no feedback.
+	if fb := cp.Sample(49 * 1024); fb != 0 {
+		t.Errorf("below setpoint and falling: fb = %d, want 0", fb)
+	}
+	// Queue far above the setpoint and rising: strong feedback.
+	fb := cp.Sample(400 * 1024)
+	if fb == 0 {
+		t.Fatal("no feedback above setpoint")
+	}
+	if fb > 63 {
+		t.Errorf("fb = %d, exceeds 6-bit quantization", fb)
+	}
+	// Rising further yields at-least-as-strong feedback.
+	fb2 := cp.Sample(800 * 1024)
+	if fb2 < fb {
+		t.Errorf("fb fell from %d to %d while queue grew", fb, fb2)
+	}
+	// Three notifications: the warm-up burst (rapid growth from empty) and
+	// the two above-setpoint samples.
+	if cp.Notifications != 3 {
+		t.Errorf("Notifications = %d, want 3", cp.Notifications)
+	}
+}
+
+func TestQCNCPSampleRate(t *testing.T) {
+	cp := NewQCNCP(1024)
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		if cp.Sample(1<<20) != 0 {
+			fired++
+		}
+	}
+	if fired != 10 { // every 100th arrival
+		t.Errorf("samples fired = %d, want 10", fired)
+	}
+}
+
+func TestQCNRPDecreaseAndRecovery(t *testing.T) {
+	rp, err := NewQCNRP(netsim.IdealArith{}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Maximum feedback halves the rate.
+	rp.OnFeedback(63)
+	if rp.RateMbps < 4900 || rp.RateMbps > 5100 {
+		t.Errorf("rate after max fb = %d, want ≈5000", rp.RateMbps)
+	}
+	if rp.TargetRateMbps != 10000 {
+		t.Errorf("target = %d, want 10000", rp.TargetRateMbps)
+	}
+	// Fast recovery moves halfway back per cycle.
+	before := rp.RateMbps
+	rp.OnSent(rp.RecoveryBytes)
+	if rp.RateMbps <= before || rp.RateMbps > 10000 {
+		t.Errorf("recovery rate = %d (from %d)", rp.RateMbps, before)
+	}
+	for i := 0; i < 20; i++ {
+		rp.OnSent(rp.RecoveryBytes)
+	}
+	if rp.RateMbps < 9900 {
+		t.Errorf("rate did not recover toward target: %d", rp.RateMbps)
+	}
+	if rp.Decreases != 1 || rp.Recoveries != 21 {
+		t.Errorf("counters: %d decreases, %d recoveries", rp.Decreases, rp.Recoveries)
+	}
+	// Zero feedback is ignored.
+	r := rp.RateMbps
+	rp.OnFeedback(0)
+	if rp.RateMbps != r {
+		t.Error("zero feedback changed the rate")
+	}
+}
+
+// TestQCNClosedLoopConvergence drives the CP/RP pair against a synthetic
+// queue: the loop must pull the offered rate to the drain rate and hold the
+// queue near the setpoint, under both ideal and ADA arithmetic.
+func TestQCNClosedLoopConvergence(t *testing.T) {
+	run := func(a netsim.Arithmetic, sync func()) (finalRate uint64, meanQ float64) {
+		const (
+			drainMbps = 5000
+			qeq       = 60 * 1024
+			stepBytes = 15000 // bytes moved per simulated tick at 1 Gbps-ish granularity
+		)
+		cp := NewQCNCP(qeq)
+		cp.SampleEvery = 10
+		rp, err := NewQCNRP(a, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queue := 0
+		sumQ, ticks := 0.0, 0
+		for tick := 0; tick < 8000; tick++ {
+			// Source emits at rp.RateMbps, queue drains at drainMbps.
+			in := int(rp.RateMbps) * stepBytes / 10000
+			out := drainMbps * stepBytes / 10000
+			queue += in - out
+			if queue < 0 {
+				queue = 0
+			}
+			rp.OnSent(uint64(in))
+			if fb := cp.Sample(queue); fb > 0 {
+				rp.OnFeedback(fb)
+			}
+			if sync != nil && tick%500 == 0 {
+				sync()
+			}
+			if tick >= 4000 { // steady-state window
+				sumQ += float64(queue)
+				ticks++
+			}
+		}
+		return rp.RateMbps, sumQ / float64(ticks)
+	}
+
+	idealRate, idealQ := run(netsim.IdealArith{}, nil)
+	if idealRate < 3500 || idealRate > 7000 {
+		t.Errorf("ideal rate = %d, want ≈5000 (drain rate)", idealRate)
+	}
+	if idealQ > 400*1024 {
+		t.Errorf("ideal mean queue = %.0f, runaway", idealQ)
+	}
+
+	cfg := core.DefaultConfig(14)
+	cfg.CalcEntries = 128
+	cfg.MonitorEntries = 12
+	ada, err := NewADAArith(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaRate, adaQ := run(ada, func() {
+		if _, err := ada.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if adaRate < 3000 || adaRate > 8000 {
+		t.Errorf("ADA rate = %d, want ≈5000", adaRate)
+	}
+	if adaQ > 400*1024 {
+		t.Errorf("ADA mean queue = %.0f, runaway", adaQ)
+	}
+}

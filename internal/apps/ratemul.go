@@ -1,0 +1,130 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/bitstr"
+	"github.com/ada-repro/ada/internal/controlplane"
+	"github.com/ada-repro/ada/internal/monitor"
+	"github.com/ada-repro/ada/internal/netsim"
+	"github.com/ada-repro/ada/internal/population"
+	"github.com/ada-repro/ada/internal/trie"
+)
+
+// ADARateMultiplier is the paper's ADA(R) Nimble deployment (§V-B1: "we
+// implement only monitoring for the rate variable"): the rate marginal is
+// adaptive (monitored, Algorithm 2/3), while the ΔT marginal uses the
+// magnitude-logarithmic 0^p 1 (0|1)^s x^r population of [12], whose relative
+// error is uniform across all ΔT magnitudes. The joint table is the cross
+// product, so its size is rateBudget × sig-bits table size.
+type ADARateMultiplier struct {
+	ctl    *controlplane.Controller
+	engine *arith.BinaryEngine
+	widthR int
+	widthT int
+}
+
+// rateMulTarget regenerates the joint table from the adaptive rate trie.
+type rateMulTarget struct {
+	engine     *arith.BinaryEngine
+	dtPrefixes []bitstr.Prefix
+	rep        population.Representative
+}
+
+func (t *rateMulTarget) Populate(tr *trie.Trie, budget int) (int, int, error) {
+	xs, err := population.ADAAllocate(tr, budget)
+	if err != nil {
+		return 0, 0, err
+	}
+	entries := population.CrossEntries(arith.OpMul.Func(), xs, t.dtPrefixes, t.rep)
+	writes, err := t.engine.Reload(entries)
+	return writes, len(entries), err
+}
+
+// NewADARateMultiplier builds the ADA(R) multiplier.
+//
+//   - widthR, widthT: operand widths of the rate and ΔT keys.
+//   - rateBudget: adaptive entries for the rate marginal.
+//   - monitorEntries: monitoring TCAM budget for the rate variable (the
+//     paper uses 12).
+//   - dtSigBits: significant bits of the static ΔT marginal; relative error
+//     is about ±2^-(dtSigBits+1) per lookup.
+func NewADARateMultiplier(widthR, widthT, rateBudget, monitorEntries, dtSigBits int) (*ADARateMultiplier, error) {
+	dtPrefixes, err := population.SigBitsPrefixes(widthT, dtSigBits)
+	if err != nil {
+		return nil, fmt.Errorf("apps: dt marginal: %w", err)
+	}
+	engine, err := arith.NewBinaryEngineWidths("ada(R).mul", widthR, widthT, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	mon, err := monitor.New("ada(R).mon", widthR, 0)
+	if err != nil {
+		return nil, err
+	}
+	target := &rateMulTarget{engine: engine, dtPrefixes: dtPrefixes, rep: population.Midpoint}
+	cfg := controlplane.DefaultConfig(monitorEntries, rateBudget)
+	cfg.MaxMonitorEntries = 4 * monitorEntries
+	ctl, err := controlplane.New(cfg, mon, target)
+	if err != nil {
+		return nil, err
+	}
+	// Initial population from the uniform trie.
+	if _, _, err := target.Populate(ctl.Trie(), rateBudget); err != nil {
+		return nil, err
+	}
+	return &ADARateMultiplier{ctl: ctl, engine: engine, widthR: widthR, widthT: widthT}, nil
+}
+
+// Multiply implements netsim.Arithmetic: the rate operand is monitored (the
+// ADA data-plane path), then the joint table answers.
+func (m *ADARateMultiplier) Multiply(rate, dt uint64) uint64 {
+	if rate == 0 || dt == 0 {
+		return 0
+	}
+	m.ctl.Monitor().Observe(rate)
+	v, err := m.engine.Eval(clampWidth(rate, m.widthR), clampWidth(dt, m.widthT))
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// Divide implements netsim.Arithmetic (exact: this deployment offloads only
+// the multiplication).
+func (m *ADARateMultiplier) Divide(x, y uint64) uint64 {
+	if y == 0 {
+		return math.MaxUint64
+	}
+	return x / y
+}
+
+// Name implements netsim.Arithmetic.
+func (m *ADARateMultiplier) Name() string { return "ada(R)+sigbits(dT)" }
+
+// Sync runs one control round: read the rate registers, adapt the trie,
+// regenerate the joint table.
+func (m *ADARateMultiplier) Sync() (controlplane.RoundReport, error) {
+	return m.ctl.Round()
+}
+
+// ScheduleSync arranges periodic control rounds on the simulator.
+func (m *ADARateMultiplier) ScheduleSync(sim *netsim.Simulator, every netsim.Time) {
+	var tick func()
+	tick = func() {
+		if _, err := m.Sync(); err == nil {
+			sim.After(every, tick)
+		}
+	}
+	sim.After(every, tick)
+}
+
+// Controller exposes the control-plane state (resource accounting).
+func (m *ADARateMultiplier) Controller() *controlplane.Controller { return m.ctl }
+
+// Engine exposes the joint calculation engine.
+func (m *ADARateMultiplier) Engine() *arith.BinaryEngine { return m.engine }
+
+var _ netsim.Arithmetic = (*ADARateMultiplier)(nil)

@@ -1,0 +1,100 @@
+package apps
+
+import (
+	"testing"
+
+	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/netsim"
+)
+
+func TestADARateMultiplierBasics(t *testing.T) {
+	m, err := NewADARateMultiplier(8, 16, 2, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() == "" {
+		t.Error("empty name")
+	}
+	if m.Multiply(0, 100) != 0 || m.Multiply(24, 0) != 0 {
+		t.Error("zero guard failed")
+	}
+	if m.Divide(100, 10) != 10 {
+		t.Error("divide must be exact in ADA(R)")
+	}
+	if m.Divide(1, 0) == 0 {
+		t.Error("divide by zero must saturate")
+	}
+	if m.Controller() == nil || m.Engine() == nil {
+		t.Error("accessors")
+	}
+}
+
+func TestADARateMultiplierErrors(t *testing.T) {
+	if _, err := NewADARateMultiplier(0, 16, 2, 12, 2); err == nil {
+		t.Error("bad rate width: want error")
+	}
+	if _, err := NewADARateMultiplier(8, 0, 2, 12, 2); err == nil {
+		t.Error("bad dt width: want error")
+	}
+	if _, err := NewADARateMultiplier(8, 16, 0, 12, 2); err == nil {
+		t.Error("zero rate budget: want error")
+	}
+	if _, err := NewADARateMultiplier(8, 16, 2, 0, 2); err == nil {
+		t.Error("zero monitor budget: want error")
+	}
+	if _, err := NewADARateMultiplier(8, 16, 2, 12, -1); err == nil {
+		t.Error("negative sig bits: want error")
+	}
+}
+
+func TestADARateMultiplierAdaptsAcrossRateChange(t *testing.T) {
+	m, err := NewADARateMultiplier(8, 16, 2, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1 at rate 24.
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 300; i++ {
+			m.Multiply(24, uint64(300+i%50))
+		}
+		if _, err := m.Sync(); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+	}
+	if rel := arith.RelError(m.Multiply(24, 320), 24*320); rel > 0.10 {
+		t.Errorf("phase-1 error %.3f at the hot point", rel)
+	}
+	// Rate changes to 12; the monitor must re-zoom.
+	for round := 0; round < 12; round++ {
+		for i := 0; i < 300; i++ {
+			m.Multiply(12, uint64(600+i%100))
+		}
+		if _, err := m.Sync(); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+	}
+	if rel := arith.RelError(m.Multiply(12, 640), 12*640); rel > 0.10 {
+		t.Errorf("phase-2 error %.3f after adaptation", rel)
+	}
+	// ΔT error stays bounded across magnitudes (the sig-bits property).
+	for _, dt := range []uint64{100, 1000, 10000, 60000} {
+		got := m.Multiply(12, dt)
+		if rel := arith.RelError(got, 12*dt); rel > 0.20 {
+			t.Errorf("dt=%d: rel error %.3f exceeds sig-bits bound", dt, rel)
+		}
+	}
+}
+
+func TestADARateMultiplierScheduleSync(t *testing.T) {
+	m, err := NewADARateMultiplier(8, 16, 2, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := netsim.NewSimulator()
+	m.ScheduleSync(sim, netsim.Millisecond)
+	sim.After(0, func() { m.Multiply(24, 500) })
+	sim.Run(5 * netsim.Millisecond)
+	if m.Controller().Totals().Rounds < 4 {
+		t.Errorf("scheduled rounds = %d, want >= 4", m.Controller().Totals().Rounds)
+	}
+}

@@ -1,0 +1,144 @@
+package apps
+
+import (
+	"math"
+	"math/bits"
+
+	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/core"
+	"github.com/ada-repro/ada/internal/netsim"
+)
+
+// siteArith adapts one adaptive binary system to netsim.Arithmetic for a
+// single RCP call site. Lookups monitor operands as a side effect.
+type siteArith struct {
+	sys *core.BinarySystem
+}
+
+// Multiply implements netsim.Arithmetic.
+func (s siteArith) Multiply(x, y uint64) uint64 {
+	if x == 0 || y == 0 {
+		return 0
+	}
+	w := s.sys.Engine().Width()
+	v, err := s.sys.Lookup(clampWidth(x, w), clampWidth(y, w))
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// Divide implements netsim.Arithmetic.
+func (s siteArith) Divide(x, y uint64) uint64 {
+	if y == 0 {
+		return math.MaxUint64
+	}
+	if x == 0 {
+		return 0
+	}
+	w := s.sys.Engine().Width()
+	v, err := s.sys.Lookup(clampWidth(x, w), clampWidth(y, w))
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// Name implements netsim.Arithmetic.
+func (s siteArith) Name() string { return "ada-site" }
+
+// ADARCPSites owns one adaptive system per RCP call site (the P4 layout:
+// one TCAM table per arithmetic statement). All ports of the switch share
+// the sites, as they share the pipeline program.
+type ADARCPSites struct {
+	systems []*core.BinarySystem
+	sites   netsim.RCPSites
+}
+
+// NewADARCPSites builds the per-site systems for a link of cMbps capacity
+// with the given per-table budgets. Operand widths are derived from the
+// value ranges each site can produce.
+func NewADARCPSites(cMbps uint64, calcEntries, monitorEntries int) (*ADARCPSites, error) {
+	mkCfg := func(width int) core.Config {
+		cfg := core.DefaultConfig(width)
+		cfg.CalcEntries = calcEntries
+		cfg.MonitorEntries = monitorEntries
+		return cfg
+	}
+	cBits := bits.Len64(cMbps)
+	// y = bits/T and q/d divide quantities up to ~C·T bits by small
+	// microsecond constants; num/C divides up to R·adj ≤ 0.4·C².
+	widthYQ := cBits + 8
+	widthMul := cBits + 1
+	widthFrac := 2*cBits + 1
+	clampW := func(w int) int {
+		if w > 48 {
+			return 48
+		}
+		if w < 4 {
+			return 4
+		}
+		return w
+	}
+
+	yDiv, err := core.NewBinary(mkCfg(clampW(widthYQ)), arith.OpDiv)
+	if err != nil {
+		return nil, err
+	}
+	qDiv, err := core.NewBinary(mkCfg(clampW(widthYQ)), arith.OpDiv)
+	if err != nil {
+		return nil, err
+	}
+	raMul, err := core.NewBinary(mkCfg(clampW(widthMul)), arith.OpMul)
+	if err != nil {
+		return nil, err
+	}
+	fracDiv, err := core.NewBinary(mkCfg(clampW(widthFrac)), arith.OpDiv)
+	if err != nil {
+		return nil, err
+	}
+	return &ADARCPSites{
+		systems: []*core.BinarySystem{yDiv, qDiv, raMul, fracDiv},
+		sites: netsim.RCPSites{
+			YDiv:    siteArith{sys: yDiv},
+			QDiv:    siteArith{sys: qDiv},
+			RAdjMul: siteArith{sys: raMul},
+			FracDiv: siteArith{sys: fracDiv},
+		},
+	}, nil
+}
+
+// Sites returns the per-call-site arithmetic bundle for AttachRCPSites.
+func (a *ADARCPSites) Sites() netsim.RCPSites { return a.sites }
+
+// Sync runs one control round on every site system.
+func (a *ADARCPSites) Sync() error {
+	for _, s := range a.systems {
+		if _, err := s.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScheduleSync arranges periodic control rounds on the simulator.
+func (a *ADARCPSites) ScheduleSync(sim *netsim.Simulator, every netsim.Time) {
+	var tick func()
+	tick = func() {
+		if err := a.Sync(); err == nil {
+			sim.After(every, tick)
+		}
+	}
+	sim.After(every, tick)
+}
+
+// TotalEntries returns the combined calculation-TCAM footprint.
+func (a *ADARCPSites) TotalEntries() int {
+	n := 0
+	for _, s := range a.systems {
+		n += s.Engine().Table().Len()
+	}
+	return n
+}
+
+var _ netsim.Arithmetic = siteArith{}

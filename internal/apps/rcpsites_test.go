@@ -1,0 +1,142 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/netsim"
+)
+
+func TestADARCPSitesConstruction(t *testing.T) {
+	a, err := NewADARCPSites(10000, 128, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.Sites()
+	for _, site := range []netsim.Arithmetic{s.YDiv, s.QDiv, s.RAdjMul, s.FracDiv} {
+		if site == nil {
+			t.Fatal("nil site")
+		}
+		if site.Name() == "" {
+			t.Error("empty site name")
+		}
+	}
+	if a.TotalEntries() == 0 {
+		t.Error("no initial entries")
+	}
+}
+
+func TestADARCPSitesZeroGuards(t *testing.T) {
+	a, err := NewADARCPSites(1000, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.Sites()
+	if s.RAdjMul.Multiply(0, 5) != 0 || s.RAdjMul.Multiply(5, 0) != 0 {
+		t.Error("multiply zero guard")
+	}
+	if s.YDiv.Divide(0, 20) != 0 {
+		t.Error("divide zero dividend")
+	}
+	if s.YDiv.Divide(5, 0) != math.MaxUint64 {
+		t.Error("divide by zero must saturate")
+	}
+}
+
+func TestADARCPSitesAdaptation(t *testing.T) {
+	// Feed each site its realistic operand cluster and verify post-sync
+	// accuracy at the hot points.
+	a, err := NewADARCPSites(10000, 256, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.Sites()
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 200; i++ {
+			s.YDiv.Divide(uint64(150000+i*100), 28) // bits / T
+			s.QDiv.Divide(uint64(i*8000), 28)       // q bits / d
+			s.RAdjMul.Multiply(5000, uint64(100+i)) // R · adj
+			s.FracDiv.Divide(uint64(500000+i*5000), 10000)
+		}
+		if err := a.Sync(); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+	}
+	checks := []struct {
+		name  string
+		got   uint64
+		exact uint64
+	}{
+		{"y", s.YDiv.Divide(160000, 28), 160000 / 28},
+		{"mul", s.RAdjMul.Multiply(5000, 150), 5000 * 150},
+		{"frac", s.FracDiv.Divide(750000, 10000), 75},
+	}
+	for _, c := range checks {
+		if rel := arith.RelError(c.got, c.exact); rel > 0.15 {
+			t.Errorf("%s: got %d want ≈%d (rel %.3f)", c.name, c.got, c.exact, rel)
+		}
+	}
+}
+
+func TestADARCPSitesScheduleSync(t *testing.T) {
+	a, err := NewADARCPSites(1000, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := netsim.NewSimulator()
+	a.ScheduleSync(sim, netsim.Millisecond)
+	sim.Run(4 * netsim.Millisecond)
+	if sim.Processed < 3 {
+		t.Errorf("scheduled syncs did not run (%d events)", sim.Processed)
+	}
+}
+
+func TestUniformRCPSites(t *testing.T) {
+	s := netsim.UniformRCPSites(netsim.IdealArith{})
+	if s.YDiv.Divide(100, 4) != 25 || s.RAdjMul.Multiply(3, 4) != 12 {
+		t.Error("uniform sites must share the implementation")
+	}
+}
+
+func TestADAXCPSitesConstruction(t *testing.T) {
+	a, err := NewADAXCPSites(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.Sites()
+	for _, site := range []netsim.Arithmetic{s.SmallMul, s.BigMul, s.PktDiv, s.CtlDiv} {
+		if site == nil {
+			t.Fatal("nil site")
+		}
+	}
+	if a.TotalEntries() == 0 {
+		t.Error("no initial entries")
+	}
+	// Hot-point adaptation: rtt×rtt at the typical cluster.
+	for round := 0; round < 15; round++ {
+		for i := 0; i < 200; i++ {
+			s.SmallMul.Multiply(uint64(48+i%8), uint64(48+i%8))
+		}
+		if err := a.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.SmallMul.Multiply(50, 50)
+	if rel := arith.RelError(got, 2500); rel > 0.15 {
+		t.Errorf("SmallMul(50,50) = %d, rel error %.3f", got, rel)
+	}
+}
+
+func TestADAXCPSitesScheduleSync(t *testing.T) {
+	a, err := NewADAXCPSites(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := netsim.NewSimulator()
+	a.ScheduleSync(sim, netsim.Millisecond)
+	sim.Run(3 * netsim.Millisecond)
+	if sim.Processed < 2 {
+		t.Error("scheduled syncs did not run")
+	}
+}

@@ -1,0 +1,88 @@
+package apps
+
+import (
+	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/core"
+	"github.com/ada-repro/ada/internal/netsim"
+)
+
+// ADAXCPSites owns one adaptive system per XCP call-site class: the
+// per-packet multiplications (rtt², rtt·size, ξ·basis), the per-packet
+// basis division, and the per-interval ξ division. XCP is the paper's
+// Table I entry with the heaviest arithmetic appetite (4 FP operations with
+// error propagation), so it is the natural extension workload for ADA.
+type ADAXCPSites struct {
+	systems []*core.BinarySystem
+	sites   netsim.XCPSites
+}
+
+// NewADAXCPSites builds the per-site systems. Operand widths cover the
+// fixed-point ranges each site can see: per-packet multiplies mix
+// microsecond RTTs with 2^16-scaled ξ factors (≤ 2^33-ish products of
+// operands ≤ 2^24), and the divisions see dividends up to φ·2^16.
+func NewADAXCPSites(calcEntries, monitorEntries int) (*ADAXCPSites, error) {
+	mkCfg := func(width int) core.Config {
+		cfg := core.DefaultConfig(width)
+		cfg.CalcEntries = calcEntries
+		cfg.MonitorEntries = monitorEntries
+		return cfg
+	}
+	smallMul, err := core.NewBinary(mkCfg(12), arith.OpMul)
+	if err != nil {
+		return nil, err
+	}
+	bigMul, err := core.NewBinary(mkCfg(26), arith.OpMul)
+	if err != nil {
+		return nil, err
+	}
+	pktDiv, err := core.NewBinary(mkCfg(36), arith.OpDiv)
+	if err != nil {
+		return nil, err
+	}
+	ctlDiv, err := core.NewBinary(mkCfg(40), arith.OpDiv)
+	if err != nil {
+		return nil, err
+	}
+	return &ADAXCPSites{
+		systems: []*core.BinarySystem{smallMul, bigMul, pktDiv, ctlDiv},
+		sites: netsim.XCPSites{
+			SmallMul: siteArith{sys: smallMul},
+			BigMul:   siteArith{sys: bigMul},
+			PktDiv:   siteArith{sys: pktDiv},
+			CtlDiv:   siteArith{sys: ctlDiv},
+		},
+	}, nil
+}
+
+// Sites returns the per-call-site arithmetic bundle for AttachXCP.
+func (a *ADAXCPSites) Sites() netsim.XCPSites { return a.sites }
+
+// Sync runs one control round on every site system.
+func (a *ADAXCPSites) Sync() error {
+	for _, s := range a.systems {
+		if _, err := s.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScheduleSync arranges periodic control rounds on the simulator.
+func (a *ADAXCPSites) ScheduleSync(sim *netsim.Simulator, every netsim.Time) {
+	var tick func()
+	tick = func() {
+		if err := a.Sync(); err == nil {
+			sim.After(every, tick)
+		}
+	}
+	sim.After(every, tick)
+}
+
+// TotalEntries returns the combined calculation-TCAM footprint.
+func (a *ADAXCPSites) TotalEntries() int {
+	n := 0
+	for _, s := range a.systems {
+		n += s.Engine().Table().Len()
+	}
+	return n
+}

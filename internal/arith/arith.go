@@ -1,0 +1,333 @@
+// Package arith implements the approximate arithmetic engine: TCAM-backed
+// evaluation of the operations PISA switches cannot execute natively
+// (multiplication, division, squares, square roots, logarithms), plus the
+// error metrics used throughout the paper's evaluation (§V-A3/4).
+//
+// An engine wraps a tcam.Table populated by one of the population schemes;
+// evaluation is a hardware-faithful ternary lookup, not a software shortcut,
+// so entry budgets, LPM resolution, and misses behave exactly as they would
+// on the switch.
+package arith
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"github.com/ada-repro/ada/internal/population"
+	"github.com/ada-repro/ada/internal/tcam"
+)
+
+var (
+	// ErrMiss reports a lookup that matched no entry (operand outside the
+	// populated working range).
+	ErrMiss = errors.New("arith: calculation TCAM miss")
+	// ErrResultType reports an entry whose action data is not a result
+	// value; it indicates table corruption or misuse.
+	ErrResultType = errors.New("arith: entry data is not a result value")
+)
+
+// UnaryOp enumerates the single-operand operations with exact reference
+// semantics. Fixed-point operations use Scale.
+type UnaryOp int
+
+const (
+	// OpSquare is f(x) = x², saturating at the uint64 maximum.
+	OpSquare UnaryOp = iota + 1
+	// OpDouble is f(x) = 2x, saturating.
+	OpDouble
+	// OpSqrt is f(x) = floor(sqrt(x)).
+	OpSqrt
+	// OpLog2 is f(x) = round(log2(max(x,1)) * Scale).
+	OpLog2
+	// OpRecip is f(x) = round(Scale / x), with f(0) = Scale.
+	OpRecip
+)
+
+// Scale is the fixed-point multiplier for OpLog2 and OpRecip results.
+const Scale = 1 << 16
+
+// Exact evaluates the reference (infinitely precise, then rounded) result.
+func (op UnaryOp) Exact(x uint64) uint64 {
+	switch op {
+	case OpSquare:
+		hi, lo := mul64(x, x)
+		if hi != 0 {
+			return math.MaxUint64
+		}
+		return lo
+	case OpDouble:
+		if x > math.MaxUint64/2 {
+			return math.MaxUint64
+		}
+		return 2 * x
+	case OpSqrt:
+		return uint64(math.Sqrt(float64(x)))
+	case OpLog2:
+		if x < 1 {
+			x = 1
+		}
+		return uint64(math.Round(math.Log2(float64(x)) * Scale))
+	case OpRecip:
+		if x == 0 {
+			return Scale
+		}
+		return uint64(math.Round(Scale / float64(x)))
+	default:
+		return 0
+	}
+}
+
+func mul64(a, b uint64) (hi, lo uint64) { return bits.Mul64(a, b) }
+
+// Func returns the exact evaluator as a population.UnaryFunc.
+func (op UnaryOp) Func() population.UnaryFunc {
+	return func(x uint64) uint64 { return op.Exact(x) }
+}
+
+// String implements fmt.Stringer.
+func (op UnaryOp) String() string {
+	switch op {
+	case OpSquare:
+		return "x^2"
+	case OpDouble:
+		return "2x"
+	case OpSqrt:
+		return "sqrt"
+	case OpLog2:
+		return "log2"
+	case OpRecip:
+		return "recip"
+	default:
+		return fmt.Sprintf("UnaryOp(%d)", int(op))
+	}
+}
+
+// BinaryOp enumerates the two-operand operations.
+type BinaryOp int
+
+const (
+	// OpMul is f(x, y) = x*y, saturating.
+	OpMul BinaryOp = iota + 1
+	// OpDiv is f(x, y) = x/y, with f(x, 0) = max.
+	OpDiv
+)
+
+// Exact evaluates the reference result.
+func (op BinaryOp) Exact(x, y uint64) uint64 {
+	switch op {
+	case OpMul:
+		hi, lo := mul64(x, y)
+		if hi != 0 {
+			return math.MaxUint64
+		}
+		return lo
+	case OpDiv:
+		if y == 0 {
+			return math.MaxUint64
+		}
+		return x / y
+	default:
+		return 0
+	}
+}
+
+// Func returns the exact evaluator as a population.BinaryFunc.
+func (op BinaryOp) Func() population.BinaryFunc {
+	return func(x, y uint64) uint64 { return op.Exact(x, y) }
+}
+
+// String implements fmt.Stringer.
+func (op BinaryOp) String() string {
+	switch op {
+	case OpMul:
+		return "mul"
+	case OpDiv:
+		return "div"
+	default:
+		return fmt.Sprintf("BinaryOp(%d)", int(op))
+	}
+}
+
+// UnaryEngine evaluates a single-operand operation through a calculation
+// TCAM.
+type UnaryEngine struct {
+	table *tcam.Table
+	width int
+}
+
+// NewUnaryEngine builds an engine over a fresh table with the given capacity
+// (0 = unbounded, the paper's ideal baseline) and installs the entries.
+func NewUnaryEngine(name string, width, capacity int, entries []population.UnaryEntry) (*UnaryEngine, error) {
+	t, err := tcam.New(name, capacity, width)
+	if err != nil {
+		return nil, err
+	}
+	e := &UnaryEngine{table: t, width: width}
+	if _, err := e.Reload(entries); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Reload reconciles the table contents toward the given entries, returning
+// the TCAM write count (the quantity the control-plane delay model charges
+// for). Entries already installed with the same result cost nothing — the
+// driver diffs against its shadow copy, as real switch drivers do.
+func (e *UnaryEngine) Reload(entries []population.UnaryEntry) (int, error) {
+	rows := make([]tcam.Row, len(entries))
+	for i, en := range entries {
+		rows[i] = tcam.RowFromPrefix(en.P, en.Result)
+	}
+	return e.table.ApplyRows(rows)
+}
+
+// Eval looks the operand up and returns the precomputed result.
+func (e *UnaryEngine) Eval(x uint64) (uint64, error) {
+	en, ok := e.table.Lookup(x)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s(%d)", ErrMiss, e.table.Name(), x)
+	}
+	r, ok := en.Data.(uint64)
+	if !ok {
+		return 0, fmt.Errorf("%w: %T", ErrResultType, en.Data)
+	}
+	return r, nil
+}
+
+// Table exposes the underlying table for resource accounting.
+func (e *UnaryEngine) Table() *tcam.Table { return e.table }
+
+// Width returns the operand width in bits.
+func (e *UnaryEngine) Width() int { return e.width }
+
+// BinaryEngine evaluates a two-operand operation through a two-field
+// calculation TCAM.
+type BinaryEngine struct {
+	table *tcam.Table
+	width int
+}
+
+// NewBinaryEngine builds a two-field engine with equal field widths and
+// installs the entries.
+func NewBinaryEngine(name string, width, capacity int, entries []population.BinaryEntry) (*BinaryEngine, error) {
+	return NewBinaryEngineWidths(name, width, width, capacity, entries)
+}
+
+// NewBinaryEngineWidths builds a two-field engine with distinct per-field
+// widths (e.g. an 8-bit rate key against a 20-bit inter-arrival key).
+func NewBinaryEngineWidths(name string, widthX, widthY, capacity int, entries []population.BinaryEntry) (*BinaryEngine, error) {
+	t, err := tcam.New(name, capacity, widthX, widthY)
+	if err != nil {
+		return nil, err
+	}
+	w := widthX
+	if widthY > w {
+		w = widthY
+	}
+	e := &BinaryEngine{table: t, width: w}
+	if _, err := e.Reload(entries); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Reload reconciles the table contents toward the given entries, returning
+// the write count (unchanged rows cost nothing).
+func (e *BinaryEngine) Reload(entries []population.BinaryEntry) (int, error) {
+	rows := make([]tcam.Row, len(entries))
+	for i, en := range entries {
+		rows[i] = tcam.Row{
+			Fields: []tcam.Field{tcam.FieldFromPrefix(en.X), tcam.FieldFromPrefix(en.Y)},
+			Data:   en.Result,
+		}
+	}
+	return e.table.ApplyRows(rows)
+}
+
+// Eval looks the operand pair up and returns the precomputed result.
+func (e *BinaryEngine) Eval(x, y uint64) (uint64, error) {
+	en, ok := e.table.Lookup(x, y)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s(%d, %d)", ErrMiss, e.table.Name(), x, y)
+	}
+	r, ok := en.Data.(uint64)
+	if !ok {
+		return 0, fmt.Errorf("%w: %T", ErrResultType, en.Data)
+	}
+	return r, nil
+}
+
+// Table exposes the underlying table for resource accounting.
+func (e *BinaryEngine) Table() *tcam.Table { return e.table }
+
+// Width returns the operand width in bits.
+func (e *BinaryEngine) Width() int { return e.width }
+
+// LogEngine performs multiplication/division through log and antilog unary
+// engines plus a native addition/subtraction, the [12] pipeline realised in
+// TCAM hardware terms.
+type LogEngine struct {
+	logT    *UnaryEngine
+	antilog *UnaryEngine
+	scale   uint64
+}
+
+// NewLogEngine installs the given log tables into two hardware tables with
+// the stated capacities (0 = unbounded).
+func NewLogEngine(name string, lt *population.LogTables, capLog, capAntilog int) (*LogEngine, error) {
+	logE, err := NewUnaryEngine(name+".log", lt.Width, capLog, lt.Log)
+	if err != nil {
+		return nil, err
+	}
+	alE, err := NewUnaryEngine(name+".antilog", lt.AntilogWidth, capAntilog, lt.Antilog)
+	if err != nil {
+		return nil, err
+	}
+	return &LogEngine{logT: logE, antilog: alE, scale: lt.Scale}, nil
+}
+
+// Multiply evaluates x*y as antilog(log x + log y).
+func (e *LogEngine) Multiply(x, y uint64) (uint64, error) {
+	if x == 0 || y == 0 {
+		return 0, nil
+	}
+	lx, err := e.logT.Eval(x)
+	if err != nil {
+		return 0, err
+	}
+	ly, err := e.logT.Eval(y)
+	if err != nil {
+		return 0, err
+	}
+	return e.antilog.Eval(lx + ly)
+}
+
+// Divide evaluates x/y as antilog(log x − log y).
+func (e *LogEngine) Divide(x, y uint64) (uint64, error) {
+	if y == 0 {
+		return 0, fmt.Errorf("%w: divide by zero", ErrMiss)
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	lx, err := e.logT.Eval(x)
+	if err != nil {
+		return 0, err
+	}
+	ly, err := e.logT.Eval(y)
+	if err != nil {
+		return 0, err
+	}
+	if ly >= lx {
+		if ly-lx > e.scale/2 {
+			return 0, nil
+		}
+		return 1, nil
+	}
+	return e.antilog.Eval(lx - ly)
+}
+
+// TotalEntries returns the combined TCAM footprint.
+func (e *LogEngine) TotalEntries() int { return e.logT.Table().Len() + e.antilog.Table().Len() }

@@ -1,0 +1,164 @@
+package arith
+
+import (
+	"math"
+)
+
+// RelError returns |approx − exact| / max(1, exact), the relative error
+// metric used in §V-A3/4. The max(1, ·) denominator keeps zero results from
+// producing infinities.
+func RelError(approx, exact uint64) float64 {
+	denom := float64(exact)
+	if denom < 1 {
+		denom = 1
+	}
+	var diff float64
+	if approx >= exact {
+		diff = float64(approx - exact)
+	} else {
+		diff = float64(exact - approx)
+	}
+	return diff / denom
+}
+
+// ErrorSummary aggregates lookup-error statistics over a sample set.
+type ErrorSummary struct {
+	// Avg is the mean relative error.
+	Avg float64
+	// Worst is the maximum relative error.
+	Worst float64
+	// Misses counts samples the table could not answer; they are excluded
+	// from Avg/Worst.
+	Misses int
+	// N counts answered samples.
+	N int
+}
+
+// AvgPercent returns the mean error in percent, the unit the paper plots.
+func (s ErrorSummary) AvgPercent() float64 { return s.Avg * 100 }
+
+// MeasureUnary evaluates each sample through eval and compares against the
+// exact operation.
+func MeasureUnary(eval func(uint64) (uint64, error), op UnaryOp, samples []uint64) ErrorSummary {
+	var out ErrorSummary
+	for _, x := range samples {
+		approx, err := eval(x)
+		if err != nil {
+			out.Misses++
+			continue
+		}
+		e := RelError(approx, op.Exact(x))
+		out.Avg += e
+		if e > out.Worst {
+			out.Worst = e
+		}
+		out.N++
+	}
+	if out.N > 0 {
+		out.Avg /= float64(out.N)
+	}
+	return out
+}
+
+// MeasureBinary is MeasureUnary for two-operand operations over paired
+// samples (xs[i], ys[i]).
+func MeasureBinary(eval func(x, y uint64) (uint64, error), op BinaryOp, xs, ys []uint64) ErrorSummary {
+	var out ErrorSummary
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	for i := 0; i < n; i++ {
+		approx, err := eval(xs[i], ys[i])
+		if err != nil {
+			out.Misses++
+			continue
+		}
+		e := RelError(approx, op.Exact(xs[i], ys[i]))
+		out.Avg += e
+		if e > out.Worst {
+			out.Worst = e
+		}
+		out.N++
+	}
+	if out.N > 0 {
+		out.Avg /= float64(out.N)
+	}
+	return out
+}
+
+// PropagationResult records how error accumulates when a function's output
+// is fed back as its input (§V-A4): PerIter[k] is the relative error after
+// k+1 applications; Max is the peak across iterations.
+type PropagationResult struct {
+	PerIter []float64
+	Max     float64
+	Final   float64
+}
+
+// Propagate iterates the operation iters times through the approximate
+// evaluator, in parallel with the exact reference chain, both saturating at
+// domainMax (as the switch's bounded registers force), and reports the
+// per-iteration relative error. A lookup miss clamps the approximate value
+// to domainMax, matching the default action of an out-of-range operand.
+func Propagate(eval func(uint64) (uint64, error), op UnaryOp, x0, domainMax uint64, iters int) PropagationResult {
+	res := PropagationResult{PerIter: make([]float64, 0, iters)}
+	approx, exact := x0, x0
+	for i := 0; i < iters; i++ {
+		exact = op.Exact(exact)
+		if exact > domainMax {
+			exact = domainMax
+		}
+		a, err := eval(approx)
+		if err != nil {
+			a = domainMax
+		}
+		if a > domainMax {
+			a = domainMax
+		}
+		approx = a
+		e := RelError(approx, exact)
+		res.PerIter = append(res.PerIter, e)
+		if e > res.Max {
+			res.Max = e
+		}
+	}
+	if len(res.PerIter) > 0 {
+		res.Final = res.PerIter[len(res.PerIter)-1]
+	}
+	return res
+}
+
+// MeanPropagation averages propagation error curves over many seeds,
+// returning the mean per-iteration errors and the mean of the peaks.
+func MeanPropagation(eval func(uint64) (uint64, error), op UnaryOp, seeds []uint64, domainMax uint64, iters int) (perIter []float64, meanMax float64) {
+	perIter = make([]float64, iters)
+	if len(seeds) == 0 {
+		return perIter, 0
+	}
+	for _, x0 := range seeds {
+		r := Propagate(eval, op, x0, domainMax, iters)
+		for i, e := range r.PerIter {
+			perIter[i] += e
+		}
+		meanMax += r.Max
+	}
+	inv := 1 / float64(len(seeds))
+	for i := range perIter {
+		perIter[i] *= inv
+	}
+	return perIter, meanMax * inv
+}
+
+// GeoMeanError returns the geometric mean of (1 + error) minus one, a
+// stable aggregate when errors span orders of magnitude.
+func GeoMeanError(errs []float64) float64 {
+	if len(errs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, e := range errs {
+		sum += math.Log1p(e)
+	}
+	return math.Expm1(sum / float64(len(errs)))
+}

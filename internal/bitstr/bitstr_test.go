@@ -1,0 +1,432 @@
+package bitstr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		value   uint64
+		bits    int
+		width   int
+		wantErr error
+	}{
+		{name: "ok small", value: 0b010, bits: 2, width: 3},
+		{name: "ok full width", value: 0xffffffffffffffff, bits: 64, width: 64},
+		{name: "ok zero bits", value: 0, bits: 0, width: 32},
+		{name: "width too small", width: 0, wantErr: ErrWidth},
+		{name: "width too large", width: 65, wantErr: ErrWidth},
+		{name: "bits negative", bits: -1, width: 8, wantErr: ErrBits},
+		{name: "bits exceed width", bits: 9, width: 8, wantErr: ErrBits},
+		{name: "value exceeds width", value: 0x100, bits: 4, width: 8, wantErr: ErrValue},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.value, tt.bits, tt.width)
+			if tt.wantErr == nil {
+				if err != nil {
+					t.Fatalf("New() error = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("New() error = nil, want %v", tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestCanonicalisation(t *testing.T) {
+	// Low wildcard bits must be zeroed.
+	p := MustNew(0b0111, 2, 4) // only top two bits significant
+	if p.Value() != 0b0100 {
+		t.Errorf("Value() = %#b, want 0b0100", p.Value())
+	}
+	if got := p.String(); got != "01xx" {
+		t.Errorf("String() = %q, want 01xx", got)
+	}
+}
+
+func TestPaperBinExamples(t *testing.T) {
+	// Figure 4a: 3-bit operands, bins 00x(0-1), 01x(2-3), 10x(4-5), 11x(6-7).
+	tests := []struct {
+		pattern string
+		lo, hi  uint64
+	}{
+		{"00x", 0, 1},
+		{"01x", 2, 3},
+		{"10x", 4, 5},
+		{"11x", 6, 7},
+		// Figure 4b: 00x(0-1), 010(2), 011(3), 1xx(4-7).
+		{"010", 2, 2},
+		{"011", 3, 3},
+		{"1xx", 4, 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.pattern, func(t *testing.T) {
+			p, err := Parse(tt.pattern)
+			if err != nil {
+				t.Fatalf("Parse(%q) error: %v", tt.pattern, err)
+			}
+			if p.Lo() != tt.lo || p.Hi() != tt.hi {
+				t.Errorf("range = [%d, %d], want [%d, %d]", p.Lo(), p.Hi(), tt.lo, tt.hi)
+			}
+			if got := p.String(); got != tt.pattern {
+				t.Errorf("String() = %q, want %q", got, tt.pattern)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "x1", "01x0", "2xx", "0x1"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", s)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	p := MustNew(0b0100, 2, 4) // 01xx: 4..7
+	for v := uint64(0); v < 16; v++ {
+		want := v >= 4 && v <= 7
+		if got := p.Contains(v); got != want {
+			t.Errorf("Contains(%d) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestChildrenAndParent(t *testing.T) {
+	p := MustNew(0b0100, 2, 4) // 01xx
+	l, err := p.Left()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Right()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.String() != "010x" || r.String() != "011x" {
+		t.Fatalf("children = %q, %q; want 010x, 011x", l, r)
+	}
+	for _, c := range []Prefix{l, r} {
+		parent, err := c.Parent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parent != p {
+			t.Errorf("Parent(%q) = %q, want %q", c, parent, p)
+		}
+	}
+	sib, err := l.Sibling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sib != r {
+		t.Errorf("Sibling(%q) = %q, want %q", l, sib, r)
+	}
+	if !l.IsLeftChild() || r.IsLeftChild() {
+		t.Error("IsLeftChild misclassified children")
+	}
+
+	full := MustNew(0b0101, 4, 4)
+	if _, err := full.Left(); err == nil {
+		t.Error("Left() on full prefix: want error")
+	}
+	root, _ := Root(4)
+	if _, err := root.Parent(); err == nil {
+		t.Error("Parent() on root: want error")
+	}
+	if root.IsLeftChild() {
+		t.Error("root must not report IsLeftChild")
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	tests := []struct {
+		pattern string
+		want    uint64
+	}{
+		{"1xx", 5},   // 4..7 -> 5
+		{"01x", 2},   // 2..3 -> 2
+		{"010", 2},   // exact
+		{"xxx", 3},   // 0..7 -> 3
+		{"xxxx", 7},  // 0..15 -> 7
+		{"1xxx", 11}, // 8..15 -> 11
+	}
+	for _, tt := range tests {
+		p, err := Parse(tt.pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Midpoint(); got != tt.want {
+			t.Errorf("Midpoint(%q) = %d, want %d", tt.pattern, got, tt.want)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	p := MustNew(4, 64, 64) // exact 4
+	if got := p.GeoMean(); got != 4 {
+		t.Errorf("GeoMean exact = %d, want 4", got)
+	}
+	q := MustNew(8, 61, 64) // 8..15, sqrt(120) = 10
+	if got := q.GeoMean(); got != 10 {
+		t.Errorf("GeoMean(8..15) = %d, want 10", got)
+	}
+	r, _ := Root(8) // 0..255 -> sqrt(1*255)=15
+	if got := r.GeoMean(); got != 15 {
+		t.Errorf("GeoMean(0..255) = %d, want 15", got)
+	}
+}
+
+func TestIsqrt(t *testing.T) {
+	for _, v := range []uint64{0, 1, 2, 3, 4, 15, 16, 17, 1 << 32, math.MaxUint64} {
+		got := isqrt64(v)
+		if got*got > v {
+			t.Errorf("isqrt64(%d) = %d: square exceeds radicand", v, got)
+		}
+		if got < math.MaxUint32 && (got+1)*(got+1) <= v {
+			t.Errorf("isqrt64(%d) = %d: not the floor", v, got)
+		}
+	}
+}
+
+func TestCoverRange(t *testing.T) {
+	tests := []struct {
+		name   string
+		lo, hi uint64
+		width  int
+		want   []string
+	}{
+		{name: "whole domain", lo: 0, hi: 7, width: 3, want: []string{"xxx"}},
+		{name: "aligned block", lo: 4, hi: 7, width: 3, want: []string{"1xx"}},
+		{name: "single value", lo: 5, hi: 5, width: 3, want: []string{"101"}},
+		{name: "unaligned", lo: 1, hi: 6, width: 3, want: []string{"001", "01x", "10x", "110"}},
+		{name: "paper working range", lo: 0, hi: 5, width: 3, want: []string{"0xx", "10x"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ps, err := CoverRange(tt.lo, tt.hi, tt.width)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ps) != len(tt.want) {
+				t.Fatalf("got %d prefixes %v, want %d", len(ps), ps, len(tt.want))
+			}
+			for i, p := range ps {
+				if p.String() != tt.want[i] {
+					t.Errorf("prefix %d = %q, want %q", i, p, tt.want[i])
+				}
+			}
+		})
+	}
+	if _, err := CoverRange(5, 2, 8); err == nil {
+		t.Error("CoverRange(5,2): want error")
+	}
+	if _, err := CoverRange(0, 256, 8); err == nil {
+		t.Error("CoverRange hi out of width: want error")
+	}
+}
+
+func TestCoverRangeFull64(t *testing.T) {
+	ps, err := CoverRange(0, math.MaxUint64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 || ps[0].Bits() != 0 {
+		t.Fatalf("full 64-bit cover = %v, want single root", ps)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	mk := func(ss ...string) []Prefix {
+		ps := make([]Prefix, len(ss))
+		for i, s := range ss {
+			var err error
+			ps[i], err = Parse(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ps
+	}
+	if !Partition(mk("00x", "01x", "10x", "11x")) {
+		t.Error("uniform bins must partition")
+	}
+	if !Partition(mk("00x", "010", "011", "1xx")) {
+		t.Error("figure 4b bins must partition")
+	}
+	if Partition(mk("00x", "01x", "10x")) {
+		t.Error("gap at top must not partition")
+	}
+	if Partition(mk("00x", "01x", "0xx", "1xx")) {
+		t.Error("overlap must not partition")
+	}
+	if Partition(nil) {
+		t.Error("empty set must not partition")
+	}
+}
+
+func TestOverlapsAndContainsPrefix(t *testing.T) {
+	a := MustNew(0b0100, 2, 4) // 01xx
+	b := MustNew(0b0110, 3, 4) // 011x
+	c := MustNew(0b1000, 2, 4) // 10xx
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("nested prefixes must overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("disjoint prefixes must not overlap")
+	}
+	if !a.ContainsPrefix(b) {
+		t.Error("01xx must contain 011x")
+	}
+	if b.ContainsPrefix(a) {
+		t.Error("011x must not contain 01xx")
+	}
+	w8, _ := Root(8)
+	if a.Overlaps(w8) {
+		t.Error("different widths must not overlap")
+	}
+}
+
+// Property: for any prefix, splitting into children and re-merging returns the
+// original, and the children exactly tile the parent.
+func TestQuickChildrenTileParent(t *testing.T) {
+	f := func(value uint64, bitsRaw, widthRaw uint8) bool {
+		width := int(widthRaw%64) + 1
+		sig := int(bitsRaw) % width // strictly less than width so children exist
+		p, err := New(value&mask(width), sig, width)
+		if err != nil {
+			return false
+		}
+		l, err := p.Left()
+		if err != nil {
+			return false
+		}
+		r, err := p.Right()
+		if err != nil {
+			return false
+		}
+		if l.Lo() != p.Lo() || r.Hi() != p.Hi() {
+			return false
+		}
+		if l.Hi()+1 != r.Lo() {
+			return false
+		}
+		lp, err := l.Parent()
+		if err != nil || lp != p {
+			return false
+		}
+		rp, err := r.Parent()
+		if err != nil || rp != p {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CoverRange output tiles exactly [lo, hi]: sorted, contiguous, in
+// range, and minimal in the sense that no two adjacent prefixes are siblings.
+func TestQuickCoverRangeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		width := 1 + rng.Intn(32)
+		m := mask(width)
+		a, b := rng.Uint64()&m, rng.Uint64()&m
+		if a > b {
+			a, b = b, a
+		}
+		ps, err := CoverRange(a, b, width)
+		if err != nil {
+			t.Fatalf("CoverRange(%d,%d,%d): %v", a, b, width, err)
+		}
+		next := a
+		for j, p := range ps {
+			if p.Lo() != next {
+				t.Fatalf("cover gap at %d: prefix %d is %v", next, j, p)
+			}
+			next = p.Hi() + 1
+			if j+1 < len(ps) {
+				sib, err := p.Sibling()
+				if err == nil && sib == ps[j+1] {
+					t.Fatalf("cover not minimal: %v and %v are siblings", p, ps[j+1])
+				}
+			}
+		}
+		if ps[len(ps)-1].Hi() != b {
+			t.Fatalf("cover ends at %d, want %d", ps[len(ps)-1].Hi(), b)
+		}
+	}
+}
+
+// Property: Parse(String(p)) == p.
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	f := func(value uint64, bitsRaw, widthRaw uint8) bool {
+		width := int(widthRaw%64) + 1
+		sig := int(bitsRaw) % (width + 1)
+		p, err := New(value&mask(width), sig, width)
+		if err != nil {
+			return false
+		}
+		q, err := Parse(p.String())
+		if err != nil {
+			return false
+		}
+		return q == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Contains agrees with the [Lo, Hi] interval.
+func TestQuickContainsMatchesInterval(t *testing.T) {
+	f := func(value, probe uint64, bitsRaw, widthRaw uint8) bool {
+		width := int(widthRaw%64) + 1
+		sig := int(bitsRaw) % (width + 1)
+		p, err := New(value&mask(width), sig, width)
+		if err != nil {
+			return false
+		}
+		v := probe & mask(width)
+		return p.Contains(v) == (v >= p.Lo() && v <= p.Hi())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortPrefixes(t *testing.T) {
+	ps := []Prefix{
+		MustNew(0b1000, 2, 4),
+		MustNew(0b0000, 2, 4),
+		MustNew(0b0000, 0, 4),
+		MustNew(0b0100, 2, 4),
+	}
+	SortPrefixes(ps)
+	want := []string{"00xx", "xxxx", "01xx", "10xx"}
+	for i, p := range ps {
+		if p.String() != want[i] {
+			t.Errorf("sorted[%d] = %q, want %q", i, p, want[i])
+		}
+	}
+}
+
+func TestSizeSaturation(t *testing.T) {
+	root, _ := Root(64)
+	if root.Size() != math.MaxUint64 {
+		t.Error("64-bit root Size must saturate")
+	}
+	p := MustNew(0, 1, 64)
+	if p.Size() != uint64(1)<<63 {
+		t.Errorf("half-domain Size = %d", p.Size())
+	}
+}

@@ -1,0 +1,59 @@
+package bitstr
+
+import "testing"
+
+// FuzzParse checks that Parse never panics and that accepted inputs
+// round-trip through String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"01x", "xxx", "0000", "1", "x", "01x0", "2ab", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		q, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", p.String(), s, err)
+		}
+		if q != p {
+			t.Fatalf("round-trip mismatch: %q -> %v -> %v", s, p, q)
+		}
+	})
+}
+
+// FuzzCoverRange checks that range covers always tile exactly [lo, hi].
+func FuzzCoverRange(f *testing.F) {
+	f.Add(uint64(0), uint64(7), 3)
+	f.Add(uint64(1), uint64(6), 3)
+	f.Add(uint64(100), uint64(100000), 20)
+	f.Fuzz(func(t *testing.T, lo, hi uint64, width int) {
+		if width < 1 || width > 64 {
+			return
+		}
+		m := mask(width)
+		lo &= m
+		hi &= m
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		ps, err := CoverRange(lo, hi, width)
+		if err != nil {
+			t.Fatalf("CoverRange(%d, %d, %d): %v", lo, hi, width, err)
+		}
+		next := lo
+		for i, p := range ps {
+			if p.Lo() != next {
+				t.Fatalf("gap at %d (prefix %d = %v)", next, i, p)
+			}
+			if p.Hi() == ^uint64(0) && i != len(ps)-1 {
+				t.Fatalf("top-covering prefix not last")
+			}
+			next = p.Hi() + 1
+		}
+		if ps[len(ps)-1].Hi() != hi {
+			t.Fatalf("cover ends at %d, want %d", ps[len(ps)-1].Hi(), hi)
+		}
+	})
+}

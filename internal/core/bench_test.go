@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/dist"
+)
+
+// BenchmarkLookup measures the per-packet data-plane path: one monitoring
+// TCAM match + register increment + one calculation TCAM lookup.
+func BenchmarkLookup(b *testing.B) {
+	cfg := DefaultConfig(16)
+	sys, err := NewUnary(cfg, arith.OpSquare)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sampler := dist.NewIntSampler(
+		dist.Truncated{D: dist.Gaussian{Mu: 4000, Sigma: 200}, Lo: 0, Hi: 1 << 16},
+		1<<16-1, 1)
+	keys := sampler.Draw(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Lookup(keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSync measures one full control round: register read, Algorithm 2
+// reshaping, Algorithm 3 repopulation, delta TCAM writes, register reset.
+func BenchmarkSync(b *testing.B) {
+	cfg := DefaultConfig(16)
+	sys, err := NewUnary(cfg, arith.OpSquare)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sampler := dist.NewIntSampler(
+		dist.Truncated{D: dist.Gaussian{Mu: 4000, Sigma: 200}, Lo: 0, Hi: 1 << 16},
+		1<<16-1, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for _, v := range sampler.Draw(500) {
+			sys.Observe(v)
+		}
+		b.StartTimer()
+		if _, err := sys.Sync(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+// Package core is ADA's public façade: a per-operation system that couples
+// the data-plane monitoring pipeline, the control-plane adaptation loop, and
+// the TCAM-backed calculation engine into the deployment unit the paper
+// evaluates.
+//
+// A UnarySystem emulates a single-operand operation (x², 2x, √x, ...) for
+// one monitored variable — the paper's ADA(R) / ADA(ΔT) configurations. A
+// BinarySystem emulates a two-operand operation (x·y, x/y) with one monitor
+// per operand — ADA(ΔT, R). In both, the data plane calls Lookup on every
+// packet (monitor + calculation lookup at line rate) and the control plane
+// calls Sync periodically (register read → Algorithm 2 → Algorithm 3 →
+// table pushes).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/controlplane"
+	"github.com/ada-repro/ada/internal/monitor"
+	"github.com/ada-repro/ada/internal/pisa"
+	"github.com/ada-repro/ada/internal/population"
+	"github.com/ada-repro/ada/internal/trie"
+)
+
+// ErrConfig reports an invalid system configuration.
+var ErrConfig = errors.New("core: invalid configuration")
+
+// Config parameterises an ADA system. DefaultConfig supplies the paper's
+// §IV constants.
+type Config struct {
+	// Width is the operand width in bits.
+	Width int
+	// MonitorEntries is the initial monitoring TCAM budget per variable
+	// (the paper's testbed uses 12 for Nimble, 8 for Table II).
+	MonitorEntries int
+	// MaxMonitorEntries caps adaptive expansion (0 = 4× the initial
+	// budget).
+	MaxMonitorEntries int
+	// CalcEntries is the calculation TCAM budget (the paper uses 128).
+	CalcEntries int
+	// ThBalance is Algorithm 2's rebalance threshold (paper: 0.20).
+	ThBalance float64
+	// ThExpansion is the monitoring-growth threshold (paper: 2).
+	ThExpansion int
+	// Representative selects the per-entry stand-in value.
+	Representative population.Representative
+	// Cost is the control-plane delay model.
+	Cost controlplane.CostModel
+}
+
+// DefaultConfig returns the paper's parameters for width-bit operands.
+func DefaultConfig(width int) Config {
+	return Config{
+		Width:          width,
+		MonitorEntries: 12,
+		CalcEntries:    128,
+		ThBalance:      0.20,
+		ThExpansion:    2,
+		Representative: population.Midpoint,
+		Cost:           controlplane.DefaultCostModel(),
+	}
+}
+
+func (c *Config) normalise() error {
+	if c.Width < 1 || c.Width > 64 {
+		return fmt.Errorf("%w: width %d", ErrConfig, c.Width)
+	}
+	if c.MonitorEntries < 1 {
+		return fmt.Errorf("%w: monitor entries %d", ErrConfig, c.MonitorEntries)
+	}
+	if c.CalcEntries < 1 {
+		return fmt.Errorf("%w: calc entries %d", ErrConfig, c.CalcEntries)
+	}
+	if c.MaxMonitorEntries == 0 {
+		c.MaxMonitorEntries = 4 * c.MonitorEntries
+	}
+	if c.Representative == 0 {
+		c.Representative = population.Midpoint
+	}
+	if c.Cost == (controlplane.CostModel{}) {
+		c.Cost = controlplane.DefaultCostModel()
+	}
+	return nil
+}
+
+func (c Config) controllerConfig() controlplane.Config {
+	return controlplane.Config{
+		ThBalance:         c.ThBalance,
+		ThExpansion:       c.ThExpansion,
+		MonitorBudget:     c.MonitorEntries,
+		MaxMonitorEntries: c.MaxMonitorEntries,
+		CalcBudget:        c.CalcEntries,
+		MaxRebalances:     4,
+		Cost:              c.Cost,
+	}
+}
+
+// SyncReport summarises one control round of a system.
+type SyncReport struct {
+	// Delay is the modelled control-plane convergence delay.
+	Delay time.Duration
+	// Reads is the register reads performed.
+	Reads int
+	// Writes is registers reset plus TCAM entries written.
+	Writes int
+	// Rebalances counts Algorithm 2 steps across all monitored variables.
+	Rebalances int
+	// Expanded reports whether any monitoring TCAM grew.
+	Expanded bool
+}
+
+// unaryTarget adapts the calculation engine to the controller.
+type unaryTarget struct {
+	engine *arith.UnaryEngine
+	op     arith.UnaryOp
+	rep    population.Representative
+}
+
+func (t *unaryTarget) Populate(tr *trie.Trie, budget int) (int, int, error) {
+	entries, err := population.ADAUnary(tr, t.op.Func(), budget, t.rep)
+	if err != nil {
+		return 0, 0, err
+	}
+	writes, err := t.engine.Reload(entries)
+	return writes, len(entries), err
+}
+
+// UnarySystem is ADA deployed for a single-operand operation.
+type UnarySystem struct {
+	cfg    Config
+	op     arith.UnaryOp
+	engine *arith.UnaryEngine
+	ctl    *controlplane.Controller
+}
+
+// NewUnary builds the system and installs the initial (uniform) population,
+// so lookups work before the first Sync.
+func NewUnary(cfg Config, op arith.UnaryOp) (*UnarySystem, error) {
+	if err := cfg.normalise(); err != nil {
+		return nil, err
+	}
+	mon, err := monitor.New(fmt.Sprintf("ada.%v.mon", op), cfg.Width, cfg.MaxMonitorEntries)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := arith.NewUnaryEngine(fmt.Sprintf("ada.%v.calc", op), cfg.Width, cfg.CalcEntries, nil)
+	if err != nil {
+		return nil, err
+	}
+	target := &unaryTarget{engine: engine, op: op, rep: cfg.Representative}
+	ctl, err := controlplane.New(cfg.controllerConfig(), mon, target)
+	if err != nil {
+		return nil, err
+	}
+	// Initial population from the uniform trie: equal entries everywhere.
+	if _, _, err := target.Populate(ctl.Trie(), cfg.CalcEntries); err != nil {
+		return nil, err
+	}
+	return &UnarySystem{cfg: cfg, op: op, engine: engine, ctl: ctl}, nil
+}
+
+// Observe feeds one operand value to the monitoring pipeline without a
+// calculation lookup.
+func (s *UnarySystem) Observe(x uint64) { s.ctl.Monitor().Observe(x) }
+
+// Lookup is the per-packet data-plane path: monitor the operand, then fetch
+// the approximate result from the calculation TCAM.
+func (s *UnarySystem) Lookup(x uint64) (uint64, error) {
+	s.ctl.Monitor().Observe(x)
+	return s.engine.Eval(x)
+}
+
+// Sync runs one control-plane round.
+func (s *UnarySystem) Sync() (SyncReport, error) {
+	rep, err := s.ctl.Round()
+	if err != nil {
+		return SyncReport{}, err
+	}
+	return SyncReport{
+		Delay:      rep.Delay,
+		Reads:      rep.Reads,
+		Writes:     rep.RegisterWrites + rep.TCAMWrites,
+		Rebalances: rep.Rebalances,
+		Expanded:   rep.Expanded,
+	}, nil
+}
+
+// Engine exposes the calculation engine (benchmarks, error measurement).
+func (s *UnarySystem) Engine() *arith.UnaryEngine { return s.engine }
+
+// Controller exposes the control-plane state.
+func (s *UnarySystem) Controller() *controlplane.Controller { return s.ctl }
+
+// Op returns the emulated operation.
+func (s *UnarySystem) Op() arith.UnaryOp { return s.op }
+
+// Pipeline lays the system out on a PISA pipeline for resource accounting
+// (Table II): one monitoring stage plus the calculation stage.
+func (s *UnarySystem) Pipeline(name string) (*pisa.Pipeline, error) {
+	return pisa.BuildADAProgram(name, []pisa.VarSpec{{
+		Name:       "x",
+		Monitoring: s.ctl.Monitor().Table(),
+		Bins:       s.ctl.Monitor().NumBins(),
+	}}, s.engine.Table())
+}
+
+// BinarySystem is ADA deployed for a two-operand operation with one monitor
+// per operand (the paper's ADA(ΔT, R)).
+type BinarySystem struct {
+	cfg    Config
+	op     arith.BinaryOp
+	engine *arith.BinaryEngine
+	ctlX   *controlplane.Controller
+	ctlY   *controlplane.Controller
+	rep    population.Representative
+}
+
+// NewBinary builds the system and installs the initial uniform population.
+func NewBinary(cfg Config, op arith.BinaryOp) (*BinarySystem, error) {
+	if err := cfg.normalise(); err != nil {
+		return nil, err
+	}
+	monX, err := monitor.New(fmt.Sprintf("ada.%v.monX", op), cfg.Width, cfg.MaxMonitorEntries)
+	if err != nil {
+		return nil, err
+	}
+	monY, err := monitor.New(fmt.Sprintf("ada.%v.monY", op), cfg.Width, cfg.MaxMonitorEntries)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := arith.NewBinaryEngine(fmt.Sprintf("ada.%v.calc", op), cfg.Width, cfg.CalcEntries, nil)
+	if err != nil {
+		return nil, err
+	}
+	ctlX, err := controlplane.New(cfg.controllerConfig(), monX, nil)
+	if err != nil {
+		return nil, err
+	}
+	ctlY, err := controlplane.New(cfg.controllerConfig(), monY, nil)
+	if err != nil {
+		return nil, err
+	}
+	s := &BinarySystem{cfg: cfg, op: op, engine: engine, ctlX: ctlX, ctlY: ctlY,
+		rep: cfg.Representative}
+	if _, err := s.populate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// populate regenerates the joint calculation table from both tries.
+func (s *BinarySystem) populate() (int, error) {
+	entries, err := population.ADABinary(s.ctlX.Trie(), s.ctlY.Trie(), s.op.Func(),
+		s.cfg.CalcEntries, s.rep)
+	if err != nil {
+		return 0, err
+	}
+	writes, err := s.engine.Reload(entries)
+	if err != nil {
+		return 0, err
+	}
+	return writes + len(entries), nil // writes plus computed entries
+}
+
+// Observe feeds one (x, y) operand pair to the monitors.
+func (s *BinarySystem) Observe(x, y uint64) {
+	s.ctlX.Monitor().Observe(x)
+	s.ctlY.Monitor().Observe(y)
+}
+
+// Lookup is the per-packet path: monitor both operands and fetch the result.
+func (s *BinarySystem) Lookup(x, y uint64) (uint64, error) {
+	s.Observe(x, y)
+	return s.engine.Eval(x, y)
+}
+
+// Sync runs one control round across both variables and repopulates the
+// joint calculation table.
+func (s *BinarySystem) Sync() (SyncReport, error) {
+	repX, err := s.ctlX.Round()
+	if err != nil {
+		return SyncReport{}, fmt.Errorf("variable x: %w", err)
+	}
+	repY, err := s.ctlY.Round()
+	if err != nil {
+		return SyncReport{}, fmt.Errorf("variable y: %w", err)
+	}
+	calcWrites, err := s.populate()
+	if err != nil {
+		return SyncReport{}, fmt.Errorf("joint population: %w", err)
+	}
+	out := SyncReport{
+		Reads:      repX.Reads + repY.Reads,
+		Writes:     repX.RegisterWrites + repX.TCAMWrites + repY.RegisterWrites + repY.TCAMWrites + calcWrites,
+		Rebalances: repX.Rebalances + repY.Rebalances,
+		Expanded:   repX.Expanded || repY.Expanded,
+	}
+	out.Delay = repX.Delay + repY.Delay +
+		time.Duration(calcWrites)*s.cfg.Cost.PerTCAMWrite
+	return out, nil
+}
+
+// Engine exposes the calculation engine.
+func (s *BinarySystem) Engine() *arith.BinaryEngine { return s.engine }
+
+// ControllerX exposes the first operand's control-plane state.
+func (s *BinarySystem) ControllerX() *controlplane.Controller { return s.ctlX }
+
+// ControllerY exposes the second operand's control-plane state.
+func (s *BinarySystem) ControllerY() *controlplane.Controller { return s.ctlY }
+
+// Op returns the emulated operation.
+func (s *BinarySystem) Op() arith.BinaryOp { return s.op }
+
+// Pipeline lays the system out on a PISA pipeline: two monitoring stages
+// plus the calculation stage (3 stages, matching Table II's ADA(ΔT, R)).
+func (s *BinarySystem) Pipeline(name string) (*pisa.Pipeline, error) {
+	return pisa.BuildADAProgram(name, []pisa.VarSpec{
+		{Name: "x", Monitoring: s.ctlX.Monitor().Table(), Bins: s.ctlX.Monitor().NumBins()},
+		{Name: "y", Monitoring: s.ctlY.Monitor().Table(), Bins: s.ctlY.Monitor().NumBins()},
+	}, s.engine.Table())
+}

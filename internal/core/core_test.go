@@ -1,0 +1,286 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/dist"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Width: 0, MonitorEntries: 4, CalcEntries: 8},
+		{Width: 65, MonitorEntries: 4, CalcEntries: 8},
+		{Width: 16, MonitorEntries: 0, CalcEntries: 8},
+		{Width: 16, MonitorEntries: 4, CalcEntries: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewUnary(cfg, arith.OpSquare); !errors.Is(err, ErrConfig) {
+			t.Errorf("config %d: error = %v, want ErrConfig", i, err)
+		}
+		if _, err := NewBinary(cfg, arith.OpMul); !errors.Is(err, ErrConfig) {
+			t.Errorf("binary config %d: error = %v, want ErrConfig", i, err)
+		}
+	}
+}
+
+func TestDefaultConfigPaperConstants(t *testing.T) {
+	cfg := DefaultConfig(32)
+	if cfg.ThBalance != 0.20 {
+		t.Errorf("ThBalance = %g, want 0.20", cfg.ThBalance)
+	}
+	if cfg.ThExpansion != 2 {
+		t.Errorf("ThExpansion = %d, want 2", cfg.ThExpansion)
+	}
+	if cfg.MonitorEntries != 12 || cfg.CalcEntries != 128 {
+		t.Errorf("budgets = %d/%d, want 12/128", cfg.MonitorEntries, cfg.CalcEntries)
+	}
+}
+
+func TestUnaryLookupBeforeSync(t *testing.T) {
+	cfg := DefaultConfig(16)
+	s, err := NewUnary(cfg, arith.OpSquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial uniform population must answer everything.
+	for _, x := range []uint64{0, 1, 1000, 65535} {
+		if _, err := s.Lookup(x); err != nil {
+			t.Errorf("Lookup(%d) before sync: %v", x, err)
+		}
+	}
+	if s.Op() != arith.OpSquare {
+		t.Error("Op mismatch")
+	}
+}
+
+func TestUnaryAdaptationImprovesError(t *testing.T) {
+	cfg := DefaultConfig(16)
+	cfg.CalcEntries = 64
+	cfg.MonitorEntries = 12
+	s, err := NewUnary(cfg, arith.OpSquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := dist.NewIntSampler(
+		dist.Truncated{D: dist.Gaussian{Mu: 4000, Sigma: 180}, Lo: 0, Hi: 1 << 16},
+		1<<16-1, 31)
+	test := sampler.Draw(5000)
+
+	before := arith.MeasureUnary(s.Engine().Eval, arith.OpSquare, test)
+	for round := 0; round < 25; round++ {
+		for _, v := range sampler.Draw(2000) {
+			if _, err := s.Lookup(v); err != nil {
+				t.Fatalf("Lookup: %v", err)
+			}
+		}
+		if _, err := s.Sync(); err != nil {
+			t.Fatalf("Sync round %d: %v", round, err)
+		}
+	}
+	after := arith.MeasureUnary(s.Engine().Eval, arith.OpSquare, test)
+	if after.Misses != 0 {
+		t.Errorf("misses after adaptation: %d", after.Misses)
+	}
+	if after.Avg >= before.Avg/4 {
+		t.Errorf("adaptation: error %.5f → %.5f, want ≥4× reduction", before.Avg, after.Avg)
+	}
+}
+
+func TestUnarySyncReport(t *testing.T) {
+	cfg := DefaultConfig(16)
+	s, err := NewUnary(cfg, arith.OpDouble)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Observe(42)
+	bins := s.Controller().Monitor().NumBins()
+	rep, err := s.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reads != bins {
+		t.Errorf("Reads = %d, want %d (one per bin)", rep.Reads, bins)
+	}
+	if rep.Writes == 0 || rep.Delay <= 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestUnaryPipelineStages(t *testing.T) {
+	s, err := NewUnary(DefaultConfig(16), arith.OpSquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Pipeline("ada(R)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumStages() != 2 {
+		t.Errorf("unary stages = %d, want 2 (Table II)", p.NumStages())
+	}
+}
+
+func TestBinaryLookupAndAdaptation(t *testing.T) {
+	cfg := DefaultConfig(12)
+	cfg.CalcEntries = 144
+	cfg.MonitorEntries = 8
+	s, err := NewBinary(cfg, arith.OpMul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rate × ΔT style operands: x tightly clustered (rate), y narrow-band
+	// (inter-arrival).
+	xs := dist.NewIntSampler(
+		dist.Truncated{D: dist.Gaussian{Mu: 3000, Sigma: 60}, Lo: 0, Hi: 1 << 12},
+		1<<12-1, 41)
+	ys := dist.NewIntSampler(
+		dist.Truncated{D: dist.Gaussian{Mu: 240, Sigma: 40}, Lo: 0, Hi: 1 << 12},
+		1<<12-1, 42)
+	testX, testY := xs.Draw(3000), ys.Draw(3000)
+	before := arith.MeasureBinary(s.Engine().Eval, arith.OpMul, testX, testY)
+	for round := 0; round < 30; round++ {
+		bx, by := xs.Draw(1500), ys.Draw(1500)
+		for i := range bx {
+			if _, err := s.Lookup(bx[i], by[i]); err != nil {
+				t.Fatalf("Lookup: %v", err)
+			}
+		}
+		if _, err := s.Sync(); err != nil {
+			t.Fatalf("Sync: %v", err)
+		}
+	}
+	after := arith.MeasureBinary(s.Engine().Eval, arith.OpMul, testX, testY)
+	if after.Misses != 0 {
+		t.Errorf("misses = %d", after.Misses)
+	}
+	if after.Avg >= before.Avg/2 {
+		t.Errorf("binary adaptation: error %.5f → %.5f, want ≥2× reduction",
+			before.Avg, after.Avg)
+	}
+	if s.Op() != arith.OpMul {
+		t.Error("Op mismatch")
+	}
+}
+
+func TestBinarySyncAggregates(t *testing.T) {
+	cfg := DefaultConfig(10)
+	cfg.MonitorEntries = 8
+	cfg.CalcEntries = 64
+	s, err := NewBinary(cfg, arith.OpMul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Observe(10, 20)
+	rep, err := s.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reads < 2*cfg.MonitorEntries {
+		t.Errorf("Reads = %d, want >= %d (both variables)", rep.Reads, 2*cfg.MonitorEntries)
+	}
+	if rep.Delay <= 0 || rep.Writes == 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestBinaryPipelineStages(t *testing.T) {
+	s, err := NewBinary(DefaultConfig(10), arith.OpMul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Pipeline("ada(dT,R)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumStages() != 3 {
+		t.Errorf("binary stages = %d, want 3 (Table II)", p.NumStages())
+	}
+}
+
+func TestBinaryReadsSkewAsymmetry(t *testing.T) {
+	// Table II: the more skewed variable triggers more adaptation work. We
+	// check the mechanism: a skewed X and uniform Y lead to more rebalances
+	// on X's controller.
+	cfg := DefaultConfig(12)
+	cfg.MonitorEntries = 8
+	cfg.CalcEntries = 64
+	s, err := NewBinary(cfg, arith.OpMul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := dist.NewIntSampler(
+		dist.Truncated{D: dist.Gaussian{Mu: 500, Sigma: 30}, Lo: 0, Hi: 1 << 12},
+		1<<12-1, 51)
+	ys := dist.NewIntSampler(dist.Uniform{Lo: 0, Hi: 1 << 12}, 1<<12-1, 52)
+	for round := 0; round < 15; round++ {
+		bx, by := xs.Draw(1000), ys.Draw(1000)
+		for i := range bx {
+			s.Observe(bx[i], by[i])
+		}
+		if _, err := s.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rx := s.ControllerX().Totals().Rebalances + s.ControllerX().Totals().Expansions
+	ry := s.ControllerY().Totals().Rebalances + s.ControllerY().Totals().Expansions
+	if rx <= ry {
+		t.Errorf("skewed X adaptation %d not above uniform Y %d", rx, ry)
+	}
+}
+
+func TestNormaliseDefaults(t *testing.T) {
+	cfg := Config{Width: 8, MonitorEntries: 4, CalcEntries: 8}
+	if err := cfg.normalise(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxMonitorEntries != 16 {
+		t.Errorf("MaxMonitorEntries default = %d, want 16", cfg.MaxMonitorEntries)
+	}
+	if cfg.Representative == 0 {
+		t.Error("Representative not defaulted")
+	}
+	if cfg.Cost.PerTCAMWrite == 0 {
+		t.Error("Cost not defaulted")
+	}
+}
+
+func TestUnaryAllOpsEndToEnd(t *testing.T) {
+	// Every supported unary operation must adapt end to end, including the
+	// fixed-point InREC-style ones (log2, reciprocal) and sqrt.
+	sampler := dist.NewIntSampler(
+		dist.Truncated{D: dist.Gaussian{Mu: 4000, Sigma: 150}, Lo: 1, Hi: 1 << 16},
+		1<<16-1, 61)
+	test := sampler.Draw(2000)
+	for _, op := range []arith.UnaryOp{arith.OpSqrt, arith.OpLog2, arith.OpRecip, arith.OpDouble} {
+		t.Run(op.String(), func(t *testing.T) {
+			cfg := DefaultConfig(16)
+			cfg.CalcEntries = 48
+			sys, err := NewUnary(cfg, op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for round := 0; round < 20; round++ {
+				for _, v := range sampler.Draw(1500) {
+					if _, err := sys.Lookup(v); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if _, err := sys.Sync(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s := arith.MeasureUnary(sys.Engine().Eval, op, test)
+			if s.Misses != 0 {
+				t.Errorf("misses = %d", s.Misses)
+			}
+			// Hot-region accuracy after adaptation. log2 and sqrt compress
+			// the operand range, so even coarse bins answer well; 5% is a
+			// conservative bound across all ops.
+			if s.Avg > 0.05 {
+				t.Errorf("avg error %.4f > 5%%", s.Avg)
+			}
+		})
+	}
+}

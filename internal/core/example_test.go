@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"fmt"
+
+	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/core"
+)
+
+// ExampleNewUnary shows the full ADA loop for a single-operand operation:
+// per-packet lookups feed the monitor, control rounds adapt the tables.
+func ExampleNewUnary() {
+	cfg := core.DefaultConfig(16) // 16-bit operands, paper's §IV constants
+	cfg.CalcEntries = 32
+	sys, err := core.NewUnary(cfg, arith.OpSquare)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Data plane: operands cluster around 4000.
+	for round := 0; round < 10; round++ {
+		for v := uint64(3900); v < 4100; v++ {
+			if _, err := sys.Lookup(v); err != nil {
+				fmt.Println(err)
+				return
+			}
+		}
+		// Control plane: one adaptation round.
+		if _, err := sys.Sync(); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	got, err := sys.Lookup(4000)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("ada(4000^2) within 1%%: %v\n", arith.RelError(got, 4000*4000) < 0.01)
+	// Output:
+	// ada(4000^2) within 1%: true
+}
+
+// ExampleNewBinary shows a two-operand deployment (rate × ΔT).
+func ExampleNewBinary() {
+	cfg := core.DefaultConfig(12)
+	cfg.CalcEntries = 128
+	cfg.MonitorEntries = 8
+	sys, err := core.NewBinary(cfg, arith.OpMul)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for round := 0; round < 15; round++ {
+		for i := uint64(0); i < 300; i++ {
+			if _, err := sys.Lookup(24, 470+i%20); err != nil {
+				fmt.Println(err)
+				return
+			}
+		}
+		if _, err := sys.Sync(); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	got, err := sys.Lookup(24, 480)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("ada(24*480) within 10%%: %v\n", arith.RelError(got, 24*480) < 0.10)
+	// Output:
+	// ada(24*480) within 10%: true
+}

@@ -1,0 +1,261 @@
+// Package dist provides the random-variate generators the paper's C++
+// simulator uses to drive ADA's binning algorithms (§V-A): uniform,
+// exponential, Gaussian, Fisher-F, and arbitrary mixtures, plus truncation
+// and scaling combinators and integer operand sampling.
+//
+// All generators draw from an explicit *rand.Rand so experiments are
+// deterministic and reproducible under a fixed seed.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Distribution generates real-valued samples.
+type Distribution interface {
+	// Sample draws one variate using the given source.
+	Sample(rng *rand.Rand) float64
+	// Name identifies the distribution for experiment output.
+	Name() string
+}
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Sample implements Distribution.
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	return u.Lo + rng.Float64()*(u.Hi-u.Lo)
+}
+
+// Name implements Distribution.
+func (u Uniform) Name() string { return fmt.Sprintf("Uniform[%g,%g)", u.Lo, u.Hi) }
+
+// Exponential has rate Rate (λ) applied to a domain scaled by Scale: samples
+// are Scale * Exp(λ). With Scale = domainMax and λ = 10 this reproduces the
+// paper's Fig 5b setup, where nearly all mass sits in the low tenth of the
+// domain.
+type Exponential struct {
+	Rate  float64
+	Scale float64
+}
+
+// Sample implements Distribution.
+func (e Exponential) Sample(rng *rand.Rand) float64 {
+	scale := e.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	return scale * rng.ExpFloat64() / e.Rate
+}
+
+// Name implements Distribution.
+func (e Exponential) Name() string { return fmt.Sprintf("Exp(λ=%g,scale=%g)", e.Rate, e.Scale) }
+
+// Gaussian is the normal distribution N(Mu, Sigma²).
+type Gaussian struct {
+	Mu, Sigma float64
+}
+
+// Sample implements Distribution.
+func (g Gaussian) Sample(rng *rand.Rand) float64 {
+	return g.Mu + g.Sigma*rng.NormFloat64()
+}
+
+// Name implements Distribution.
+func (g Gaussian) Name() string { return fmt.Sprintf("N(%g,%g)", g.Mu, g.Sigma) }
+
+// FisherF is the F-distribution with D1 and D2 degrees of freedom, scaled by
+// Scale. The paper uses F(100, 20) to model heavy-tailed hit patterns
+// (Fig 5c).
+type FisherF struct {
+	D1, D2 float64
+	Scale  float64
+}
+
+// Sample implements Distribution.
+func (f FisherF) Sample(rng *rand.Rand) float64 {
+	scale := f.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	x1 := sampleChiSquared(rng, f.D1) / f.D1
+	x2 := sampleChiSquared(rng, f.D2) / f.D2
+	if x2 == 0 {
+		x2 = math.SmallestNonzeroFloat64
+	}
+	return scale * x1 / x2
+}
+
+// Name implements Distribution.
+func (f FisherF) Name() string { return fmt.Sprintf("F(%g,%g,scale=%g)", f.D1, f.D2, f.Scale) }
+
+// sampleChiSquared draws from χ²(k) = Gamma(k/2, 2).
+func sampleChiSquared(rng *rand.Rand, k float64) float64 {
+	return 2 * sampleGamma(rng, k/2)
+}
+
+// sampleGamma draws from Gamma(shape, 1) using Marsaglia & Tsang's squeeze
+// method, with the standard boost for shape < 1.
+func sampleGamma(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) * U^(1/a)
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return sampleGamma(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Component is one weighted member of a Mixture.
+type Component struct {
+	D      Distribution
+	Weight float64
+}
+
+// Mixture samples from one of its components with probability proportional
+// to the component weight. The paper's Fig 5d (G1+G2) and Fig 5e (Exp+G) are
+// two-component mixtures.
+type Mixture struct {
+	Components []Component
+	name       string
+}
+
+// NewMixture builds a mixture; weights need not sum to one.
+func NewMixture(components ...Component) (*Mixture, error) {
+	if len(components) == 0 {
+		return nil, fmt.Errorf("dist: mixture needs at least one component")
+	}
+	total := 0.0
+	name := "Mix("
+	for i, c := range components {
+		if c.Weight < 0 {
+			return nil, fmt.Errorf("dist: negative mixture weight %g", c.Weight)
+		}
+		total += c.Weight
+		if i > 0 {
+			name += "+"
+		}
+		name += c.D.Name()
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("dist: mixture weights sum to zero")
+	}
+	name += ")"
+	cs := make([]Component, len(components))
+	copy(cs, components)
+	return &Mixture{Components: cs, name: name}, nil
+}
+
+// Sample implements Distribution.
+func (m *Mixture) Sample(rng *rand.Rand) float64 {
+	total := 0.0
+	for _, c := range m.Components {
+		total += c.Weight
+	}
+	u := rng.Float64() * total
+	for _, c := range m.Components {
+		if u < c.Weight {
+			return c.D.Sample(rng)
+		}
+		u -= c.Weight
+	}
+	return m.Components[len(m.Components)-1].D.Sample(rng)
+}
+
+// Name implements Distribution.
+func (m *Mixture) Name() string { return m.name }
+
+// Truncated rejects samples outside [Lo, Hi], resampling up to maxTries and
+// clamping afterwards. Network operands are range-bound (§II-B), so every
+// experiment truncates to the operand domain.
+type Truncated struct {
+	D      Distribution
+	Lo, Hi float64
+}
+
+const truncatedMaxTries = 64
+
+// Sample implements Distribution.
+func (t Truncated) Sample(rng *rand.Rand) float64 {
+	for i := 0; i < truncatedMaxTries; i++ {
+		v := t.D.Sample(rng)
+		if v >= t.Lo && v <= t.Hi {
+			return v
+		}
+	}
+	v := t.D.Sample(rng)
+	return math.Min(math.Max(v, t.Lo), t.Hi)
+}
+
+// Name implements Distribution.
+func (t Truncated) Name() string {
+	return fmt.Sprintf("%s|[%g,%g]", t.D.Name(), t.Lo, t.Hi)
+}
+
+// PointMass always returns V; used to model constant operands such as a
+// fixed rate limit (Fig 1c).
+type PointMass struct {
+	V float64
+}
+
+// Sample implements Distribution.
+func (p PointMass) Sample(*rand.Rand) float64 { return p.V }
+
+// Name implements Distribution.
+func (p PointMass) Name() string { return fmt.Sprintf("δ(%g)", p.V) }
+
+// IntSampler converts a real-valued distribution into uint64 operand draws,
+// clamped to [0, Max].
+type IntSampler struct {
+	D   Distribution
+	Max uint64
+	rng *rand.Rand
+}
+
+// NewIntSampler builds a sampler with its own deterministic source.
+func NewIntSampler(d Distribution, maxValue uint64, seed int64) *IntSampler {
+	return &IntSampler{D: d, Max: maxValue, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next draws one integer operand.
+func (s *IntSampler) Next() uint64 {
+	v := s.D.Sample(s.rng)
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	if v >= float64(s.Max) {
+		return s.Max
+	}
+	return uint64(v)
+}
+
+// Draw fills out with operands and returns it.
+func (s *IntSampler) Draw(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}

@@ -1,0 +1,313 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newRNG() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func sampleMeanVar(d Distribution, n int) (mean, variance float64) {
+	rng := newRNG()
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := d.Sample(rng)
+		sum += v
+		sumSq += v * v
+	}
+	mean = sum / float64(n)
+	variance = sumSq/float64(n) - mean*mean
+	return mean, variance
+}
+
+func TestUniformMoments(t *testing.T) {
+	d := Uniform{Lo: 10, Hi: 20}
+	mean, variance := sampleMeanVar(d, 200000)
+	if math.Abs(mean-15) > 0.05 {
+		t.Errorf("mean = %g, want ≈15", mean)
+	}
+	wantVar := 100.0 / 12
+	if math.Abs(variance-wantVar) > 0.2 {
+		t.Errorf("variance = %g, want ≈%g", variance, wantVar)
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	d := Exponential{Rate: 10, Scale: 650000}
+	mean, _ := sampleMeanVar(d, 200000)
+	want := 65000.0
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Errorf("mean = %g, want ≈%g", mean, want)
+	}
+	// Zero scale defaults to 1.
+	d0 := Exponential{Rate: 2}
+	mean0, _ := sampleMeanVar(d0, 200000)
+	if math.Abs(mean0-0.5) > 0.01 {
+		t.Errorf("zero-scale mean = %g, want ≈0.5", mean0)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	d := Gaussian{Mu: 4000, Sigma: 180}
+	mean, variance := sampleMeanVar(d, 200000)
+	if math.Abs(mean-4000) > 3 {
+		t.Errorf("mean = %g, want ≈4000", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-180) > 3 {
+		t.Errorf("sigma = %g, want ≈180", math.Sqrt(variance))
+	}
+}
+
+func TestFisherFMoments(t *testing.T) {
+	// F(d1, d2) has mean d2/(d2-2) for d2 > 2.
+	d := FisherF{D1: 100, D2: 20}
+	mean, _ := sampleMeanVar(d, 400000)
+	want := 20.0 / 18.0
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Errorf("mean = %g, want ≈%g", mean, want)
+	}
+	if s := (FisherF{D1: 100, D2: 20, Scale: 1000}); true {
+		m, _ := sampleMeanVar(s, 200000)
+		if math.Abs(m-1000*want)/(1000*want) > 0.05 {
+			t.Errorf("scaled mean = %g, want ≈%g", m, 1000*want)
+		}
+	}
+}
+
+func TestGammaShapeBelowOne(t *testing.T) {
+	rng := newRNG()
+	// Gamma(0.5) has mean 0.5.
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := sampleGamma(rng, 0.5)
+		if v < 0 {
+			t.Fatalf("negative gamma sample %g", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Gamma(0.5) mean = %g, want ≈0.5", mean)
+	}
+}
+
+func TestMixture(t *testing.T) {
+	g1 := Gaussian{Mu: 16000, Sigma: 100}
+	g2 := Gaussian{Mu: 48000, Sigma: 100}
+	m, err := NewMixture(Component{D: g1, Weight: 1}, Component{D: g2, Weight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, _ := sampleMeanVar(m, 200000)
+	if math.Abs(mean-32000) > 300 {
+		t.Errorf("two-peak mixture mean = %g, want ≈32000", mean)
+	}
+	// Weighted mixture shifts the mean.
+	m2, err := NewMixture(Component{D: g1, Weight: 3}, Component{D: g2, Weight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean2, _ := sampleMeanVar(m2, 200000)
+	want := 0.75*16000 + 0.25*48000
+	if math.Abs(mean2-want) > 300 {
+		t.Errorf("weighted mixture mean = %g, want ≈%g", mean2, want)
+	}
+}
+
+func TestMixtureErrors(t *testing.T) {
+	if _, err := NewMixture(); err == nil {
+		t.Error("empty mixture: want error")
+	}
+	if _, err := NewMixture(Component{D: PointMass{V: 1}, Weight: -1}); err == nil {
+		t.Error("negative weight: want error")
+	}
+	if _, err := NewMixture(Component{D: PointMass{V: 1}, Weight: 0}); err == nil {
+		t.Error("zero total weight: want error")
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	d := Truncated{D: Gaussian{Mu: 0, Sigma: 1000}, Lo: 0, Hi: 100}
+	rng := newRNG()
+	for i := 0; i < 10000; i++ {
+		v := d.Sample(rng)
+		if v < 0 || v > 100 {
+			t.Fatalf("truncated sample %g outside [0, 100]", v)
+		}
+	}
+}
+
+func TestPointMass(t *testing.T) {
+	d := PointMass{V: 94e9}
+	if d.Sample(nil) != 94e9 {
+		t.Error("point mass must return its value")
+	}
+}
+
+func TestIntSampler(t *testing.T) {
+	s := NewIntSampler(Gaussian{Mu: 50, Sigma: 100}, 100, 3)
+	vals := s.Draw(5000)
+	if len(vals) != 5000 {
+		t.Fatal("wrong draw count")
+	}
+	for _, v := range vals {
+		if v > 100 {
+			t.Fatalf("sample %d exceeds max", v)
+		}
+	}
+	// Negative Gaussian draws must clamp to zero, so zero should occur.
+	zeros := 0
+	for _, v := range vals {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros == 0 {
+		t.Error("expected some clamped-to-zero samples")
+	}
+}
+
+func TestIntSamplerDeterminism(t *testing.T) {
+	a := NewIntSampler(Uniform{Lo: 0, Hi: 1000}, 1000, 42).Draw(100)
+	b := NewIntSampler(Uniform{Lo: 0, Hi: 1000}, 1000, 42).Draw(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.5, 1.5, 2.5, 2.6, 9.9, -5, 50} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+	// -5 clamps to bin 0, 50 clamps to last bin.
+	if h.Count(0) != 3 { // 0.5, 1.5, -5
+		t.Errorf("bin 0 = %d, want 3", h.Count(0))
+	}
+	if h.Count(4) != 2 { // 9.9, 50
+		t.Errorf("bin 4 = %d, want 2", h.Count(4))
+	}
+	pdf := h.PDF()
+	sum := 0.0
+	for _, p := range pdf {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("PDF sums to %g", sum)
+	}
+	cdf := h.CDF()
+	if cdf[len(cdf)-1] != 1 {
+		t.Errorf("CDF tail = %g, want 1", cdf[len(cdf)-1])
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins: want error")
+	}
+	if _, err := NewHistogram(10, 10, 4); err == nil {
+		t.Error("empty range: want error")
+	}
+}
+
+func TestHistogramCDFAt(t *testing.T) {
+	h, _ := NewHistogram(0, 100, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if got := h.CDFAt(-1); got != 0 {
+		t.Errorf("CDFAt(-1) = %g", got)
+	}
+	if got := h.CDFAt(1000); got != 1 {
+		t.Errorf("CDFAt(1000) = %g", got)
+	}
+	if got := h.CDFAt(50); math.Abs(got-0.5) > 0.02 {
+		t.Errorf("CDFAt(50) = %g, want ≈0.5", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h, _ := NewQuantileHistogram(0, 100, 10)
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if got := h.Quantile(0.5); math.Abs(got-50) > 2 {
+		t.Errorf("median = %g, want ≈50", got)
+	}
+	if got := h.Quantile(0.99); math.Abs(got-99) > 2 {
+		t.Errorf("p99 = %g, want ≈99", got)
+	}
+	// Interpolated variant.
+	h2, _ := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h2.Add(float64(i) + 0.5)
+	}
+	if got := h2.Quantile(0.5); math.Abs(got-50) > 2 {
+		t.Errorf("interpolated median = %g, want ≈50", got)
+	}
+	var empty Histogram
+	if !math.IsNaN((&empty).Mean()) {
+		t.Error("empty Mean must be NaN")
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	a, _ := NewHistogram(0, 10, 5)
+	b, _ := NewHistogram(0, 10, 5)
+	for i := 0; i < 100; i++ {
+		a.Add(1)
+		b.Add(9)
+	}
+	tv, err := TotalVariation(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv != 1 {
+		t.Errorf("disjoint TV = %g, want 1", tv)
+	}
+	tvSame, _ := TotalVariation(a, a)
+	if tvSame != 0 {
+		t.Errorf("self TV = %g, want 0", tvSame)
+	}
+	c, _ := NewHistogram(0, 10, 7)
+	if _, err := TotalVariation(a, c); err == nil {
+		t.Error("bin mismatch: want error")
+	}
+}
+
+// Property: CDF is monotone non-decreasing for any sample set.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(vals []float64) bool {
+		h, err := NewHistogram(0, 1, 16)
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			h.Add(math.Mod(math.Abs(v), 1))
+		}
+		cdf := h.CDF()
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i] < cdf[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// CDFPoint is one knot of an empirical distribution: P(X <= Value) = Frac.
+type CDFPoint struct {
+	Value float64
+	Frac  float64
+}
+
+// Empirical samples from a piecewise-linear inverse CDF, the standard way
+// datacenter studies encode measured flow-size distributions (web-search,
+// data-mining, ...).
+type Empirical struct {
+	name   string
+	points []CDFPoint
+}
+
+// NewEmpirical builds an empirical distribution from CDF knots. Knots must
+// be sorted by Value with non-decreasing Frac; the last knot must have
+// Frac = 1.
+func NewEmpirical(name string, points []CDFPoint) (*Empirical, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("dist: empirical %q needs at least two CDF points", name)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Value < points[i-1].Value {
+			return nil, fmt.Errorf("dist: empirical %q: values not sorted at %d", name, i)
+		}
+		if points[i].Frac < points[i-1].Frac {
+			return nil, fmt.Errorf("dist: empirical %q: CDF not monotone at %d", name, i)
+		}
+	}
+	if points[0].Frac < 0 || points[len(points)-1].Frac != 1 {
+		return nil, fmt.Errorf("dist: empirical %q: CDF must end at 1", name)
+	}
+	ps := make([]CDFPoint, len(points))
+	copy(ps, points)
+	return &Empirical{name: name, points: ps}, nil
+}
+
+// Sample implements Distribution via inverse-transform sampling with linear
+// interpolation between knots.
+func (e *Empirical) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	i := sort.Search(len(e.points), func(i int) bool { return e.points[i].Frac >= u })
+	if i == 0 {
+		return e.points[0].Value
+	}
+	if i >= len(e.points) {
+		return e.points[len(e.points)-1].Value
+	}
+	lo, hi := e.points[i-1], e.points[i]
+	if hi.Frac == lo.Frac {
+		return hi.Value
+	}
+	t := (u - lo.Frac) / (hi.Frac - lo.Frac)
+	return lo.Value + t*(hi.Value-lo.Value)
+}
+
+// Name implements Distribution.
+func (e *Empirical) Name() string { return e.name }
+
+// Mean returns the analytic mean of the piecewise-linear distribution.
+func (e *Empirical) Mean() float64 {
+	mean := 0.0
+	for i := 1; i < len(e.points); i++ {
+		lo, hi := e.points[i-1], e.points[i]
+		mean += (hi.Frac - lo.Frac) * (lo.Value + hi.Value) / 2
+	}
+	return mean
+}
+
+// WebSearchFlowSizes is the DCTCP paper's web-search flow-size distribution
+// (bytes), widely used in datacenter transport studies: mostly sub-100 KB
+// queries with a heavy multi-megabyte tail.
+func WebSearchFlowSizes() *Empirical {
+	e, err := NewEmpirical("websearch", []CDFPoint{
+		{Value: 6 * 1024, Frac: 0},
+		{Value: 10 * 1024, Frac: 0.15},
+		{Value: 19 * 1024, Frac: 0.20},
+		{Value: 29 * 1024, Frac: 0.30},
+		{Value: 100 * 1024, Frac: 0.53},
+		{Value: 250 * 1024, Frac: 0.60},
+		{Value: 1024 * 1024, Frac: 0.70},
+		{Value: 3 * 1024 * 1024, Frac: 0.80},
+		{Value: 10 * 1024 * 1024, Frac: 0.90},
+		{Value: 30 * 1024 * 1024, Frac: 1.0},
+	})
+	if err != nil {
+		panic(err) // static table; cannot fail
+	}
+	return e
+}
+
+// DataMiningFlowSizes is the VL2/data-mining flow-size distribution (bytes):
+// overwhelmingly tiny flows with a very long tail.
+func DataMiningFlowSizes() *Empirical {
+	e, err := NewEmpirical("datamining", []CDFPoint{
+		{Value: 100, Frac: 0},
+		{Value: 300, Frac: 0.3},
+		{Value: 1024, Frac: 0.5},
+		{Value: 2 * 1024, Frac: 0.6},
+		{Value: 10 * 1024, Frac: 0.70},
+		{Value: 100 * 1024, Frac: 0.80},
+		{Value: 1024 * 1024, Frac: 0.90},
+		{Value: 10 * 1024 * 1024, Frac: 0.96},
+		{Value: 100 * 1024 * 1024, Frac: 1.0},
+	})
+	if err != nil {
+		panic(err) // static table; cannot fail
+	}
+	return e
+}

@@ -1,0 +1,104 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewEmpiricalValidation(t *testing.T) {
+	if _, err := NewEmpirical("x", []CDFPoint{{Value: 1, Frac: 1}}); err == nil {
+		t.Error("single point: want error")
+	}
+	if _, err := NewEmpirical("x", []CDFPoint{{Value: 2, Frac: 0}, {Value: 1, Frac: 1}}); err == nil {
+		t.Error("unsorted values: want error")
+	}
+	if _, err := NewEmpirical("x", []CDFPoint{{Value: 1, Frac: 0.5}, {Value: 2, Frac: 0.2}}); err == nil {
+		t.Error("non-monotone CDF: want error")
+	}
+	if _, err := NewEmpirical("x", []CDFPoint{{Value: 1, Frac: 0}, {Value: 2, Frac: 0.9}}); err == nil {
+		t.Error("CDF not ending at 1: want error")
+	}
+	if _, err := NewEmpirical("ok", []CDFPoint{{Value: 1, Frac: 0}, {Value: 2, Frac: 1}}); err != nil {
+		t.Errorf("valid CDF rejected: %v", err)
+	}
+}
+
+func TestEmpiricalSamplingMatchesCDF(t *testing.T) {
+	e, err := NewEmpirical("tri", []CDFPoint{
+		{Value: 0, Frac: 0},
+		{Value: 10, Frac: 0.5},
+		{Value: 100, Frac: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	below10 := 0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := e.Sample(rng)
+		if v < 0 || v > 100 {
+			t.Fatalf("sample %g out of range", v)
+		}
+		if v <= 10 {
+			below10++
+		}
+		sum += v
+	}
+	if frac := float64(below10) / n; math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("P(X<=10) = %.3f, want 0.5", frac)
+	}
+	// Analytic mean: 0.5·(0+10)/2 + 0.5·(10+100)/2 = 30.
+	if got := e.Mean(); math.Abs(got-30) > 1e-9 {
+		t.Errorf("Mean = %g, want 30", got)
+	}
+	if mean := sum / n; math.Abs(mean-30) > 0.5 {
+		t.Errorf("sample mean = %g, want ≈30", mean)
+	}
+	if e.Name() != "tri" {
+		t.Error("name")
+	}
+}
+
+func TestBuiltinFlowSizeDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, e := range []*Empirical{WebSearchFlowSizes(), DataMiningFlowSizes()} {
+		if e.Mean() <= 0 {
+			t.Errorf("%s: non-positive mean", e.Name())
+		}
+		small, large := 0, 0
+		for i := 0; i < 20000; i++ {
+			v := e.Sample(rng)
+			if v < 64*1024 {
+				small++
+			}
+			if v > 1024*1024 {
+				large++
+			}
+		}
+		// Both distributions are mostly small flows with a heavy tail.
+		if small < 8000 {
+			t.Errorf("%s: only %d small flows of 20000", e.Name(), small)
+		}
+		if large == 0 {
+			t.Errorf("%s: no heavy tail", e.Name())
+		}
+	}
+	// Data-mining is much more bottom-heavy than web-search.
+	rng = rand.New(rand.NewSource(3))
+	ws, dm := WebSearchFlowSizes(), DataMiningFlowSizes()
+	wsTiny, dmTiny := 0, 0
+	for i := 0; i < 20000; i++ {
+		if ws.Sample(rng) < 2048 {
+			wsTiny++
+		}
+		if dm.Sample(rng) < 2048 {
+			dmTiny++
+		}
+	}
+	if dmTiny <= wsTiny {
+		t.Errorf("datamining tiny flows %d not above websearch %d", dmTiny, wsTiny)
+	}
+}

@@ -1,0 +1,182 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram accumulates samples into fixed-width bins over [Lo, Hi). Samples
+// outside the range land in the first or last bin. It provides the empirical
+// PDF/CDF the experiments compare ADA's learned bins against.
+type Histogram struct {
+	lo, hi  float64
+	binW    float64
+	counts  []uint64
+	total   uint64
+	samples []float64 // retained only when quantile support is requested
+	keep    bool
+}
+
+// NewHistogram creates a histogram with the given bin count over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("dist: histogram needs at least one bin, got %d", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("dist: histogram range [%g, %g) is empty", lo, hi)
+	}
+	return &Histogram{
+		lo:     lo,
+		hi:     hi,
+		binW:   (hi - lo) / float64(bins),
+		counts: make([]uint64, bins),
+	}, nil
+}
+
+// NewQuantileHistogram is NewHistogram but also retains raw samples so
+// Quantile returns exact order statistics.
+func NewQuantileHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	h, err := NewHistogram(lo, hi, bins)
+	if err != nil {
+		return nil, err
+	}
+	h.keep = true
+	return h, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	i := int((v - h.lo) / h.binW)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.total++
+	if h.keep {
+		h.samples = append(h.samples, v)
+	}
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Count returns the raw count of bin i.
+func (h *Histogram) Count(i int) uint64 { return h.counts[i] }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.lo + (float64(i)+0.5)*h.binW
+}
+
+// PDF returns the normalised per-bin probabilities.
+func (h *Histogram) PDF() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// CDF returns the cumulative distribution evaluated at each bin's upper edge.
+func (h *Histogram) CDF() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	cum := uint64(0)
+	for i, c := range h.counts {
+		cum += c
+		out[i] = float64(cum) / float64(h.total)
+	}
+	return out
+}
+
+// CDFAt returns the fraction of samples <= v, interpolated within bins.
+func (h *Histogram) CDFAt(v float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if v < h.lo {
+		return 0
+	}
+	if v >= h.hi {
+		return 1
+	}
+	pos := (v - h.lo) / h.binW
+	i := int(pos)
+	frac := pos - float64(i)
+	cum := uint64(0)
+	for j := 0; j < i; j++ {
+		cum += h.counts[j]
+	}
+	part := float64(h.counts[i]) * frac
+	return (float64(cum) + part) / float64(h.total)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1). With retained samples it is
+// the exact order statistic; otherwise it interpolates within bins.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	q = math.Min(math.Max(q, 0), 1)
+	if h.keep {
+		s := make([]float64, len(h.samples))
+		copy(s, h.samples)
+		sort.Float64s(s)
+		idx := int(q * float64(len(s)-1))
+		return s[idx]
+	}
+	target := q * float64(h.total)
+	cum := 0.0
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= target {
+			frac := 0.0
+			if c > 0 {
+				frac = (target - cum) / float64(c)
+			}
+			return h.lo + (float64(i)+frac)*h.binW
+		}
+		cum = next
+	}
+	return h.hi
+}
+
+// Mean returns the bin-center-weighted mean of the recorded samples.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for i, c := range h.counts {
+		sum += h.BinCenter(i) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// TotalVariation returns the total-variation distance between the normalised
+// histograms, 0.5 * Σ|p_i − q_i|. Both histograms must have the same bin
+// count. It quantifies how well ADA's learned bins match the true PDF
+// (Fig 5).
+func TotalVariation(a, b *Histogram) (float64, error) {
+	if a.Bins() != b.Bins() {
+		return 0, fmt.Errorf("dist: bin count mismatch %d vs %d", a.Bins(), b.Bins())
+	}
+	pa, pb := a.PDF(), b.PDF()
+	sum := 0.0
+	for i := range pa {
+		sum += math.Abs(pa[i] - pb[i])
+	}
+	return sum / 2, nil
+}

@@ -1,0 +1,421 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/ada-repro/ada/internal/netsim"
+)
+
+func TestFig5AllDistributionsConverge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := DefaultFig5Config()
+	rows, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (Fig 5a–e)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Bins != cfg.MonitorBins {
+			t.Errorf("%s: bins = %d, want %d (rebalance keeps the count fixed)",
+				r.Name, r.Bins, cfg.MonitorBins)
+		}
+		if r.TVFinal > 0.35 {
+			t.Errorf("%s: TV after convergence = %.3f, bins did not model the PDF", r.Name, r.TVFinal)
+		}
+	}
+	// Skewed distributions must improve markedly over the uniform start;
+	// the uniform distribution is already matched initially.
+	for _, r := range rows[1:] {
+		if r.TVFinal >= r.TVInitial {
+			t.Errorf("%s: TV did not improve (%.3f → %.3f)", r.Name, r.TVInitial, r.TVFinal)
+		}
+	}
+	if RenderFig5(rows) == "" {
+		t.Error("render empty")
+	}
+}
+
+func TestFig6GrowsBins(t *testing.T) {
+	rows, err := RunFig6(DefaultFig6Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d, want several iterations", len(rows))
+	}
+	if rows[0].Bins != 2 {
+		t.Errorf("initial bins = %d, want 2 (b=1)", rows[0].Bins)
+	}
+	last := rows[len(rows)-1]
+	if last.Bins <= rows[0].Bins {
+		t.Errorf("bins did not grow: %d → %d", rows[0].Bins, last.Bins)
+	}
+	if last.TV >= rows[0].TV {
+		t.Errorf("TV did not improve: %.3f → %.3f", rows[0].TV, last.TV)
+	}
+	if RenderFig6(rows) == "" {
+		t.Error("render empty")
+	}
+}
+
+func TestFig7aErrorFallsWithS(t *testing.T) {
+	cfg := DefaultFig7aConfig()
+	cfg.SigBits = []int{1, 3, 5, 7}
+	cfg.Samples = 8000
+	rows, err := RunFig7a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, combo := range fig7aCombos() {
+		prev := 1e18
+		for _, r := range rows {
+			e := r.Errors[combo.name]
+			if e >= prev {
+				t.Errorf("%s: error did not fall at s=%d (%.4f → %.4f)", combo.name, r.S, prev, e)
+			}
+			prev = e
+		}
+	}
+	// Paper: G×G is the worst combination at any s.
+	for _, r := range rows {
+		if r.Errors["G(x)*G(y)"] < r.Errors["U(x)+U(y)"] {
+			t.Errorf("s=%d: G*G error %.4f below U+U %.4f", r.S,
+				r.Errors["G(x)*G(y)"], r.Errors["U(x)+U(y)"])
+		}
+	}
+	if RenderFig7a(rows) == "" {
+		t.Error("render empty")
+	}
+}
+
+func TestFig7bExponentialGrowth(t *testing.T) {
+	rows := RunFig7b([]int{1, 2, 3, 4, 5, 6, 7, 8})
+	for i := 1; i < len(rows); i++ {
+		ratio := float64(rows[i].UnaryEntries) / float64(rows[i-1].UnaryEntries)
+		if ratio < 1.6 {
+			t.Errorf("s=%d: growth ratio %.2f, want ≈2", rows[i].S, ratio)
+		}
+		if rows[i].BinaryEntries != rows[i].UnaryEntries*rows[i].UnaryEntries {
+			t.Errorf("s=%d: binary size mismatch", rows[i].S)
+		}
+	}
+	if RenderFig7b(rows) == "" {
+		t.Error("render empty")
+	}
+}
+
+func TestFig7cSquarePropagatesWorse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := RunFig7c(DefaultFig7cConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (2 functions × 2 schemes)", len(rows))
+	}
+	get := func(fn, scheme string) Fig7cRow {
+		for _, r := range rows {
+			if r.Function == fn && r.Scheme == scheme {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s", fn, scheme)
+		return Fig7cRow{}
+	}
+	// Paper's headline: x² propagation error exceeds 2x under every
+	// population scheme (§V-A4: "the error propagation depends on the
+	// function itself more than the population mechanism"). In our bounded
+	// integer domain both chains saturate after a few squarings, which
+	// caps the divergence window, so the x²/2x gap is asserted per scheme
+	// rather than at the paper's unbounded-float magnitudes.
+	for _, scheme := range []string{"naive", "ada"} {
+		sq, db := get("x^2", scheme).MaxPct, get("2x", scheme).MaxPct
+		if sq <= 2*db {
+			t.Errorf("%s: x² peak %.1f%% not clearly above 2x peak %.1f%%", scheme, sq, db)
+		}
+	}
+	// ADA must reduce the 2x propagation error vs the sig-bits baseline
+	// (trained on the trajectory).
+	if ada, naive := get("2x", "ada").MaxPct, get("2x", "naive").MaxPct; ada >= naive {
+		t.Errorf("2x: ADA peak %.2f%% not below baseline %.2f%%", ada, naive)
+	}
+	if RenderFig7c(rows) == "" {
+		t.Error("render empty")
+	}
+}
+
+func TestFig9DelayGrowsWithEntries(t *testing.T) {
+	cfg := DefaultFig9Config()
+	cfg.Rounds = 6
+	rows, err := RunFig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (16..128 step 16)", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Delay <= rows[i-1].Delay {
+			t.Errorf("delay not monotone at %d entries: %v <= %v",
+				rows[i].Entries, rows[i].Delay, rows[i-1].Delay)
+		}
+	}
+	// Paper: ≈3.15 ms at 128 entries; accept the modelled value within 2×.
+	last := rows[len(rows)-1]
+	ms := last.Delay.Seconds() * 1000
+	if ms < 1.5 || ms > 6.5 {
+		t.Errorf("delay at 128 entries = %.2fms, want ≈3.15ms", ms)
+	}
+	if RenderFig9(rows) == "" {
+		t.Error("render empty")
+	}
+}
+
+func TestTable2StagesAndSkew(t *testing.T) {
+	rows, err := RunTable2(DefaultTable2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Variant] = r
+	}
+	if byName["ADA(R)"].Stages != 2 || byName["ADA(dT)"].Stages != 2 || byName["ADA(dT,R)"].Stages != 3 {
+		t.Errorf("stage counts = %d/%d/%d, want 2/2/3",
+			byName["ADA(R)"].Stages, byName["ADA(dT)"].Stages, byName["ADA(dT,R)"].Stages)
+	}
+	// Both-variable deployment must read and write the most.
+	both := byName["ADA(dT,R)"]
+	for _, single := range []Table2Row{byName["ADA(R)"], byName["ADA(dT)"]} {
+		if both.AvgReads <= single.AvgReads {
+			t.Errorf("ADA(dT,R) reads %.1f not above %s reads %.1f",
+				both.AvgReads, single.Variant, single.AvgReads)
+		}
+		if both.AvgWrites <= single.AvgWrites {
+			t.Errorf("ADA(dT,R) writes %.1f not above %s writes %.1f",
+				both.AvgWrites, single.Variant, single.AvgWrites)
+		}
+	}
+	// Adaptive growth: reads exceed the initial 8 bins.
+	if byName["ADA(R)"].AvgReads < 8 {
+		t.Errorf("ADA(R) reads %.1f below the initial bin count", byName["ADA(R)"].AvgReads)
+	}
+	if RenderTable2(rows) == "" {
+		t.Error("render empty")
+	}
+}
+
+func TestFig1aQueueSkew(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := DefaultFig1aConfig()
+	cfg.Duration = 15 * netsim.Millisecond
+	rows, err := RunFig1a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Samples == 0 {
+			t.Fatalf("%s: no queue samples", r.Protocol)
+		}
+		// The paper's point: occupancy is heavily skewed toward small
+		// values.
+		if r.FracBelow200KB < 0.8 {
+			t.Errorf("%s: only %.2f below 200KB, want skew", r.Protocol, r.FracBelow200KB)
+		}
+	}
+	// DCTCP keeps queues at least as low as Cubic (small tolerance: at the
+	// scaled fabric size the two CDFs can touch).
+	if rows[1].FracBelow100KB+0.01 < rows[0].FracBelow100KB {
+		t.Errorf("dctcp <=100KB %.3f below cubic %.3f",
+			rows[1].FracBelow100KB, rows[0].FracBelow100KB)
+	}
+	if RenderFig1a(rows) == "" {
+		t.Error("render empty")
+	}
+}
+
+func TestFig1bNarrowBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunFig1b(DefaultFig1bConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gaps < 1000 {
+		t.Fatalf("gaps = %d, too few", res.Gaps)
+	}
+	// Paper: inter-arrivals largely constrained to 120–360 ns despite the
+	// rate changes.
+	if res.FracInBand < 0.6 {
+		t.Errorf("only %.2f of gaps in the narrow band", res.FracInBand)
+	}
+	if res.P50 < 100*netsim.Nanosecond || res.P50 > 500*netsim.Nanosecond {
+		t.Errorf("median gap %v outside plausible band", res.P50)
+	}
+	if RenderFig1b(res) == "" {
+		t.Error("render empty")
+	}
+}
+
+func TestFig1cTwoOperandValues(t *testing.T) {
+	points := RunFig1c(DefaultFig1cConfig())
+	if len(points) == 0 {
+		t.Fatal("no points")
+	}
+	if got := Fig1cDistinctValues(points); got != 2 {
+		t.Errorf("distinct operand values = %d, want 2 (94 and 47)", got)
+	}
+	if points[0].RateGbps != 94 || points[len(points)-1].RateGbps != 47 {
+		t.Errorf("trace endpoints = %d, %d", points[0].RateGbps, points[len(points)-1].RateGbps)
+	}
+	if RenderFig1c(points) == "" {
+		t.Error("render empty")
+	}
+}
+
+func TestFig8ADARecoversStaticDoesNot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := RunFig8(DefaultFig8Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byV := map[Fig8Variant]Fig8Row{}
+	for _, r := range rows {
+		byV[r.Variant] = r
+	}
+	ideal, static, ada := byV[Fig8Ideal], byV[Fig8Static], byV[Fig8ADA]
+
+	// Ideal must track both limits.
+	if d := relDev(ideal.Phase1AvgGbps, 24); d > 0.30 {
+		t.Errorf("ideal phase1 = %.2f Gbps, want ≈24", ideal.Phase1AvgGbps)
+	}
+	if d := relDev(ideal.Phase2AvgGbps, 12); d > 0.30 {
+		t.Errorf("ideal phase2 = %.2f Gbps, want ≈12", ideal.Phase2AvgGbps)
+	}
+	// ADA must land near the new limit after the change...
+	adaDev := relDev(ada.Phase2AvgGbps, 12)
+	if adaDev > 0.40 {
+		t.Errorf("ada phase2 = %.2f Gbps, want ≈12", ada.Phase2AvgGbps)
+	}
+	// ...and the frozen population must be markedly worse (the paper's
+	// headline).
+	staticDev := relDev(static.Phase2AvgGbps, 12)
+	if staticDev < 2*adaDev {
+		t.Errorf("static deviation %.2f not well above ada %.2f (static %.2f Gbps, ada %.2f Gbps)",
+			staticDev, adaDev, static.Phase2AvgGbps, ada.Phase2AvgGbps)
+	}
+	if RenderFig8(rows) == "" {
+		t.Error("render empty")
+	}
+}
+
+func relDev(got, want float64) float64 {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d / want
+}
+
+func TestFig10ADATracksIdeal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := DefaultFig10Config()
+	cfg.Loads = []float64{0.4}
+	cfg.Duration = 10 * netsim.Millisecond
+	rows, err := RunFig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScheme := map[Fig10Scheme]Fig10Row{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+	}
+	for _, s := range Fig10Schemes() {
+		r, ok := byScheme[s]
+		if !ok {
+			t.Fatalf("missing scheme %s", s)
+		}
+		if r.ShortFCT.N == 0 {
+			t.Fatalf("%s: no completed short flows", s)
+		}
+		done := float64(r.ShortFCT.N) / float64(r.ShortFCT.N+r.ShortFCT.Unfinished)
+		if done < 0.9 {
+			t.Errorf("%s: only %.0f%% of short flows finished", s, done*100)
+		}
+	}
+	// ADA variants must track their ideal counterparts (paper: "similar
+	// delay using ADA as in an idealized system"). Allow 2× on the mean.
+	pairs := [][2]Fig10Scheme{
+		{Fig10RCPIdeal, Fig10RCPADA},
+		{Fig10NimbleIdeal, Fig10NimbleADA},
+	}
+	for _, p := range pairs {
+		ideal := byScheme[p[0]].ShortFCT.Mean.Seconds()
+		ada := byScheme[p[1]].ShortFCT.Mean.Seconds()
+		if ada > 2*ideal {
+			t.Errorf("%s mean FCT %.1fµs more than 2× %s %.1fµs",
+				p[1], ada*1e6, p[0], ideal*1e6)
+		}
+	}
+	if RenderFig10(rows) == "" {
+		t.Error("render empty")
+	}
+}
+
+func TestExtXCPBothVariantsComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := DefaultExtXCPConfig()
+	cfg.Duration = 8 * netsim.Millisecond
+	rows, err := RunExtXCP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ShortFCT.N == 0 {
+			t.Fatalf("%s: no completed short flows", r.Variant)
+		}
+		done := float64(r.ShortFCT.N) / float64(r.ShortFCT.N+r.ShortFCT.Unfinished)
+		if done < 0.9 {
+			t.Errorf("%s: only %.0f%% of short flows finished", r.Variant, done*100)
+		}
+	}
+	// XCP's per-packet arithmetic is the harshest consumer; ADA tracks the
+	// ideal within a moderate factor rather than matching it.
+	ideal, ada := rows[0].ShortFCT.Mean, rows[1].ShortFCT.Mean
+	if ada > 6*ideal {
+		t.Errorf("XCP ADA mean FCT %v more than 6× ideal %v", ada, ideal)
+	}
+	if rows[1].ADAEntries == 0 {
+		t.Error("ADA entry footprint not reported")
+	}
+	if RenderExtXCP(rows) == "" {
+		t.Error("render empty")
+	}
+}

@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/ada-repro/ada/internal/apps"
+	"github.com/ada-repro/ada/internal/netsim"
+	"github.com/ada-repro/ada/internal/stats"
+)
+
+// Fig1aConfig parameterises the queue-size CDF motivation study (§II-B):
+// a datacenter fabric under mixed traffic, observed at edge ports, for TCP
+// Cubic and DCTCP. The paper uses a 128-node three-tier fat-tree (k = 8);
+// the default here is a k = 4 fat-tree scaled for fast runs.
+type Fig1aConfig struct {
+	// FatTreeK selects a k-ary three-tier fat-tree (the paper's topology;
+	// k = 8 reproduces its 128 hosts). Zero falls back to the leaf-spine
+	// in Fabric.
+	FatTreeK int
+	// Fabric sizes the fallback leaf-spine topology.
+	Fabric netsim.LeafSpineConfig
+	// LinkRateBps applies to the fat-tree.
+	LinkRateBps float64
+	// Load is the offered load fraction.
+	Load float64
+	// Duration is the simulated time.
+	Duration netsim.Time
+	// ECNThresholdBytes is DCTCP's marking threshold.
+	ECNThresholdBytes int
+	// Seed drives the workload.
+	Seed int64
+}
+
+// DefaultFig1aConfig returns a seconds-scale configuration: a k=4 fat-tree
+// (16 hosts); set FatTreeK = 8 for the paper's 128-host fabric.
+func DefaultFig1aConfig() Fig1aConfig {
+	return Fig1aConfig{
+		FatTreeK:          4,
+		LinkRateBps:       10e9,
+		Load:              0.6,
+		Duration:          30 * netsim.Millisecond,
+		ECNThresholdBytes: 30 * 1024,
+		Seed:              11,
+	}
+}
+
+// Fig1aRow is one protocol's queue-occupancy distribution at the observed
+// edge port.
+type Fig1aRow struct {
+	// Protocol is "cubic" or "dctcp".
+	Protocol string
+	// Samples is the number of queue-depth observations.
+	Samples int
+	// FracBelow50KB/100KB/200KB are CDF points (the paper reports <200 KB
+	// for 80% / 95% of time under Cubic / DCTCP).
+	FracBelow50KB, FracBelow100KB, FracBelow200KB float64
+	// P99Bytes is the 99th-percentile depth.
+	P99Bytes int
+}
+
+// RunFig1a runs the mixed workload under Cubic and DCTCP and reports the
+// queue-size CDF at an edge (leaf→host) port.
+func RunFig1a(cfg Fig1aConfig) ([]Fig1aRow, error) {
+	var rows []Fig1aRow
+	for _, proto := range []netsim.CCVariant{netsim.Cubic, netsim.DCTCP} {
+		var topo *netsim.Topology
+		var hosts int
+		var rate float64
+		if cfg.FatTreeK > 0 {
+			ft := netsim.FatTreeConfig{
+				K: cfg.FatTreeK, LinkRateBps: cfg.LinkRateBps, LinkDelay: netsim.Microsecond,
+			}
+			var err error
+			topo, err = netsim.BuildFatTree(ft)
+			if err != nil {
+				return nil, err
+			}
+			hosts, rate = ft.Hosts(), ft.LinkRateBps
+		} else {
+			topo = netsim.BuildLeafSpine(cfg.Fabric)
+			hosts, rate = cfg.Fabric.Hosts(), cfg.Fabric.LinkRateBps
+		}
+		if proto == netsim.DCTCP {
+			topo.SetECNThreshold(cfg.ECNThresholdBytes)
+		}
+		net := topo.Net
+		rec := &netsim.QueueRecorder{}
+		// The paper observes one edge port and notes similar behaviour at
+		// the others; at this scaled-down fabric size we aggregate samples
+		// across all edge (leaf→host) ports for statistical weight.
+		for _, ports := range topo.DownPorts {
+			for _, p := range ports {
+				rec.Attach(p)
+			}
+		}
+
+		wl := netsim.DefaultWorkload(cfg.Load, cfg.Duration, cfg.Seed)
+		wl.ShortMin, wl.ShortMax = 1024, 16*1024 // paper: 1–16 KB shorts
+		wl.LongSize = 4 * 1024 * 1024            // scaled from 64 MB
+		flows := netsim.GenerateFlows(net, hosts, rate, wl)
+		if err := netsim.StartAll(net, flows, netsim.NewWindowTransport(proto)); err != nil {
+			return nil, err
+		}
+		net.Sim.Run(cfg.Duration * 2)
+
+		row := Fig1aRow{
+			Protocol:       proto.String(),
+			Samples:        len(rec.Samples),
+			FracBelow50KB:  rec.FractionBelow(50 * 1024),
+			FracBelow100KB: rec.FractionBelow(100 * 1024),
+			FracBelow200KB: rec.FractionBelow(200 * 1024),
+		}
+		if depths, frac := rec.CDF(); len(depths) > 0 {
+			for i, f := range frac {
+				if f >= 0.99 {
+					row.P99Bytes = depths[i]
+					break
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig1a formats the rows.
+func RenderFig1a(rows []Fig1aRow) string {
+	t := stats.NewTable("Fig 1a: queue size CDF at an edge port (paper: <200KB for 80%/95% of time)",
+		"protocol", "samples", "<=50KB", "<=100KB", "<=200KB", "p99")
+	for _, r := range rows {
+		t.AddF(r.Protocol, r.Samples, stats.Pct(r.FracBelow50KB),
+			stats.Pct(r.FracBelow100KB), stats.Pct(r.FracBelow200KB), stats.KB(r.P99Bytes))
+	}
+	return t.String()
+}
+
+// Fig1bConfig parameterises the packet inter-arrival study (§II-B): a
+// dumbbell with a rate limiter whose limit halves during the run; despite
+// the changes, inter-arrivals stay in a narrow band.
+type Fig1bConfig struct {
+	// LinkRateBps is the link speed (paper: 100 Gbps).
+	LinkRateBps float64
+	// InitialRateGbps is the first limit; it halves RateChanges times.
+	InitialRateGbps uint64
+	// RateChanges is how many times the limit halves.
+	RateChanges int
+	// Phase is the duration of each rate setting.
+	Phase netsim.Time
+	// Seed drives the workload.
+	Seed int64
+}
+
+// DefaultFig1bConfig returns the paper's setup at reduced duration.
+func DefaultFig1bConfig() Fig1bConfig {
+	return Fig1bConfig{
+		LinkRateBps:     100e9,
+		InitialRateGbps: 80,
+		RateChanges:     3,
+		Phase:           2 * netsim.Millisecond,
+		Seed:            12,
+	}
+}
+
+// Fig1bResult summarises the inter-arrival distribution.
+type Fig1bResult struct {
+	// Gaps is the number of recorded inter-arrivals.
+	Gaps int
+	// P10, P50, P90 are gap quantiles.
+	P10, P50, P90 netsim.Time
+	// FracInBand is the fraction of gaps within [120ns, 360ns], the paper's
+	// observed band.
+	FracInBand float64
+}
+
+// RunFig1b measures packet inter-arrival times downstream of a rate limiter
+// across three rate halvings.
+func RunFig1b(cfg Fig1bConfig) (Fig1bResult, error) {
+	topo := netsim.BuildDumbbell(netsim.DumbbellConfig{
+		HostsPerSide:      1,
+		AccessRateBps:     cfg.LinkRateBps,
+		BottleneckRateBps: cfg.LinkRateBps,
+		LinkDelay:         netsim.Microsecond,
+	})
+	net := topo.Net
+	nim, err := apps.NewNimble(netsim.IdealArith{}, cfg.InitialRateGbps, 100*1500)
+	if err != nil {
+		return Fig1bResult{}, err
+	}
+	topo.CorePorts[0].Filter = nim
+	rec := &netsim.InterArrivalRecorder{}
+	rec.Attach(topo.CorePorts[0])
+
+	// One long saturating flow.
+	total := netsim.Time(cfg.RateChanges+1) * cfg.Phase
+	size := int(cfg.LinkRateBps * total.Seconds() / 8)
+	f := net.AddFlow(&netsim.Flow{Src: 0, Dst: 1, Size: size, Start: 0})
+	if err := net.StartFlow(f, netsim.NewWindowTransport(netsim.DCTCP)); err != nil {
+		return Fig1bResult{}, err
+	}
+	// Halve the limit at each phase boundary.
+	rate := cfg.InitialRateGbps
+	for i := 1; i <= cfg.RateChanges; i++ {
+		i := i
+		net.Sim.Schedule(netsim.Time(i)*cfg.Phase, func() {
+			rate /= 2
+			nim.SetRateGbps(rate)
+		})
+	}
+	net.Sim.Run(total)
+
+	res := Fig1bResult{
+		Gaps: len(rec.Gaps),
+		P10:  rec.Quantile(0.10),
+		P50:  rec.Quantile(0.50),
+		P90:  rec.Quantile(0.90),
+	}
+	if len(rec.Gaps) > 0 {
+		in := 0
+		for _, g := range rec.Gaps {
+			if g >= 100*netsim.Nanosecond && g <= 400*netsim.Nanosecond {
+				in++
+			}
+		}
+		res.FracInBand = float64(in) / float64(len(rec.Gaps))
+	}
+	return res, nil
+}
+
+// RenderFig1b formats the result.
+func RenderFig1b(r Fig1bResult) string {
+	t := stats.NewTable("Fig 1b: packet inter-arrival CDF under a rate limiter (paper: 120–360ns band)",
+		"gaps", "p10", "p50", "p90", "in 100-400ns band")
+	t.AddF(r.Gaps, r.P10.String(), r.P50.String(), r.P90.String(), stats.Pct(r.FracInBand))
+	return t.String()
+}
+
+// Fig1cConfig parameterises the rate-operand trace (§II-B): the rate-limit
+// value the TCAM must look up is constant between control events.
+type Fig1cConfig struct {
+	// InitialRateGbps is the line-rate setting (paper: 94 Gbps).
+	InitialRateGbps uint64
+	// ChangeAt is when the rate halves (paper: 1 s; scaled here).
+	ChangeAt netsim.Time
+	// Duration is the total observation window.
+	Duration netsim.Time
+	// SampleEvery is the trace resolution.
+	SampleEvery netsim.Time
+}
+
+// DefaultFig1cConfig returns the paper's setup at reduced duration.
+func DefaultFig1cConfig() Fig1cConfig {
+	return Fig1cConfig{
+		InitialRateGbps: 94,
+		ChangeAt:        2 * netsim.Millisecond,
+		Duration:        4 * netsim.Millisecond,
+		SampleEvery:     100 * netsim.Microsecond,
+	}
+}
+
+// Fig1cPoint is one trace sample.
+type Fig1cPoint struct {
+	// At is the sample time.
+	At netsim.Time
+	// RateGbps is the operand value the TCAM would look up.
+	RateGbps uint64
+}
+
+// RunFig1c produces the rate-operand trace: constant at 94 until the
+// change, constant at 47 after — the working-set observation motivating
+// range-bounded population.
+func RunFig1c(cfg Fig1cConfig) []Fig1cPoint {
+	var out []Fig1cPoint
+	for at := netsim.Time(0); at < cfg.Duration; at += cfg.SampleEvery {
+		rate := cfg.InitialRateGbps
+		if at >= cfg.ChangeAt {
+			rate = cfg.InitialRateGbps / 2
+		}
+		out = append(out, Fig1cPoint{At: at, RateGbps: rate})
+	}
+	return out
+}
+
+// Fig1cDistinctValues counts the distinct operand values in the trace — the
+// paper's point: the TCAM only ever needs entries for this tiny working
+// set.
+func Fig1cDistinctValues(points []Fig1cPoint) int {
+	seen := make(map[uint64]bool)
+	for _, p := range points {
+		seen[p.RateGbps] = true
+	}
+	return len(seen)
+}
+
+// RenderFig1c formats the trace summary.
+func RenderFig1c(points []Fig1cPoint) string {
+	t := stats.NewTable("Fig 1c: rate-limit operand over time (94 → 47 Gbps step)",
+		"samples", "distinct operand values", "first", "last")
+	if len(points) == 0 {
+		return t.String()
+	}
+	t.AddF(len(points), Fig1cDistinctValues(points),
+		fmt.Sprintf("%dGbps", points[0].RateGbps),
+		fmt.Sprintf("%dGbps", points[len(points)-1].RateGbps))
+	return t.String()
+}

@@ -1,0 +1,213 @@
+// Package monitor implements ADA's data-plane monitoring pipeline (§III-A,
+// Fig 3): a small monitoring TCAM whose wildcard entries are the binning
+// trie's leaves, and a register file with one hit counter per bin. Every
+// observed operand value matches one entry and increments the corresponding
+// register — no sampling, no packet resubmission, exactly the P4-friendly
+// path the paper describes.
+//
+// The control plane periodically snapshots and resets the registers; both
+// operations are counted so the paper's overhead accounting (Table II) can
+// be derived from real operation counts.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/ada-repro/ada/internal/bitstr"
+	"github.com/ada-repro/ada/internal/tcam"
+)
+
+var (
+	// ErrNoBins reports installation of an empty bin set.
+	ErrNoBins = errors.New("monitor: at least one bin is required")
+	// ErrNotPartition reports bins that do not tile the operand domain; a
+	// monitoring table with holes silently loses distribution mass.
+	ErrNotPartition = errors.New("monitor: bins do not partition the operand domain")
+)
+
+// DefaultRegisterBits is the register width of the modelled switch; Tofino
+// register cells are 32 bits.
+const DefaultRegisterBits = 32
+
+// Stats counts data-plane and control-plane operations on the monitor.
+type Stats struct {
+	// Observations counts data-plane samples offered.
+	Observations uint64
+	// Matched counts samples that hit a bin (always equal to Observations
+	// while the bins partition the domain).
+	Matched uint64
+	// RegisterReads counts control-plane register reads (snapshots).
+	RegisterReads uint64
+	// RegisterWrites counts control-plane register writes (resets).
+	RegisterWrites uint64
+	// TCAMWrites counts monitoring-TCAM entry writes (installs + removals).
+	TCAMWrites uint64
+	// Saturations counts register increments lost to the register width
+	// limit.
+	Saturations uint64
+}
+
+// Monitor is the data-plane monitoring unit for one variable. It is safe
+// for concurrent use: many packets may observe while the control plane
+// snapshots.
+type Monitor struct {
+	mu sync.Mutex
+
+	table       *tcam.Table
+	regs        []uint64
+	prefixes    []bitstr.Prefix
+	width       int
+	registerMax uint64
+	capacity    int
+	stats       Stats
+}
+
+// Option configures a Monitor.
+type Option func(*Monitor)
+
+// WithRegisterBits sets the register width (default 32). Increments
+// saturate at 2^bits − 1.
+func WithRegisterBits(bits int) Option {
+	return func(m *Monitor) {
+		if bits >= 64 {
+			m.registerMax = ^uint64(0)
+			return
+		}
+		if bits < 1 {
+			bits = 1
+		}
+		m.registerMax = uint64(1)<<uint(bits) - 1
+	}
+}
+
+// New creates a monitor for width-bit operands with the given monitoring
+// TCAM capacity (0 = unbounded). Install must be called before observing.
+func New(name string, width, capacity int, opts ...Option) (*Monitor, error) {
+	t, err := tcam.New(name, capacity, width)
+	if err != nil {
+		return nil, err
+	}
+	m := &Monitor{
+		table:       t,
+		width:       width,
+		capacity:    capacity,
+		registerMax: uint64(1)<<DefaultRegisterBits - 1,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m, nil
+}
+
+// Install replaces the monitoring bins. The prefixes must tile the operand
+// domain (the trie's leaves always do). It returns the number of TCAM
+// writes performed. Registers are re-allocated and zeroed.
+func (m *Monitor) Install(prefixes []bitstr.Prefix) (int, error) {
+	if len(prefixes) == 0 {
+		return 0, ErrNoBins
+	}
+	if !bitstr.Partition(prefixes) {
+		return 0, fmt.Errorf("%w: %v", ErrNotPartition, prefixes)
+	}
+	rows := make([]tcam.Row, len(prefixes))
+	for i, p := range prefixes {
+		rows[i] = tcam.RowFromPrefix(p, i)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	writes, err := m.table.ReplaceAll(rows)
+	if err != nil {
+		return 0, err
+	}
+	m.prefixes = make([]bitstr.Prefix, len(prefixes))
+	copy(m.prefixes, prefixes)
+	m.regs = make([]uint64, len(prefixes))
+	m.stats.TCAMWrites += uint64(writes)
+	return writes, nil
+}
+
+// Observe records one data-plane sample: match the monitoring TCAM,
+// increment the winning bin's register. It reports whether the sample
+// matched a bin.
+func (m *Monitor) Observe(v uint64) bool {
+	if m.width < 64 {
+		v &= uint64(1)<<uint(m.width) - 1
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Observations++
+	e, ok := m.table.Lookup(v)
+	if !ok {
+		return false
+	}
+	idx, ok := e.Data.(int)
+	if !ok || idx < 0 || idx >= len(m.regs) {
+		return false
+	}
+	if m.regs[idx] >= m.registerMax {
+		m.stats.Saturations++
+	} else {
+		m.regs[idx]++
+	}
+	m.stats.Matched++
+	return true
+}
+
+// ObserveAll records a batch of samples.
+func (m *Monitor) ObserveAll(vs []uint64) {
+	for _, v := range vs {
+		m.Observe(v)
+	}
+}
+
+// Snapshot returns the per-bin hit counts in bin (value) order and charges
+// one register read per bin.
+func (m *Monitor) Snapshot() []uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]uint64, len(m.regs))
+	copy(out, m.regs)
+	m.stats.RegisterReads += uint64(len(m.regs))
+	return out
+}
+
+// Reset zeroes the registers and charges one register write per bin.
+func (m *Monitor) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.regs {
+		m.regs[i] = 0
+	}
+	m.stats.RegisterWrites += uint64(len(m.regs))
+}
+
+// NumBins returns the installed bin count.
+func (m *Monitor) NumBins() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.prefixes)
+}
+
+// Prefixes returns a copy of the installed bins in value order.
+func (m *Monitor) Prefixes() []bitstr.Prefix {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]bitstr.Prefix, len(m.prefixes))
+	copy(out, m.prefixes)
+	return out
+}
+
+// Width returns the operand width in bits.
+func (m *Monitor) Width() int { return m.width }
+
+// Table exposes the monitoring TCAM for resource accounting.
+func (m *Monitor) Table() *tcam.Table { return m.table }
+
+// Stats returns a snapshot of the operation counters.
+func (m *Monitor) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

@@ -1,0 +1,263 @@
+package monitor
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/ada-repro/ada/internal/bitstr"
+	"github.com/ada-repro/ada/internal/trie"
+)
+
+func parseAll(t *testing.T, ss ...string) []bitstr.Prefix {
+	t.Helper()
+	ps := make([]bitstr.Prefix, len(ss))
+	for i, s := range ss {
+		p, err := bitstr.Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps[i] = p
+	}
+	return ps
+}
+
+func TestInstallAndObserve(t *testing.T) {
+	m, err := New("mon", 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes, err := m.Install(parseAll(t, "00x", "01x", "10x", "11x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if writes != 4 {
+		t.Errorf("writes = %d, want 4", writes)
+	}
+	for v := uint64(0); v < 8; v++ {
+		if !m.Observe(v) {
+			t.Errorf("Observe(%d) missed", v)
+		}
+	}
+	m.Observe(3)
+	snap := m.Snapshot()
+	want := []uint64{2, 3, 2, 2}
+	for i, c := range snap {
+		if c != want[i] {
+			t.Errorf("reg %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if m.NumBins() != 4 {
+		t.Errorf("NumBins = %d", m.NumBins())
+	}
+	if m.Width() != 3 {
+		t.Errorf("Width = %d", m.Width())
+	}
+}
+
+func TestInstallValidation(t *testing.T) {
+	m, err := New("mon", 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Install(nil); !errors.Is(err, ErrNoBins) {
+		t.Errorf("empty install: %v", err)
+	}
+	if _, err := m.Install(parseAll(t, "00x", "01x")); !errors.Is(err, ErrNotPartition) {
+		t.Errorf("holey install: %v", err)
+	}
+}
+
+func TestInstallOverCapacity(t *testing.T) {
+	m, err := New("mon", 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Install(parseAll(t, "00x", "01x", "10x", "11x")); err == nil {
+		t.Error("install above capacity: want error")
+	}
+}
+
+func TestReinstallResetsRegisters(t *testing.T) {
+	m, _ := New("mon", 3, 0)
+	if _, err := m.Install(parseAll(t, "0xx", "1xx")); err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(1)
+	if _, err := m.Install(parseAll(t, "00x", "01x", "1xx")); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range m.Snapshot() {
+		if c != 0 {
+			t.Errorf("reg %d = %d after reinstall, want 0", i, c)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	m, _ := New("mon", 3, 0)
+	if _, err := m.Install(parseAll(t, "0xx", "1xx")); err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(0)
+	m.Observe(7)
+	m.Reset()
+	for _, c := range m.Snapshot() {
+		if c != 0 {
+			t.Error("Reset left counts")
+		}
+	}
+	s := m.Stats()
+	if s.RegisterWrites != 2 {
+		t.Errorf("RegisterWrites = %d, want 2", s.RegisterWrites)
+	}
+	if s.RegisterReads != 2 { // one snapshot x two bins
+		t.Errorf("RegisterReads = %d, want 2", s.RegisterReads)
+	}
+}
+
+func TestRegisterSaturation(t *testing.T) {
+	m, err := New("mon", 3, 0, WithRegisterBits(2)) // max 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Install(parseAll(t, "xxx")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		m.Observe(1)
+	}
+	snap := m.Snapshot()
+	if snap[0] != 3 {
+		t.Errorf("saturated reg = %d, want 3", snap[0])
+	}
+	if got := m.Stats().Saturations; got != 7 {
+		t.Errorf("Saturations = %d, want 7", got)
+	}
+}
+
+func TestWithRegisterBitsExtremes(t *testing.T) {
+	m, _ := New("a", 3, 0, WithRegisterBits(64))
+	if m.registerMax != ^uint64(0) {
+		t.Error("64-bit registers must not saturate early")
+	}
+	m2, _ := New("b", 3, 0, WithRegisterBits(0))
+	if m2.registerMax != 1 {
+		t.Errorf("clamped register bits: max = %d, want 1", m2.registerMax)
+	}
+}
+
+func TestObserveMasksWidth(t *testing.T) {
+	m, _ := New("mon", 3, 0)
+	if _, err := m.Install(parseAll(t, "0xx", "1xx")); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Observe(0xFF) { // masks to 7 → bin 1xx
+		t.Fatal("masked observe missed")
+	}
+	if snap := m.Snapshot(); snap[1] != 1 {
+		t.Errorf("masked observe landed wrong: %v", snap)
+	}
+}
+
+func TestMonitorAgainstTrieReference(t *testing.T) {
+	// The monitor must count exactly like the trie's software Record path.
+	tr, err := trie.NewInitial(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 500; i++ {
+		tr.Record(rng.Uint64())
+	}
+	tr.Rebalance(0.1)
+	bins := tr.Leaves()
+	ps := make([]bitstr.Prefix, len(bins))
+	for i, b := range bins {
+		ps[i] = b.Prefix
+	}
+	m, err := New("mon", 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Install(ps); err != nil {
+		t.Fatal(err)
+	}
+	tr.ResetHits()
+	rng = rand.New(rand.NewSource(22))
+	for i := 0; i < 2000; i++ {
+		v := rng.Uint64() & 0x3FF
+		tr.Record(v)
+		m.Observe(v)
+	}
+	snap := m.Snapshot()
+	for i, b := range tr.Leaves() {
+		if snap[i] != b.Hits {
+			t.Errorf("bin %v: monitor %d, trie %d", b.Prefix, snap[i], b.Hits)
+		}
+	}
+}
+
+func TestConcurrentObserveAndSnapshot(t *testing.T) {
+	m, _ := New("mon", 16, 0)
+	root, _ := bitstr.Root(16)
+	l, _ := root.Left()
+	r, _ := root.Right()
+	if _, err := m.Install([]bitstr.Prefix{l, r}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				m.Observe(rng.Uint64() & 0xFFFF)
+			}
+		}(int64(g))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			m.Snapshot()
+		}
+	}()
+	wg.Wait()
+	total := uint64(0)
+	for _, c := range m.Snapshot() {
+		total += c
+	}
+	if total != 8000 {
+		t.Errorf("total observations = %d, want 8000", total)
+	}
+	s := m.Stats()
+	if s.Observations != 8000 || s.Matched != 8000 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestObserveAll(t *testing.T) {
+	m, _ := New("mon", 3, 0)
+	if _, err := m.Install(parseAll(t, "xxx")); err != nil {
+		t.Fatal(err)
+	}
+	m.ObserveAll([]uint64{1, 2, 3})
+	if m.Snapshot()[0] != 3 {
+		t.Error("ObserveAll miscounted")
+	}
+}
+
+func TestPrefixesCopy(t *testing.T) {
+	m, _ := New("mon", 3, 0)
+	if _, err := m.Install(parseAll(t, "0xx", "1xx")); err != nil {
+		t.Fatal(err)
+	}
+	ps := m.Prefixes()
+	ps[0], _ = bitstr.Parse("111")
+	if m.Prefixes()[0].String() != "0xx" {
+		t.Error("Prefixes leaked internal state")
+	}
+}

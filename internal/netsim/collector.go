@@ -1,0 +1,177 @@
+package netsim
+
+import (
+	"math"
+	"sort"
+)
+
+// FCTStats summarises flow completion times for one flow class.
+type FCTStats struct {
+	// N is the number of completed flows.
+	N int
+	// Unfinished counts flows that never completed within the run.
+	Unfinished int
+	// Mean, Median, P99, Max are completion-time statistics.
+	Mean, Median, P99, Max Time
+}
+
+// CollectFCT computes statistics over the flows accepted by the filter
+// (nil = all flows).
+func CollectFCT(flows []*Flow, filter func(*Flow) bool) FCTStats {
+	var done []Time
+	var out FCTStats
+	for _, f := range flows {
+		if filter != nil && !filter(f) {
+			continue
+		}
+		if !f.Done() {
+			out.Unfinished++
+			continue
+		}
+		done = append(done, f.FCT())
+	}
+	out.N = len(done)
+	if out.N == 0 {
+		return out
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i] < done[j] })
+	var sum Time
+	for _, d := range done {
+		sum += d
+	}
+	out.Mean = sum / Time(out.N)
+	out.Median = done[out.N/2]
+	out.P99 = done[int(math.Ceil(0.99*float64(out.N)))-1]
+	out.Max = done[out.N-1]
+	return out
+}
+
+// ShortFlows filters the §V-C short-flow class.
+func ShortFlows(shortMax int) func(*Flow) bool {
+	return func(f *Flow) bool { return !f.Incast && f.Size <= shortMax }
+}
+
+// LongFlows filters the long-flow class.
+func LongFlows(shortMax int) func(*Flow) bool {
+	return func(f *Flow) bool { return !f.Incast && f.Size > shortMax }
+}
+
+// QueueRecorder samples queue depth over time for the Fig 1a CDF.
+type QueueRecorder struct {
+	// Samples are queue depths in bytes at enqueue instants.
+	Samples []int
+}
+
+// Attach hooks the recorder onto a port.
+func (r *QueueRecorder) Attach(p *Port) {
+	prev := p.OnQueueSample
+	p.OnQueueSample = func(bytes int, now Time) {
+		r.Samples = append(r.Samples, bytes)
+		if prev != nil {
+			prev(bytes, now)
+		}
+	}
+}
+
+// CDF returns (depths, cumulative fractions) suitable for plotting: the
+// fraction of samples with depth <= depths[i].
+func (r *QueueRecorder) CDF() (depths []int, frac []float64) {
+	if len(r.Samples) == 0 {
+		return nil, nil
+	}
+	s := make([]int, len(r.Samples))
+	copy(s, r.Samples)
+	sort.Ints(s)
+	n := float64(len(s))
+	for i := 0; i < len(s); i++ {
+		if i+1 < len(s) && s[i+1] == s[i] {
+			continue
+		}
+		depths = append(depths, s[i])
+		frac = append(frac, float64(i+1)/n)
+	}
+	return depths, frac
+}
+
+// FractionBelow returns the fraction of samples with depth <= bytes.
+func (r *QueueRecorder) FractionBelow(bytes int) float64 {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	count := 0
+	for _, s := range r.Samples {
+		if s <= bytes {
+			count++
+		}
+	}
+	return float64(count) / float64(len(r.Samples))
+}
+
+// InterArrivalRecorder captures packet inter-arrival times on a link for
+// the Fig 1b CDF.
+type InterArrivalRecorder struct {
+	// Gaps are successive inter-arrival times.
+	Gaps []Time
+
+	last Time
+	seen bool
+}
+
+// Attach hooks the recorder onto a port's delivery side.
+func (r *InterArrivalRecorder) Attach(p *Port) {
+	prev := p.OnDeliver
+	p.OnDeliver = func(pkt *Packet, now Time) {
+		if r.seen {
+			r.Gaps = append(r.Gaps, now-r.last)
+		}
+		r.last = now
+		r.seen = true
+		if prev != nil {
+			prev(pkt, now)
+		}
+	}
+}
+
+// Quantile returns the q-quantile inter-arrival gap.
+func (r *InterArrivalRecorder) Quantile(q float64) Time {
+	if len(r.Gaps) == 0 {
+		return 0
+	}
+	s := make([]Time, len(r.Gaps))
+	copy(s, r.Gaps)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}
+
+// ThroughputMeter measures delivered goodput on a port over fixed windows,
+// for the Fig 8 throughput-over-time series.
+type ThroughputMeter struct {
+	// Window is the measurement interval.
+	Window Time
+	// BpsSeries holds one goodput sample (bits/s) per elapsed window.
+	BpsSeries []float64
+
+	bytesInWindow uint64
+}
+
+// Attach hooks the meter onto a port and starts its window timer.
+func (m *ThroughputMeter) Attach(sim *Simulator, p *Port) {
+	prev := p.OnDeliver
+	p.OnDeliver = func(pkt *Packet, now Time) {
+		if !pkt.Ack {
+			m.bytesInWindow += uint64(pkt.Payload)
+		}
+		if prev != nil {
+			prev(pkt, now)
+		}
+	}
+	var tick func()
+	tick = func() {
+		bps := float64(m.bytesInWindow*8) / m.Window.Seconds()
+		m.BpsSeries = append(m.BpsSeries, bps)
+		m.bytesInWindow = 0
+		sim.After(m.Window, tick)
+	}
+	sim.After(m.Window, tick)
+}

@@ -1,0 +1,140 @@
+package netsim
+
+import "fmt"
+
+// FatTreeConfig sizes a classic k-ary three-tier fat-tree: k pods, each
+// with k/2 edge and k/2 aggregation switches, (k/2)² core switches, and
+// k³/4 hosts. The paper's Fig 1a motivation study uses k = 8 (128 hosts).
+type FatTreeConfig struct {
+	// K is the fat-tree arity; it must be even and at least 2.
+	K int
+	// LinkRateBps applies to every link.
+	LinkRateBps float64
+	// LinkDelay is the per-hop propagation delay.
+	LinkDelay Time
+}
+
+// Hosts returns the host count, k³/4.
+func (c FatTreeConfig) Hosts() int { return c.K * c.K * c.K / 4 }
+
+// BuildFatTree constructs the k-ary fat-tree with ECMP hashing on the
+// upward paths and deterministic downward routing.
+//
+// Port bookkeeping in the returned Topology: DownPorts holds the host-facing
+// edge ports and the downward agg→edge / core→agg ports; UpPorts holds
+// edge→agg and agg→core ports. AllSwitchPorts therefore covers the full
+// fabric.
+func BuildFatTree(cfg FatTreeConfig) (*Topology, error) {
+	k := cfg.K
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("netsim: fat-tree arity must be even and >= 2, got %d", k)
+	}
+	half := k / 2
+	hostsPerEdge := half
+	hostsPerPod := half * hostsPerEdge
+
+	net := NewNetwork()
+	topo := &Topology{
+		Net:       net,
+		DownPorts: make(map[int][]*Port),
+		UpPorts:   make(map[int][]*Port),
+		SpineDown: make(map[int][]*Port),
+	}
+	sim := net.Sim
+
+	// Switch IDs: edges 3000+, aggs 4000+, cores 5000+.
+	edges := make([][]*Switch, k) // [pod][i]
+	aggs := make([][]*Switch, k)  // [pod][j]
+	cores := make([]*Switch, half*half)
+	for p := 0; p < k; p++ {
+		edges[p] = make([]*Switch, half)
+		aggs[p] = make([]*Switch, half)
+		for i := 0; i < half; i++ {
+			edges[p][i] = NewSwitch(sim, 3000+p*half+i)
+			aggs[p][i] = NewSwitch(sim, 4000+p*half+i)
+			net.Switches = append(net.Switches, edges[p][i], aggs[p][i])
+		}
+	}
+	for c := range cores {
+		cores[c] = NewSwitch(sim, 5000+c)
+		net.Switches = append(net.Switches, cores[c])
+	}
+
+	podOf := func(host int) int { return host / hostsPerPod }
+	edgeOf := func(host int) int { return (host % hostsPerPod) / hostsPerEdge }
+
+	// Hosts ↔ edges.
+	for h := 0; h < cfg.Hosts(); h++ {
+		host := NewHost(sim, h)
+		e := edges[podOf(h)][edgeOf(h)]
+		nic := NewPort(sim, portName("h", h, "up"), cfg.LinkRateBps, cfg.LinkDelay, e)
+		host.NIC = nic
+		down := NewPort(sim, portName("e", e.ID, "down"), cfg.LinkRateBps, cfg.LinkDelay, host)
+		e.AddPort(down)
+		topo.DownPorts[e.ID] = append(topo.DownPorts[e.ID], down)
+		topo.HostPorts = append(topo.HostPorts, nic)
+		net.Hosts = append(net.Hosts, host)
+	}
+
+	// Edges ↔ aggs (full bipartite within a pod).
+	for p := 0; p < k; p++ {
+		for i := 0; i < half; i++ {
+			for j := 0; j < half; j++ {
+				e, a := edges[p][i], aggs[p][j]
+				up := NewPort(sim, portName("e", e.ID, "up"), cfg.LinkRateBps, cfg.LinkDelay, a)
+				e.AddPort(up)
+				topo.UpPorts[e.ID] = append(topo.UpPorts[e.ID], up)
+				down := NewPort(sim, portName("a", a.ID, "down"), cfg.LinkRateBps, cfg.LinkDelay, e)
+				a.AddPort(down)
+				topo.SpineDown[a.ID] = append(topo.SpineDown[a.ID], down)
+			}
+		}
+	}
+
+	// Aggs ↔ cores: agg j of every pod connects to cores j*half .. j*half+half-1.
+	for p := 0; p < k; p++ {
+		for j := 0; j < half; j++ {
+			a := aggs[p][j]
+			for m := 0; m < half; m++ {
+				c := cores[j*half+m]
+				up := NewPort(sim, portName("a", a.ID, "up"), cfg.LinkRateBps, cfg.LinkDelay, c)
+				a.AddPort(up)
+				topo.UpPorts[a.ID] = append(topo.UpPorts[a.ID], up)
+				down := NewPort(sim, portName("c", c.ID, "down"), cfg.LinkRateBps, cfg.LinkDelay, a)
+				c.AddPort(down)
+				// Core down ports indexed by pod.
+				topo.SpineDown[c.ID] = append(topo.SpineDown[c.ID], down)
+			}
+		}
+	}
+
+	// Routing.
+	for p := 0; p < k; p++ {
+		for i := 0; i < half; i++ {
+			p, i := p, i
+			e := edges[p][i]
+			e.Route = func(pkt *Packet) *Port {
+				if podOf(pkt.Dst) == p && edgeOf(pkt.Dst) == i {
+					return topo.DownPorts[e.ID][pkt.Dst%hostsPerEdge]
+				}
+				ups := topo.UpPorts[e.ID]
+				return ups[flowHash(pkt)%len(ups)]
+			}
+			a := aggs[p][i]
+			a.Route = func(pkt *Packet) *Port {
+				if podOf(pkt.Dst) == p {
+					return topo.SpineDown[a.ID][edgeOf(pkt.Dst)]
+				}
+				ups := topo.UpPorts[a.ID]
+				return ups[flowHash(pkt)%len(ups)]
+			}
+		}
+	}
+	for _, c := range cores {
+		c := c
+		c.Route = func(pkt *Packet) *Port {
+			return topo.SpineDown[c.ID][podOf(pkt.Dst)]
+		}
+	}
+	return topo, nil
+}

@@ -1,0 +1,118 @@
+package netsim
+
+import (
+	"testing"
+)
+
+func TestFatTreeValidation(t *testing.T) {
+	for _, k := range []int{0, 1, 3, 5} {
+		if _, err := BuildFatTree(FatTreeConfig{K: k, LinkRateBps: 1e9}); err == nil {
+			t.Errorf("k=%d: want error", k)
+		}
+	}
+}
+
+func TestFatTreeStructure(t *testing.T) {
+	cfg := FatTreeConfig{K: 4, LinkRateBps: 10e9, LinkDelay: Microsecond}
+	topo, err := BuildFatTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Net.Hosts) != 16 {
+		t.Errorf("hosts = %d, want 16 (k³/4)", len(topo.Net.Hosts))
+	}
+	// 8 edges + 8 aggs + 4 cores.
+	if len(topo.Net.Switches) != 20 {
+		t.Errorf("switches = %d, want 20", len(topo.Net.Switches))
+	}
+	// Every switch port accounted for: 16 host-down + 16 edge-up + 16
+	// agg-down + 16 agg-up + 16 core-down = 80.
+	if got := len(topo.AllSwitchPorts()); got != 80 {
+		t.Errorf("switch ports = %d, want 80", got)
+	}
+}
+
+func TestFatTreeAllPairsConnectivity(t *testing.T) {
+	cfg := FatTreeConfig{K: 4, LinkRateBps: 10e9, LinkDelay: Microsecond}
+	topo, err := BuildFatTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := topo.Net
+	// Same edge, same pod different edge, and cross-pod pairs.
+	pairs := [][2]int{{0, 1}, {0, 3}, {0, 5}, {0, 15}, {7, 8}, {15, 0}, {4, 11}}
+	var flows []*Flow
+	for _, pr := range pairs {
+		f := net.AddFlow(&Flow{Src: pr[0], Dst: pr[1], Size: 32 * 1024, Start: 0})
+		flows = append(flows, f)
+		if err := net.StartFlow(f, NewWindowTransport(Reno)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Sim.Run(5 * Second)
+	for i, f := range flows {
+		if !f.Done() {
+			t.Errorf("pair %v did not complete", pairs[i])
+		}
+	}
+	for _, sw := range net.Switches {
+		if sw.Dropped() != 0 {
+			t.Errorf("switch %d dropped %d to routing", sw.ID, sw.Dropped())
+		}
+	}
+}
+
+func TestFatTreeCrossPodUsesCore(t *testing.T) {
+	topo, err := BuildFatTree(FatTreeConfig{K: 4, LinkRateBps: 10e9, LinkDelay: Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := topo.Net
+	// Host 0 (pod 0) to host 15 (pod 3) must traverse some core switch.
+	f := net.AddFlow(&Flow{Src: 0, Dst: 15, Size: 64 * 1024, Start: 0})
+	if err := net.StartFlow(f, NewWindowTransport(Reno)); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.Run(Second)
+	if !f.Done() {
+		t.Fatal("cross-pod flow incomplete")
+	}
+	coreDelivered := uint64(0)
+	for id, ports := range topo.SpineDown {
+		if id >= 5000 {
+			for _, p := range ports {
+				coreDelivered += p.Stats().DeliveredPkts
+			}
+		}
+	}
+	if coreDelivered == 0 {
+		t.Error("cross-pod traffic never traversed a core switch")
+	}
+}
+
+func TestFatTreeWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := FatTreeConfig{K: 4, LinkRateBps: 10e9, LinkDelay: Microsecond}
+	topo, err := BuildFatTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.SetECNThreshold(30 * 1024)
+	net := topo.Net
+	wl := DefaultWorkload(0.4, 10*Millisecond, 5)
+	flows := GenerateFlows(net, cfg.Hosts(), cfg.LinkRateBps, wl)
+	if err := StartAll(net, flows, NewWindowTransport(DCTCP)); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.Run(100 * Millisecond)
+	st := CollectFCT(net.Flows(), ShortFlows(wl.ShortMax))
+	if st.N == 0 {
+		t.Fatal("no short flows completed")
+	}
+	frac := float64(st.N) / float64(st.N+st.Unfinished)
+	if frac < 0.95 {
+		t.Errorf("only %.0f%% of short flows finished", frac*100)
+	}
+}

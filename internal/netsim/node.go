@@ -1,0 +1,187 @@
+package netsim
+
+import "fmt"
+
+// Host is an end system: one NIC toward its top-of-rack switch, sender
+// transports for outgoing flows, and receiver state for incoming flows.
+type Host struct {
+	sim *Simulator
+	// ID is the global host identifier.
+	ID int
+	// NIC is the host's uplink port.
+	NIC *Port
+
+	senders map[int]Transport
+	recvs   map[int]*rxState
+	// OnFlowDone fires when a received flow completes... completion is
+	// detected at the sender (last byte acknowledged), so this hook lives
+	// on the sending host.
+	OnFlowDone func(f *Flow)
+}
+
+// NewHost creates a host; attach the NIC afterwards.
+func NewHost(sim *Simulator, id int) *Host {
+	return &Host{
+		sim:     sim,
+		ID:      id,
+		senders: make(map[int]Transport),
+		recvs:   make(map[int]*rxState),
+	}
+}
+
+// rxState is per-incoming-flow receiver bookkeeping.
+type rxState struct {
+	flow     *Flow
+	recvNext int
+	ooo      map[int]bool
+	bytes    int
+}
+
+// AttachSender registers a transport for an outgoing flow.
+func (h *Host) AttachSender(flowID int, t Transport) {
+	h.senders[flowID] = t
+}
+
+// Receive implements Receiver: ACKs go to the owning transport, data
+// generates cumulative ACKs with DCTCP-style per-packet ECN echo.
+func (h *Host) Receive(p *Packet) {
+	if p.Ack {
+		if t, ok := h.senders[p.FlowID]; ok {
+			t.OnAck(p)
+		}
+		return
+	}
+	rx, ok := h.recvs[p.FlowID]
+	if !ok {
+		rx = &rxState{recvNext: 0, ooo: make(map[int]bool)}
+		h.recvs[p.FlowID] = rx
+	}
+	if p.Seq == rx.recvNext {
+		rx.recvNext++
+		rx.bytes += p.Payload
+		for rx.ooo[rx.recvNext] {
+			delete(rx.ooo, rx.recvNext)
+			rx.recvNext++
+		}
+	} else if p.Seq > rx.recvNext {
+		rx.ooo[p.Seq] = true
+	}
+	ack := &Packet{
+		FlowID:      p.FlowID,
+		Src:         h.ID,
+		Dst:         p.Src,
+		Size:        AckBytes,
+		Ack:         true,
+		AckNo:       rx.recvNext,
+		ECNEcho:     p.ECN,
+		RCPRate:     p.RCPRate,
+		XCPFeedback: p.XCPFeedback,
+		Sent:        h.sim.Now(),
+	}
+	h.NIC.Send(ack)
+}
+
+// Switch is an output-queued PISA-style switch: a routing function picks the
+// egress port for each packet.
+type Switch struct {
+	sim *Simulator
+	// ID is the switch identifier.
+	ID int
+	// Route selects the egress port; nil routes are dropped.
+	Route func(p *Packet) *Port
+
+	ports   []*Port
+	dropped uint64
+}
+
+// NewSwitch creates a switch; add ports and set Route afterwards.
+func NewSwitch(sim *Simulator, id int) *Switch {
+	return &Switch{sim: sim, ID: id}
+}
+
+// AddPort registers an egress port and returns it.
+func (s *Switch) AddPort(p *Port) *Port {
+	s.ports = append(s.ports, p)
+	return p
+}
+
+// Ports returns the registered egress ports.
+func (s *Switch) Ports() []*Port {
+	out := make([]*Port, len(s.ports))
+	copy(out, s.ports)
+	return out
+}
+
+// Dropped returns packets lost to routing failures.
+func (s *Switch) Dropped() uint64 { return s.dropped }
+
+// Receive implements Receiver: route and forward.
+func (s *Switch) Receive(p *Packet) {
+	if s.Route == nil {
+		s.dropped++
+		return
+	}
+	port := s.Route(p)
+	if port == nil {
+		s.dropped++
+		return
+	}
+	port.Send(p)
+}
+
+// Network owns a topology and its flows.
+type Network struct {
+	// Sim is the shared event loop.
+	Sim *Simulator
+	// Hosts indexed by host ID.
+	Hosts []*Host
+	// Switches in construction order.
+	Switches []*Switch
+
+	flows  []*Flow
+	nextID int
+}
+
+// NewNetwork creates an empty network on a fresh simulator.
+func NewNetwork() *Network {
+	return &Network{Sim: NewSimulator()}
+}
+
+// AddFlow registers a flow and assigns its ID.
+func (n *Network) AddFlow(f *Flow) *Flow {
+	n.nextID++
+	f.ID = n.nextID
+	n.flows = append(n.flows, f)
+	return f
+}
+
+// Flows returns all registered flows.
+func (n *Network) Flows() []*Flow {
+	out := make([]*Flow, len(n.flows))
+	copy(out, n.flows)
+	return out
+}
+
+// Host returns the host with the given ID.
+func (n *Network) Host(id int) (*Host, error) {
+	if id < 0 || id >= len(n.Hosts) {
+		return nil, fmt.Errorf("netsim: host %d out of range (%d hosts)", id, len(n.Hosts))
+	}
+	return n.Hosts[id], nil
+}
+
+// StartFlow launches a flow at its start time using the given transport
+// factory.
+func (n *Network) StartFlow(f *Flow, newTransport TransportFactory) error {
+	src, err := n.Host(f.Src)
+	if err != nil {
+		return err
+	}
+	if _, err := n.Host(f.Dst); err != nil {
+		return err
+	}
+	t := newTransport(n.Sim, src, f)
+	src.AttachSender(f.ID, t)
+	n.Sim.Schedule(f.Start, t.Start)
+	return nil
+}

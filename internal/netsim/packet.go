@@ -1,0 +1,103 @@
+package netsim
+
+// MSS is the payload bytes per full-sized packet.
+const MSS = 1460
+
+// HeaderBytes is the per-packet header overhead.
+const HeaderBytes = 40
+
+// AckBytes is the size of a bare acknowledgement.
+const AckBytes = 64
+
+// Packet is one simulated frame. Packets are passed by pointer and owned by
+// whichever component currently holds them.
+type Packet struct {
+	// FlowID identifies the flow.
+	FlowID int
+	// Src and Dst are host IDs.
+	Src, Dst int
+	// Seq is the packet index within the flow (data packets).
+	Seq int
+	// Size is the on-wire size in bytes, headers included.
+	Size int
+	// Payload is the data bytes carried.
+	Payload int
+	// ECN is the congestion-experienced mark set by a queue.
+	ECN bool
+	// Ack marks acknowledgements.
+	Ack bool
+	// AckNo is the cumulative acknowledgement: next expected Seq.
+	AckNo int
+	// ECNEcho carries the receiver's echo of the ECN mark (DCTCP).
+	ECNEcho bool
+	// RCPRate is the allowed rate in bits/s carried by RCP packets; routers
+	// lower it to their offered rate, receivers reflect it in ACKs. Zero
+	// means unset.
+	RCPRate float64
+	// XCPCwnd is the sender's congestion window in bytes (XCP header); zero
+	// means the packet carries no XCP state.
+	XCPCwnd uint64
+	// XCPRTTUs is the sender's smoothed RTT in microseconds (XCP header).
+	XCPRTTUs uint64
+	// XCPFeedback is the cwnd change in bytes the network allows; routers
+	// only ever lower it, receivers reflect it in ACKs.
+	XCPFeedback int64
+	// Enqueued is the time the packet last entered a queue (queue-delay
+	// accounting).
+	Enqueued Time
+	// Sent is the time the sender emitted the packet.
+	Sent Time
+}
+
+// Flow describes one transfer.
+type Flow struct {
+	// ID is unique per simulation.
+	ID int
+	// Src and Dst are host IDs.
+	Src, Dst int
+	// Size is the payload bytes to transfer.
+	Size int
+	// Start is the flow arrival time.
+	Start Time
+	// Finish is the completion time (last byte acknowledged); zero until
+	// done.
+	Finish Time
+	// Incast marks flows belonging to an incast episode.
+	Incast bool
+}
+
+// Done reports completion.
+func (f *Flow) Done() bool { return f.Finish != 0 }
+
+// FCT returns the flow completion time; zero if unfinished.
+func (f *Flow) FCT() Time {
+	if !f.Done() {
+		return 0
+	}
+	return f.Finish - f.Start
+}
+
+// NumPackets returns the packet count needed for Size payload bytes.
+func (f *Flow) NumPackets() int {
+	n := f.Size / MSS
+	if f.Size%MSS != 0 || f.Size == 0 {
+		n++
+	}
+	return n
+}
+
+// PacketPayload returns the payload bytes of packet seq.
+func (f *Flow) PacketPayload(seq int) int {
+	total := f.NumPackets()
+	if seq < total-1 {
+		return MSS
+	}
+	last := f.Size - (total-1)*MSS
+	if last <= 0 {
+		last = f.Size
+		if last > MSS {
+			last = MSS
+		}
+	}
+	return last
+}

@@ -1,0 +1,154 @@
+package netsim
+
+import "math"
+
+// Receiver consumes packets delivered by a port.
+type Receiver interface {
+	Receive(p *Packet)
+}
+
+// EnqueueFilter lets an application veto packets at enqueue time; the Nimble
+// rate limiter plugs in here.
+type EnqueueFilter interface {
+	// Allow returns false to drop the packet.
+	Allow(p *Packet, now Time) bool
+}
+
+// PortStats counts per-port activity.
+type PortStats struct {
+	Enqueued       uint64
+	DeliveredPkts  uint64
+	DeliveredBytes uint64
+	DroppedBuffer  uint64
+	DroppedFilter  uint64
+	ECNMarked      uint64
+}
+
+// Port is an output-queued link attachment: a finite FIFO byte queue, a
+// serialising transmitter at the link rate, and a propagation delay to the
+// peer. The per-port buffer defaults to the paper's 400 KB.
+type Port struct {
+	sim  *Simulator
+	name string
+
+	// RateBps is the link bandwidth in bits per second.
+	RateBps float64
+	// PropDelay is the one-way propagation delay.
+	PropDelay Time
+	// BufferBytes bounds the queue (drop-tail).
+	BufferBytes int
+	// ECNThreshold marks CE when the queue exceeds this many bytes
+	// (0 disables marking).
+	ECNThreshold int
+	// Filter, when set, screens every enqueue.
+	Filter EnqueueFilter
+	// OnQueueSample, when set, observes the queue depth (bytes) after each
+	// enqueue; used for the Fig 1a queue-size CDF.
+	OnQueueSample func(bytes int, now Time)
+	// OnDeliver, when set, observes each delivered packet at the receiver
+	// side of the link; used for the Fig 1b inter-arrival study.
+	OnDeliver func(p *Packet, now Time)
+	// RCP, when set, stamps traversing packets with the offered rate and
+	// measures input traffic for the RCP control loop.
+	RCP *RCPState
+	// XCP, when set, computes per-packet explicit feedback for the XCP
+	// control loop.
+	XCP *XCPState
+
+	peer        Receiver
+	queue       []*Packet
+	queuedBytes int
+	busy        bool
+	stats       PortStats
+}
+
+// DefaultBufferBytes is the paper's per-port buffer capacity (§IV).
+const DefaultBufferBytes = 400 * 1024
+
+// NewPort creates a port. rateBps must be positive.
+func NewPort(sim *Simulator, name string, rateBps float64, prop Time, peer Receiver) *Port {
+	return &Port{
+		sim:         sim,
+		name:        name,
+		RateBps:     rateBps,
+		PropDelay:   prop,
+		BufferBytes: DefaultBufferBytes,
+		peer:        peer,
+	}
+}
+
+// Name returns the port label.
+func (p *Port) Name() string { return p.name }
+
+// Stats returns a snapshot of the counters.
+func (p *Port) Stats() PortStats { return p.stats }
+
+// QueuedBytes returns the instantaneous queue depth.
+func (p *Port) QueuedBytes() int { return p.queuedBytes }
+
+// SetPeer rewires the delivery target (topology construction).
+func (p *Port) SetPeer(r Receiver) { p.peer = r }
+
+// TxTime returns the serialisation delay of size bytes, rounded to the
+// nearest picosecond.
+func (p *Port) TxTime(size int) Time {
+	return Time(math.Round(float64(size*8) / p.RateBps * float64(Second)))
+}
+
+// Send enqueues a packet for transmission, applying the filter, buffer
+// bound, and ECN marking.
+func (p *Port) Send(pkt *Packet) {
+	if p.RCP != nil {
+		p.RCP.OnPacket(pkt)
+	}
+	if p.XCP != nil {
+		p.XCP.OnPacket(pkt)
+	}
+	if p.Filter != nil && !p.Filter.Allow(pkt, p.sim.Now()) {
+		p.stats.DroppedFilter++
+		return
+	}
+	if p.queuedBytes+pkt.Size > p.BufferBytes {
+		p.stats.DroppedBuffer++
+		return
+	}
+	p.queuedBytes += pkt.Size
+	if p.ECNThreshold > 0 && p.queuedBytes > p.ECNThreshold {
+		pkt.ECN = true
+		p.stats.ECNMarked++
+	}
+	pkt.Enqueued = p.sim.Now()
+	p.queue = append(p.queue, pkt)
+	p.stats.Enqueued++
+	if p.OnQueueSample != nil {
+		p.OnQueueSample(p.queuedBytes, p.sim.Now())
+	}
+	p.pump()
+}
+
+// pump starts the transmitter if idle.
+func (p *Port) pump() {
+	if p.busy || len(p.queue) == 0 {
+		return
+	}
+	p.busy = true
+	pkt := p.queue[0]
+	p.queue = p.queue[1:]
+	p.queuedBytes -= pkt.Size
+	tx := p.TxTime(pkt.Size)
+	p.sim.After(tx, func() {
+		p.busy = false
+		p.stats.DeliveredPkts++
+		p.stats.DeliveredBytes += uint64(pkt.Size)
+		arrival := p.PropDelay
+		p.sim.After(arrival, func() {
+			if p.OnDeliver != nil {
+				p.OnDeliver(pkt, p.sim.Now())
+			}
+			if p.peer != nil {
+				p.peer.Receive(pkt)
+			}
+		})
+		p.pump()
+	})
+}

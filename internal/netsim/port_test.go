@@ -1,0 +1,150 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// sink collects delivered packets.
+type sink struct {
+	pkts  []*Packet
+	times []Time
+	sim   *Simulator
+}
+
+func (s *sink) Receive(p *Packet) {
+	s.pkts = append(s.pkts, p)
+	if s.sim != nil {
+		s.times = append(s.times, s.sim.Now())
+	}
+}
+
+func TestPortSerialisation(t *testing.T) {
+	sim := NewSimulator()
+	dst := &sink{sim: sim}
+	// 100 Gbps, 1 µs propagation: a 1500 B frame serialises in exactly
+	// 120 ns.
+	p := NewPort(sim, "p", 100e9, Microsecond, dst)
+	p.Send(&Packet{Size: 1500})
+	sim.Run(Second)
+	if len(dst.pkts) != 1 {
+		t.Fatalf("delivered %d packets", len(dst.pkts))
+	}
+	want := 120*Nanosecond + Microsecond
+	if dst.times[0] != want {
+		t.Errorf("delivery at %v, want %v", dst.times[0], want)
+	}
+}
+
+func TestPortBackToBackSpacing(t *testing.T) {
+	sim := NewSimulator()
+	dst := &sink{sim: sim}
+	p := NewPort(sim, "p", 100e9, 0, dst)
+	for i := 0; i < 3; i++ {
+		p.Send(&Packet{Size: 1500, Seq: i})
+	}
+	sim.Run(Second)
+	if len(dst.times) != 3 {
+		t.Fatalf("delivered %d", len(dst.times))
+	}
+	// Back-to-back full frames at 100 Gbps arrive 120 ns apart — the Fig 1b
+	// narrow-band phenomenon.
+	for i := 1; i < 3; i++ {
+		gap := dst.times[i] - dst.times[i-1]
+		if gap != 120*Nanosecond {
+			t.Errorf("gap %d = %v, want 120ns", i, gap)
+		}
+	}
+}
+
+func TestPortBufferDrop(t *testing.T) {
+	sim := NewSimulator()
+	dst := &sink{}
+	p := NewPort(sim, "p", 1e9, 0, dst)
+	p.BufferBytes = 3000
+	for i := 0; i < 5; i++ {
+		p.Send(&Packet{Size: 1500})
+	}
+	sim.Run(Second)
+	st := p.Stats()
+	// First packet starts transmitting immediately (leaves the queue), two
+	// fit in the buffer, the rest drop.
+	if st.DroppedBuffer == 0 {
+		t.Error("expected buffer drops")
+	}
+	if st.Enqueued+st.DroppedBuffer != 5 {
+		t.Errorf("enqueued %d + dropped %d != 5", st.Enqueued, st.DroppedBuffer)
+	}
+	if len(dst.pkts) != int(st.Enqueued) {
+		t.Errorf("delivered %d, enqueued %d", len(dst.pkts), st.Enqueued)
+	}
+}
+
+func TestPortECNMarking(t *testing.T) {
+	sim := NewSimulator()
+	dst := &sink{}
+	p := NewPort(sim, "p", 1e9, 0, dst)
+	p.ECNThreshold = 2000
+	var marked int
+	for i := 0; i < 4; i++ {
+		p.Send(&Packet{Size: 1500})
+	}
+	sim.Run(Second)
+	for _, pkt := range dst.pkts {
+		if pkt.ECN {
+			marked++
+		}
+	}
+	if marked == 0 {
+		t.Error("no packets marked above ECN threshold")
+	}
+	if p.Stats().ECNMarked != uint64(marked) {
+		t.Errorf("stats marked %d, observed %d", p.Stats().ECNMarked, marked)
+	}
+}
+
+type vetoFilter struct{ drops int }
+
+func (v *vetoFilter) Allow(p *Packet, now Time) bool {
+	v.drops++
+	return false
+}
+
+func TestPortFilterVeto(t *testing.T) {
+	sim := NewSimulator()
+	dst := &sink{}
+	p := NewPort(sim, "p", 1e9, 0, dst)
+	f := &vetoFilter{}
+	p.Filter = f
+	p.Send(&Packet{Size: 100})
+	sim.Run(Second)
+	if len(dst.pkts) != 0 {
+		t.Error("vetoed packet was delivered")
+	}
+	if p.Stats().DroppedFilter != 1 || f.drops != 1 {
+		t.Errorf("filter drop accounting wrong: %+v", p.Stats())
+	}
+}
+
+func TestPortQueueSampler(t *testing.T) {
+	sim := NewSimulator()
+	p := NewPort(sim, "p", 1e9, 0, &sink{})
+	var samples []int
+	p.OnQueueSample = func(bytes int, now Time) { samples = append(samples, bytes) }
+	p.Send(&Packet{Size: 1000})
+	p.Send(&Packet{Size: 1000})
+	sim.Run(Second)
+	if len(samples) != 2 {
+		t.Fatalf("samples = %v", samples)
+	}
+	if samples[0] != 1000 {
+		t.Errorf("first sample = %d, want 1000 (before transmit drains)", samples[0])
+	}
+}
+
+func TestTxTime(t *testing.T) {
+	sim := NewSimulator()
+	p := NewPort(sim, "p", 10e9, 0, nil)
+	if got := p.TxTime(1500); got != 1200*Nanosecond {
+		t.Errorf("TxTime(1500) at 10G = %v, want 1.2µs", got)
+	}
+}

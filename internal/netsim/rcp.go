@@ -1,0 +1,339 @@
+package netsim
+
+import "math"
+
+// Arithmetic supplies the multiplication and division the RCP router logic
+// and the Nimble rate limiter need but PISA switches cannot execute
+// natively. Implementations: exact (the paper's "ideal"), a static TCAM
+// population, or an ADA-adaptive TCAM population.
+type Arithmetic interface {
+	// Multiply approximates x * y.
+	Multiply(x, y uint64) uint64
+	// Divide approximates x / y.
+	Divide(x, y uint64) uint64
+	// Name labels the implementation in experiment output.
+	Name() string
+}
+
+// IdealArith computes exactly — the paper's unlimited-TCAM baseline.
+type IdealArith struct{}
+
+// Multiply implements Arithmetic.
+func (IdealArith) Multiply(x, y uint64) uint64 {
+	if y != 0 && x > math.MaxUint64/y {
+		return math.MaxUint64
+	}
+	return x * y
+}
+
+// Divide implements Arithmetic.
+func (IdealArith) Divide(x, y uint64) uint64 {
+	if y == 0 {
+		return math.MaxUint64
+	}
+	return x / y
+}
+
+// Name implements Arithmetic.
+func (IdealArith) Name() string { return "ideal" }
+
+// RCP control constants (Dukkipati's thesis values), pre-scaled to the
+// 1024-denominator fixed point the shift-add decomposition uses.
+const (
+	rcpAlphaQ10 = 410 // 0.4 · 1024
+	rcpBetaQ10  = 231 // 0.226 · 1024
+)
+
+// RCPSites holds one Arithmetic per call site of the RCP update. A P4
+// implementation instantiates one TCAM table per arithmetic statement, each
+// with its own population tuned to that site's operand distribution, so the
+// model does the same. Sites may share an implementation (the ideal
+// baseline does).
+type RCPSites struct {
+	// YDiv computes the input rate y = bits / T.
+	YDiv Arithmetic
+	// QDiv computes the queue drain term q / d.
+	QDiv Arithmetic
+	// RAdjMul computes R · adj.
+	RAdjMul Arithmetic
+	// FracDiv computes (R · adj) / C.
+	FracDiv Arithmetic
+}
+
+// UniformRCPSites uses the same Arithmetic at every site.
+func UniformRCPSites(a Arithmetic) RCPSites {
+	return RCPSites{YDiv: a, QDiv: a, RAdjMul: a, FracDiv: a}
+}
+
+// RCPState is the per-output-port RCP rate computation. Every control
+// interval T it recomputes the offered rate
+//
+//	R ← R · (1 + (T/d)·(α(C − y) − β·q/d)/C)
+//
+// where y is the measured input rate and q the queue depth. Every
+// multiplication and division between variables goes through the site's
+// Arithmetic implementation (in Mbps/µs fixed point), so TCAM lookup error
+// perturbs the rate exactly as it would on the switch. Constant factors
+// (α, β, T/d) decompose into native shift-adds.
+type RCPState struct {
+	sim   *Simulator
+	port  *Port
+	sites RCPSites
+
+	// CMbps is the link capacity in Mbps.
+	CMbps uint64
+	// DUs is the average RTT estimate in microseconds.
+	DUs uint64
+	// TUs is the control interval in microseconds.
+	TUs uint64
+	// RMbps is the current offered rate in Mbps.
+	RMbps uint64
+
+	bytesIn uint64
+	// Updates counts control-interval recomputations.
+	Updates uint64
+}
+
+// AttachRCP installs RCP processing on a port with one Arithmetic shared by
+// all call sites, and starts its update timer. d is the RTT estimate; the
+// control interval is set to d (the classic choice).
+func AttachRCP(sim *Simulator, port *Port, arith Arithmetic, d Time) *RCPState {
+	return AttachRCPSites(sim, port, UniformRCPSites(arith), d)
+}
+
+// AttachRCPSites is AttachRCP with per-call-site arithmetic.
+func AttachRCPSites(sim *Simulator, port *Port, sites RCPSites, d Time) *RCPState {
+	st := &RCPState{
+		sim:   sim,
+		port:  port,
+		sites: sites,
+		CMbps: uint64(port.RateBps / 1e6),
+		DUs:   uint64(d / Microsecond),
+		TUs:   uint64(d / Microsecond),
+		RMbps: uint64(port.RateBps / 1e6), // start optimistic at line rate
+	}
+	if st.DUs == 0 {
+		st.DUs = 1
+	}
+	if st.TUs == 0 {
+		st.TUs = 1
+	}
+	port.RCP = st
+	st.scheduleUpdate()
+	return st
+}
+
+func (st *RCPState) scheduleUpdate() {
+	st.sim.After(Time(st.TUs)*Microsecond, func() {
+		st.update()
+		st.scheduleUpdate()
+	})
+}
+
+// OnPacket stamps a traversing packet with the offered rate and accounts its
+// bytes toward the input-rate measurement.
+func (st *RCPState) OnPacket(p *Packet) {
+	st.bytesIn += uint64(p.Size)
+	if p.RCPRate == 0 || p.Ack {
+		return
+	}
+	offered := float64(st.RMbps) * 1e6
+	if offered < p.RCPRate {
+		p.RCPRate = offered
+	}
+}
+
+// update recomputes R through the per-site arithmetic units.
+func (st *RCPState) update() {
+	st.Updates++
+	// y: input rate in Mbps = bits / T(µs).  (1 bit/µs = 1 Mbps)
+	bits := st.bytesIn * 8
+	st.bytesIn = 0
+	y := st.sites.YDiv.Divide(bits, st.TUs) // (1)
+
+	// Spare capacity, sign tracked natively (the ALU subtracts fine).
+	var spare uint64
+	sparePos := true
+	if st.CMbps >= y {
+		spare = st.CMbps - y
+	} else {
+		spare = y - st.CMbps
+		sparePos = false
+	}
+	// Constant multiplications (×0.4 ≈ ×410>>10, ×0.226 ≈ ×231>>10)
+	// decompose into shift-adds the PISA ALU executes natively, so they do
+	// NOT go through the TCAM; only variable×variable operations do.
+	alphaTerm := constMul(spare, rcpAlphaQ10) >> 10 // (2) ≈ 0.4·spare
+
+	// Queue drain term: q in bits over d µs → Mbps.
+	qBits := uint64(st.port.QueuedBytes()) * 8
+	qTerm := st.sites.QDiv.Divide(qBits, st.DUs)  // (3)
+	betaTerm := constMul(qTerm, rcpBetaQ10) >> 10 // (4) ≈ 0.226·q/d
+
+	// adj = ±α·spare − β·q/d, sign handled natively.
+	var adj uint64
+	adjPos := true
+	if sparePos {
+		if alphaTerm >= betaTerm {
+			adj = alphaTerm - betaTerm
+		} else {
+			adj = betaTerm - alphaTerm
+			adjPos = false
+		}
+	} else {
+		adj = alphaTerm + betaTerm
+		adjPos = false
+	}
+
+	// delta = R · adj / C · (T/d). T and d are configuration constants, so
+	// T/d folds into a constant shift-add as well; R·adj and /C are the
+	// variable operations that hit the TCAM.
+	num := st.sites.RAdjMul.Multiply(st.RMbps, adj)    // (5)
+	frac := st.sites.FracDiv.Divide(num, st.CMbps)     // (6)
+	delta := constMul(frac, (st.TUs<<10)/st.DUs) >> 10 // (7) ×(T/d)
+
+	if adjPos {
+		if st.RMbps > math.MaxUint64-delta {
+			st.RMbps = st.CMbps
+		} else {
+			st.RMbps += delta
+		}
+	} else if st.RMbps > delta {
+		st.RMbps -= delta
+	} else {
+		st.RMbps = 0
+	}
+	// Bound to [C/1000, C].
+	if st.RMbps > st.CMbps {
+		st.RMbps = st.CMbps
+	}
+	if minR := st.CMbps / 1000; st.RMbps < minR && minR > 0 {
+		st.RMbps = minR
+	}
+}
+
+// constMul multiplies by a compile-time constant; on the switch this
+// decomposes into a bounded sequence of shift-adds, which the PISA ALU
+// supports natively, so it is exact.
+func constMul(x, c uint64) uint64 {
+	if c != 0 && x > math.MaxUint64/c {
+		return math.MaxUint64
+	}
+	return x * c
+}
+
+// rcpTransport paces packets at the rate the network grants.
+type rcpTransport struct {
+	sim  *Simulator
+	host *Host
+	flow *Flow
+
+	total    int
+	sndUna   int
+	sndNext  int
+	rate     float64 // bps
+	maxInfly int
+	rtoSeq   int64
+	started  bool
+}
+
+// NewRCPTransport returns a factory for RCP senders. initialRate is the
+// first-RTT sending rate in bps (classic RCP starts at line rate).
+func NewRCPTransport(initialRate float64) TransportFactory {
+	return func(sim *Simulator, src *Host, f *Flow) Transport {
+		return &rcpTransport{
+			sim:      sim,
+			host:     src,
+			flow:     f,
+			total:    f.NumPackets(),
+			rate:     initialRate,
+			maxInfly: 512,
+		}
+	}
+}
+
+// Start implements Transport.
+func (t *rcpTransport) Start() {
+	if t.started {
+		return
+	}
+	t.started = true
+	t.sendLoop()
+	t.armRTO()
+}
+
+func (t *rcpTransport) sendLoop() {
+	if t.flow.Done() {
+		return
+	}
+	if t.sndNext >= t.total || t.sndNext-t.sndUna >= t.maxInfly {
+		// Paused: resumes from OnAck.
+		return
+	}
+	t.emit(t.sndNext)
+	t.sndNext++
+	if t.rate <= 0 {
+		t.rate = 1e6
+	}
+	payloadBits := float64((MSS + HeaderBytes) * 8)
+	gap := Time(payloadBits / t.rate * float64(Second))
+	t.sim.After(gap, t.sendLoop)
+}
+
+func (t *rcpTransport) emit(seq int) {
+	payload := t.flow.PacketPayload(seq)
+	t.host.NIC.Send(&Packet{
+		FlowID:  t.flow.ID,
+		Src:     t.flow.Src,
+		Dst:     t.flow.Dst,
+		Seq:     seq,
+		Size:    payload + HeaderBytes,
+		Payload: payload,
+		RCPRate: math.MaxFloat64, // routers lower it to their offer
+		Sent:    t.sim.Now(),
+	})
+}
+
+// OnAck implements Transport.
+func (t *rcpTransport) OnAck(p *Packet) {
+	if t.flow.Done() {
+		return
+	}
+	if p.RCPRate > 0 && p.RCPRate < math.MaxFloat64 {
+		t.rate = p.RCPRate
+	}
+	if p.AckNo > t.sndUna {
+		wasBlocked := t.sndNext-t.sndUna >= t.maxInfly
+		t.sndUna = p.AckNo
+		if t.sndUna >= t.total {
+			t.flow.Finish = t.sim.Now()
+			if t.host.OnFlowDone != nil {
+				t.host.OnFlowDone(t.flow)
+			}
+			return
+		}
+		if wasBlocked {
+			t.sendLoop()
+		}
+	}
+	t.armRTO()
+}
+
+func (t *rcpTransport) armRTO() {
+	if t.flow.Done() {
+		return
+	}
+	t.rtoSeq++
+	seq := t.rtoSeq
+	una := t.sndUna
+	t.sim.After(2*Millisecond, func() {
+		if seq != t.rtoSeq || t.flow.Done() {
+			return
+		}
+		if t.sndUna == una {
+			t.sndNext = t.sndUna // rewind and resend at current rate
+			t.sendLoop()
+		}
+		t.armRTO()
+	})
+}

@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIdealArith(t *testing.T) {
+	a := IdealArith{}
+	if a.Multiply(6, 7) != 42 {
+		t.Error("multiply")
+	}
+	if a.Multiply(math.MaxUint64, 2) != math.MaxUint64 {
+		t.Error("multiply saturation")
+	}
+	if a.Divide(42, 6) != 7 {
+		t.Error("divide")
+	}
+	if a.Divide(1, 0) != math.MaxUint64 {
+		t.Error("divide by zero")
+	}
+	if a.Name() != "ideal" {
+		t.Error("name")
+	}
+}
+
+func TestRCPSingleFlowRampsToLineRate(t *testing.T) {
+	topo := BuildDumbbell(DumbbellConfig{
+		HostsPerSide:      1,
+		AccessRateBps:     1e9,
+		BottleneckRateBps: 1e9,
+		LinkDelay:         5 * Microsecond,
+	})
+	net := topo.Net
+	st := AttachRCP(net.Sim, topo.CorePorts[0], IdealArith{}, 40*Microsecond)
+	f := net.AddFlow(&Flow{Src: 0, Dst: 1, Size: 4 * 1024 * 1024, Start: 0})
+	if err := net.StartFlow(f, NewRCPTransport(1e9)); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.Run(10 * Second)
+	if !f.Done() {
+		t.Fatal("RCP flow did not complete")
+	}
+	if st.Updates == 0 {
+		t.Fatal("RCP never updated")
+	}
+	// Ideal time: 4 MB + headers at 1 Gbps ≈ 34 ms; RCP at line rate should
+	// be close.
+	ideal := Time(float64(f.Size+f.NumPackets()*HeaderBytes) * 8 / 1e9 * float64(Second))
+	if f.FCT() > 4*ideal {
+		t.Errorf("RCP FCT %v not close to ideal %v", f.FCT(), ideal)
+	}
+}
+
+func TestRCPSharesBottleneck(t *testing.T) {
+	// Two RCP flows share a bottleneck; the router hands both the same rate
+	// and both complete.
+	topo := BuildDumbbell(DumbbellConfig{
+		HostsPerSide:      2,
+		AccessRateBps:     10e9,
+		BottleneckRateBps: 1e9,
+		LinkDelay:         5 * Microsecond,
+	})
+	net := topo.Net
+	AttachRCP(net.Sim, topo.CorePorts[0], IdealArith{}, 40*Microsecond)
+	f1 := net.AddFlow(&Flow{Src: 0, Dst: 2, Size: 1024 * 1024, Start: 0})
+	f2 := net.AddFlow(&Flow{Src: 1, Dst: 3, Size: 1024 * 1024, Start: 0})
+	for _, f := range []*Flow{f1, f2} {
+		if err := net.StartFlow(f, NewRCPTransport(1e9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Sim.Run(10 * Second)
+	if !f1.Done() || !f2.Done() {
+		t.Fatalf("RCP flows done: %v %v", f1.Done(), f2.Done())
+	}
+	// Fairness: completion times within 3× of each other (same size, same
+	// start, same offered rate).
+	a, b := float64(f1.FCT()), float64(f2.FCT())
+	if a/b > 3 || b/a > 3 {
+		t.Errorf("unfair RCP completion: %v vs %v", f1.FCT(), f2.FCT())
+	}
+}
+
+// lossyArith injects a fixed multiplicative error into every operation,
+// modelling a badly populated TCAM.
+type lossyArith struct{ factor float64 }
+
+func (l lossyArith) Multiply(x, y uint64) uint64 {
+	return uint64(float64(x) * float64(y) * l.factor)
+}
+func (l lossyArith) Divide(x, y uint64) uint64 {
+	if y == 0 {
+		return math.MaxUint64
+	}
+	return uint64(float64(x) / float64(y) * l.factor)
+}
+func (l lossyArith) Name() string { return "lossy" }
+
+func TestRCPArithmeticErrorDistortsFixedPoint(t *testing.T) {
+	// The paper's core claim for RCP: arithmetic error distorts the rate
+	// computation. With two flows sharing the bottleneck, the ideal router
+	// converges near C/2 per flow; a router whose division/multiplication
+	// underestimates the measured input rate believes the link is idle and
+	// keeps the offered rate pinned near line rate, overloading the queue.
+	run := func(a Arithmetic) (rate uint64, drops uint64) {
+		topo := BuildDumbbell(DumbbellConfig{
+			HostsPerSide:      2,
+			AccessRateBps:     10e9,
+			BottleneckRateBps: 1e9,
+			LinkDelay:         5 * Microsecond,
+		})
+		net := topo.Net
+		st := AttachRCP(net.Sim, topo.CorePorts[0], a, 40*Microsecond)
+		// Long-running flows so the controller reaches its fixed point.
+		f1 := net.AddFlow(&Flow{Src: 0, Dst: 2, Size: 16 * 1024 * 1024, Start: 0})
+		f2 := net.AddFlow(&Flow{Src: 1, Dst: 3, Size: 16 * 1024 * 1024, Start: 0})
+		for _, f := range []*Flow{f1, f2} {
+			if err := net.StartFlow(f, NewRCPTransport(1e9)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		net.Sim.Run(100 * Millisecond) // mid-transfer: observe the fixed point
+		return st.RMbps, topo.CorePorts[0].Stats().DroppedBuffer
+	}
+	idealRate, _ := run(IdealArith{})
+	lossyRate, lossyDrops := run(lossyArith{factor: 0.2})
+	if idealRate > 750 {
+		t.Errorf("ideal RCP rate %d Mbps did not converge below line rate with two flows", idealRate)
+	}
+	if lossyRate <= idealRate && lossyDrops == 0 {
+		t.Errorf("lossy arithmetic neither inflated the rate (%d vs %d Mbps) nor caused drops",
+			lossyRate, idealRate)
+	}
+}
+
+func TestRCPZeroDelayGuards(t *testing.T) {
+	topo := BuildStar(StarConfig{Hosts: 2, LinkRateBps: 1e9})
+	st := AttachRCP(topo.Net.Sim, topo.DownPorts[1][0], IdealArith{}, 0)
+	if st.DUs == 0 || st.TUs == 0 {
+		t.Error("zero RTT must clamp to 1µs")
+	}
+}

@@ -1,0 +1,133 @@
+// Package netsim is a packet-level discrete-event network simulator, the
+// stand-in for the paper's ns-3 evaluation environment (§IV, §V-C). It
+// models hosts, output-queued switches with finite buffers and ECN marking,
+// links with bandwidth and propagation delay, window-based transports (Reno,
+// CUBIC-style, DCTCP) and rate-based RCP, heavy-tailed workload generation
+// with incast, and the per-port hooks (rate limiters, queue samplers) the
+// ADA applications attach to.
+//
+// The simulator is deterministic under a fixed seed and single-threaded; all
+// state is owned by the event loop.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in picoseconds. Picosecond resolution keeps
+// 100 Gbps serialisation times exact (a 1500 B frame is 120 ns).
+type Time int64
+
+// Time unit constants.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String renders a human-friendly duration.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t)/int64(Nanosecond))
+	}
+}
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq int64 // FIFO tie-break for determinism
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator is the event loop.
+type Simulator struct {
+	now    Time
+	events eventHeap
+	seq    int64
+	// Processed counts executed events (diagnostics).
+	Processed uint64
+}
+
+// NewSimulator creates an empty simulator at time zero.
+func NewSimulator() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Schedule runs fn at the absolute time at; times in the past run "now".
+func (s *Simulator) Schedule(at Time, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// After runs fn d after the current time.
+func (s *Simulator) After(d Time, fn func()) {
+	s.Schedule(s.now+d, fn)
+}
+
+// Step executes the next event; it reports whether one existed.
+func (s *Simulator) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*event)
+	s.now = e.at
+	s.Processed++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue empties or the clock passes until.
+func (s *Simulator) Run(until Time) {
+	for len(s.events) > 0 && s.events[0].at <= until {
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.events) }

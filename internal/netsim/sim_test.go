@@ -1,0 +1,122 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimulatorOrdering(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	s.Schedule(30*Nanosecond, func() { order = append(order, 3) })
+	s.Schedule(10*Nanosecond, func() { order = append(order, 1) })
+	s.Schedule(20*Nanosecond, func() { order = append(order, 2) })
+	s.Run(Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("execution order = %v", order)
+	}
+	if s.Now() != Second {
+		t.Errorf("Now = %v, want advanced to until", s.Now())
+	}
+}
+
+func TestSimulatorFIFOTieBreak(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5*Nanosecond, func() { order = append(order, i) })
+	}
+	s.Run(Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestSimulatorNestedScheduling(t *testing.T) {
+	s := NewSimulator()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			s.After(Microsecond, tick)
+		}
+	}
+	s.After(0, tick)
+	s.Run(Second)
+	if count != 5 {
+		t.Errorf("ticks = %d, want 5", count)
+	}
+	if s.Processed != 5 {
+		t.Errorf("Processed = %d", s.Processed)
+	}
+}
+
+func TestSchedulePastClamps(t *testing.T) {
+	s := NewSimulator()
+	s.Schedule(10*Microsecond, func() {
+		fired := false
+		s.Schedule(Microsecond, func() { fired = true }) // in the past
+		s.Step()
+		if !fired {
+			t.Error("past event must fire immediately")
+		}
+		if s.Now() != 10*Microsecond {
+			t.Errorf("clock went backwards: %v", s.Now())
+		}
+	})
+	s.Run(Second)
+}
+
+func TestRunStopsAtUntil(t *testing.T) {
+	s := NewSimulator()
+	fired := false
+	s.Schedule(2*Second, func() { fired = true })
+	s.Run(Second)
+	if fired {
+		t.Error("event after until must not fire")
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	for _, tt := range []struct {
+		t Time
+	}{{Second}, {Millisecond}, {Microsecond}, {5 * Nanosecond}} {
+		if tt.t.String() == "" {
+			t.Errorf("empty String for %d", int64(tt.t))
+		}
+	}
+	if Second.Seconds() != 1 {
+		t.Error("Seconds conversion wrong")
+	}
+	if Microsecond.Micros() != 1 {
+		t.Error("Micros conversion wrong")
+	}
+}
+
+func TestHeapStress(t *testing.T) {
+	s := NewSimulator()
+	rng := rand.New(rand.NewSource(1))
+	var last Time
+	n := 0
+	for i := 0; i < 5000; i++ {
+		at := Time(rng.Int63n(int64(Second)))
+		s.Schedule(at, func() {
+			if s.Now() < last {
+				t.Fatal("time went backwards")
+			}
+			last = s.Now()
+			n++
+		})
+	}
+	s.Run(Second)
+	if n != 5000 {
+		t.Errorf("executed %d events, want 5000", n)
+	}
+}

@@ -1,0 +1,264 @@
+package netsim
+
+// Topology wires hosts and switches and retains the port matrices so
+// experiments can attach ECN thresholds, RCP state, rate limiters, and
+// samplers to specific links.
+type Topology struct {
+	// Net is the underlying network.
+	Net *Network
+	// HostPorts[h] is host h's NIC (host → ToR).
+	HostPorts []*Port
+	// DownPorts[sw][i] are switch sw's ports toward hosts (ToR → host).
+	DownPorts map[int][]*Port
+	// UpPorts[sw][i] are leaf sw's ports toward spines.
+	UpPorts map[int][]*Port
+	// SpineDown[spine][leaf] are spine ports toward leaves.
+	SpineDown map[int][]*Port
+	// CorePorts are special inter-switch ports (dumbbell bottleneck).
+	CorePorts []*Port
+}
+
+// AllSwitchPorts returns every switch-owned port (for fabric-wide settings
+// such as the DCTCP ECN threshold).
+func (t *Topology) AllSwitchPorts() []*Port {
+	var out []*Port
+	for _, ps := range t.DownPorts {
+		out = append(out, ps...)
+	}
+	for _, ps := range t.UpPorts {
+		out = append(out, ps...)
+	}
+	for _, ps := range t.SpineDown {
+		out = append(out, ps...)
+	}
+	out = append(out, t.CorePorts...)
+	return out
+}
+
+// SetECNThreshold applies an ECN marking threshold to every switch port.
+func (t *Topology) SetECNThreshold(bytes int) {
+	for _, p := range t.AllSwitchPorts() {
+		p.ECNThreshold = bytes
+	}
+}
+
+// flowHash spreads flows across ECMP uplinks deterministically.
+func flowHash(p *Packet) int {
+	h := uint32(p.FlowID)*2654435761 + uint32(p.Src)*40503 + uint32(p.Dst)*2057
+	return int(h >> 4)
+}
+
+// LeafSpineConfig sizes a two-tier Clos fabric.
+type LeafSpineConfig struct {
+	// Spines and Leaves count the switches.
+	Spines, Leaves int
+	// HostsPerLeaf is the rack size.
+	HostsPerLeaf int
+	// LinkRateBps applies to every link (the paper uses 100 Gbps).
+	LinkRateBps float64
+	// LinkDelay is the per-hop propagation delay (the paper uses 1 µs).
+	LinkDelay Time
+}
+
+// Hosts returns the total host count.
+func (c LeafSpineConfig) Hosts() int { return c.Leaves * c.HostsPerLeaf }
+
+// BuildLeafSpine constructs the §V-C topology: every host attaches to its
+// leaf, every leaf attaches to every spine, ECMP by flow hash.
+func BuildLeafSpine(cfg LeafSpineConfig) *Topology {
+	net := NewNetwork()
+	topo := &Topology{
+		Net:       net,
+		DownPorts: make(map[int][]*Port),
+		UpPorts:   make(map[int][]*Port),
+		SpineDown: make(map[int][]*Port),
+	}
+	sim := net.Sim
+
+	leaves := make([]*Switch, cfg.Leaves)
+	spines := make([]*Switch, cfg.Spines)
+	for i := range spines {
+		spines[i] = NewSwitch(sim, 1000+i)
+		net.Switches = append(net.Switches, spines[i])
+	}
+	for l := range leaves {
+		leaves[l] = NewSwitch(sim, 2000+l)
+		net.Switches = append(net.Switches, leaves[l])
+	}
+
+	leafOf := func(host int) int { return host / cfg.HostsPerLeaf }
+
+	// Hosts and access links.
+	for h := 0; h < cfg.Hosts(); h++ {
+		host := NewHost(sim, h)
+		leaf := leaves[leafOf(h)]
+		nic := NewPort(sim, portName("h", h, "up"), cfg.LinkRateBps, cfg.LinkDelay, leaf)
+		host.NIC = nic
+		down := NewPort(sim, portName("l", leaf.ID, "down"), cfg.LinkRateBps, cfg.LinkDelay, host)
+		leaf.AddPort(down)
+		topo.DownPorts[leaf.ID] = append(topo.DownPorts[leaf.ID], down)
+		topo.HostPorts = append(topo.HostPorts, nic)
+		net.Hosts = append(net.Hosts, host)
+	}
+
+	// Leaf ↔ spine links.
+	for _, leaf := range leaves {
+		for s, spine := range spines {
+			up := NewPort(sim, portName("l", leaf.ID, "up"), cfg.LinkRateBps, cfg.LinkDelay, spine)
+			leaf.AddPort(up)
+			topo.UpPorts[leaf.ID] = append(topo.UpPorts[leaf.ID], up)
+
+			down := NewPort(sim, portName("s", spine.ID, "down"), cfg.LinkRateBps, cfg.LinkDelay, leaf)
+			spine.AddPort(down)
+			topo.SpineDown[spine.ID] = append(topo.SpineDown[spine.ID], down)
+			_ = s
+		}
+	}
+
+	// Routing.
+	for l, leaf := range leaves {
+		l, leaf := l, leaf
+		leaf.Route = func(p *Packet) *Port {
+			if leafOf(p.Dst) == l {
+				return topo.DownPorts[leaf.ID][p.Dst%cfg.HostsPerLeaf]
+			}
+			ups := topo.UpPorts[leaf.ID]
+			return ups[flowHash(p)%len(ups)]
+		}
+	}
+	for _, spine := range spines {
+		spine := spine
+		spine.Route = func(p *Packet) *Port {
+			return topo.SpineDown[spine.ID][leafOf(p.Dst)]
+		}
+	}
+	return topo
+}
+
+// DumbbellConfig sizes the two-switch bottleneck topology of §II-B's
+// inter-arrival study.
+type DumbbellConfig struct {
+	// HostsPerSide hosts hang off each switch.
+	HostsPerSide int
+	// AccessRateBps is the host link rate.
+	AccessRateBps float64
+	// BottleneckRateBps is the switch-to-switch rate.
+	BottleneckRateBps float64
+	// LinkDelay is the per-hop propagation delay.
+	LinkDelay Time
+}
+
+// BuildDumbbell constructs left hosts — switch L — switch R — right hosts.
+// Host IDs 0..n-1 are left, n..2n-1 are right. The bottleneck ports are
+// CorePorts[0] (L→R) and CorePorts[1] (R→L).
+func BuildDumbbell(cfg DumbbellConfig) *Topology {
+	net := NewNetwork()
+	topo := &Topology{
+		Net:       net,
+		DownPorts: make(map[int][]*Port),
+		UpPorts:   make(map[int][]*Port),
+		SpineDown: make(map[int][]*Port),
+	}
+	sim := net.Sim
+	left := NewSwitch(sim, 1)
+	right := NewSwitch(sim, 2)
+	net.Switches = append(net.Switches, left, right)
+
+	n := cfg.HostsPerSide
+	for h := 0; h < 2*n; h++ {
+		host := NewHost(sim, h)
+		sw := left
+		if h >= n {
+			sw = right
+		}
+		nic := NewPort(sim, portName("h", h, "up"), cfg.AccessRateBps, cfg.LinkDelay, sw)
+		host.NIC = nic
+		down := NewPort(sim, portName("sw", sw.ID, "down"), cfg.AccessRateBps, cfg.LinkDelay, host)
+		sw.AddPort(down)
+		topo.DownPorts[sw.ID] = append(topo.DownPorts[sw.ID], down)
+		topo.HostPorts = append(topo.HostPorts, nic)
+		net.Hosts = append(net.Hosts, host)
+	}
+	l2r := NewPort(sim, "L->R", cfg.BottleneckRateBps, cfg.LinkDelay, right)
+	r2l := NewPort(sim, "R->L", cfg.BottleneckRateBps, cfg.LinkDelay, left)
+	left.AddPort(l2r)
+	right.AddPort(r2l)
+	topo.CorePorts = []*Port{l2r, r2l}
+
+	left.Route = func(p *Packet) *Port {
+		if p.Dst < n {
+			return topo.DownPorts[left.ID][p.Dst]
+		}
+		return l2r
+	}
+	right.Route = func(p *Packet) *Port {
+		if p.Dst >= n {
+			return topo.DownPorts[right.ID][p.Dst-n]
+		}
+		return r2l
+	}
+	return topo
+}
+
+// StarConfig sizes the single-switch testbed topology of §V-B (three
+// servers in a star around the Tofino).
+type StarConfig struct {
+	// Hosts around the switch.
+	Hosts int
+	// LinkRateBps is every link's rate.
+	LinkRateBps float64
+	// LinkDelay is the per-hop propagation delay.
+	LinkDelay Time
+}
+
+// BuildStar constructs hosts around one switch.
+func BuildStar(cfg StarConfig) *Topology {
+	net := NewNetwork()
+	topo := &Topology{
+		Net:       net,
+		DownPorts: make(map[int][]*Port),
+		UpPorts:   make(map[int][]*Port),
+		SpineDown: make(map[int][]*Port),
+	}
+	sim := net.Sim
+	sw := NewSwitch(sim, 1)
+	net.Switches = append(net.Switches, sw)
+	for h := 0; h < cfg.Hosts; h++ {
+		host := NewHost(sim, h)
+		nic := NewPort(sim, portName("h", h, "up"), cfg.LinkRateBps, cfg.LinkDelay, sw)
+		host.NIC = nic
+		down := NewPort(sim, portName("sw", sw.ID, "down"), cfg.LinkRateBps, cfg.LinkDelay, host)
+		sw.AddPort(down)
+		topo.DownPorts[sw.ID] = append(topo.DownPorts[sw.ID], down)
+		topo.HostPorts = append(topo.HostPorts, nic)
+		net.Hosts = append(net.Hosts, host)
+	}
+	sw.Route = func(p *Packet) *Port {
+		if p.Dst < 0 || p.Dst >= cfg.Hosts {
+			return nil
+		}
+		return topo.DownPorts[sw.ID][p.Dst]
+	}
+	return topo
+}
+
+func portName(kind string, id int, dir string) string {
+	const digits = "0123456789"
+	// Cheap concatenation; ports are created once at build time.
+	buf := make([]byte, 0, 16)
+	buf = append(buf, kind...)
+	if id == 0 {
+		buf = append(buf, '0')
+	} else {
+		var tmp [20]byte
+		i := len(tmp)
+		for v := id; v > 0; v /= 10 {
+			i--
+			tmp[i] = digits[v%10]
+		}
+		buf = append(buf, tmp[i:]...)
+	}
+	buf = append(buf, '.')
+	buf = append(buf, dir...)
+	return string(buf)
+}

@@ -1,0 +1,310 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/ada-repro/ada/internal/dist"
+)
+
+func TestLeafSpineConnectivity(t *testing.T) {
+	cfg := LeafSpineConfig{
+		Spines:       2,
+		Leaves:       4,
+		HostsPerLeaf: 4,
+		LinkRateBps:  10e9,
+		LinkDelay:    Microsecond,
+	}
+	topo := BuildLeafSpine(cfg)
+	net := topo.Net
+	if len(net.Hosts) != 16 {
+		t.Fatalf("hosts = %d", len(net.Hosts))
+	}
+	if len(net.Switches) != 6 {
+		t.Fatalf("switches = %d", len(net.Switches))
+	}
+	// Every host pair must be able to complete a small flow (intra- and
+	// inter-rack).
+	pairs := [][2]int{{0, 1}, {0, 5}, {3, 12}, {15, 0}, {7, 8}}
+	var flows []*Flow
+	for _, pr := range pairs {
+		f := net.AddFlow(&Flow{Src: pr[0], Dst: pr[1], Size: 64 * 1024, Start: 0})
+		flows = append(flows, f)
+		if err := net.StartFlow(f, NewWindowTransport(Reno)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Sim.Run(5 * Second)
+	for i, f := range flows {
+		if !f.Done() {
+			t.Errorf("pair %v (flow %d) did not complete", pairs[i], i)
+		}
+	}
+	for _, sw := range net.Switches {
+		if sw.Dropped() != 0 {
+			t.Errorf("switch %d dropped %d packets to routing", sw.ID, sw.Dropped())
+		}
+	}
+}
+
+func TestLeafSpineECMPSpreads(t *testing.T) {
+	cfg := LeafSpineConfig{
+		Spines:       4,
+		Leaves:       2,
+		HostsPerLeaf: 2,
+		LinkRateBps:  10e9,
+		LinkDelay:    Microsecond,
+	}
+	topo := BuildLeafSpine(cfg)
+	net := topo.Net
+	// Many inter-rack flows: their packets must spread across uplinks.
+	var flows []*Flow
+	for i := 0; i < 32; i++ {
+		f := net.AddFlow(&Flow{Src: i % 2, Dst: 2 + i%2, Size: 16 * 1024, Start: 0})
+		flows = append(flows, f)
+		if err := net.StartFlow(f, NewWindowTransport(Reno)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Sim.Run(5 * Second)
+	used := 0
+	for _, leafID := range []int{2000, 2001} {
+		for _, up := range topo.UpPorts[leafID] {
+			if up.Stats().DeliveredPkts > 0 {
+				used++
+			}
+		}
+	}
+	if used < 4 {
+		t.Errorf("only %d uplink ports used; ECMP not spreading", used)
+	}
+}
+
+func TestDumbbellRouting(t *testing.T) {
+	topo := BuildDumbbell(DumbbellConfig{
+		HostsPerSide:      2,
+		AccessRateBps:     1e9,
+		BottleneckRateBps: 1e9,
+		LinkDelay:         Microsecond,
+	})
+	net := topo.Net
+	// Same-side flow must not cross the bottleneck.
+	f := net.AddFlow(&Flow{Src: 0, Dst: 1, Size: 16 * 1024, Start: 0})
+	if err := net.StartFlow(f, NewWindowTransport(Reno)); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.Run(Second)
+	if !f.Done() {
+		t.Fatal("same-side flow incomplete")
+	}
+	if topo.CorePorts[0].Stats().DeliveredPkts != 0 {
+		t.Error("same-side traffic crossed the bottleneck")
+	}
+}
+
+func TestNetworkHostErrors(t *testing.T) {
+	net := NewNetwork()
+	if _, err := net.Host(0); err == nil {
+		t.Error("empty network Host(0): want error")
+	}
+	f := &Flow{Src: 0, Dst: 99, Size: 100}
+	net.AddFlow(f)
+	if err := net.StartFlow(f, NewWindowTransport(Reno)); err == nil {
+		t.Error("StartFlow with bad hosts: want error")
+	}
+}
+
+func TestSetECNThreshold(t *testing.T) {
+	topo := BuildLeafSpine(LeafSpineConfig{
+		Spines: 2, Leaves: 2, HostsPerLeaf: 2,
+		LinkRateBps: 1e9, LinkDelay: Microsecond,
+	})
+	topo.SetECNThreshold(12345)
+	for _, p := range topo.AllSwitchPorts() {
+		if p.ECNThreshold != 12345 {
+			t.Fatalf("port %s threshold %d", p.Name(), p.ECNThreshold)
+		}
+	}
+}
+
+func TestWorkloadGeneration(t *testing.T) {
+	net := NewNetwork()
+	for i := 0; i < 8; i++ {
+		net.Hosts = append(net.Hosts, NewHost(net.Sim, i))
+	}
+	cfg := DefaultWorkload(0.5, 100*Millisecond, 7)
+	cfg.IncastEvery = 20 * Millisecond
+	cfg.IncastFanIn = 4
+	flows := GenerateFlows(net, 8, 10e9, cfg)
+	if len(flows) == 0 {
+		t.Fatal("no flows generated")
+	}
+	shorts, longs, incasts := 0, 0, 0
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Fatal("self-flow generated")
+		}
+		if f.Src < 0 || f.Src >= 8 || f.Dst < 0 || f.Dst >= 8 {
+			t.Fatalf("host out of range: %+v", f)
+		}
+		if f.Start < 0 || f.Start >= cfg.Duration {
+			t.Fatalf("arrival outside window: %v", f.Start)
+		}
+		switch {
+		case f.Incast:
+			incasts++
+		case f.Size <= cfg.ShortMax:
+			shorts++
+		default:
+			longs++
+		}
+	}
+	if incasts != 4*4 { // 4 episodes × fan-in 4
+		t.Errorf("incast flows = %d, want 16", incasts)
+	}
+	frac := float64(shorts) / float64(shorts+longs)
+	if frac < 0.7 || frac > 0.9 {
+		t.Errorf("short fraction = %.2f, want ≈0.8", frac)
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	gen := func() []*Flow {
+		net := NewNetwork()
+		for i := 0; i < 4; i++ {
+			net.Hosts = append(net.Hosts, NewHost(net.Sim, i))
+		}
+		return GenerateFlows(net, 4, 1e9, DefaultWorkload(0.3, 50*Millisecond, 99))
+	}
+	a, b := gen(), gen()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Src != b[i].Src || a[i].Dst != b[i].Dst || a[i].Size != b[i].Size || a[i].Start != b[i].Start {
+			t.Fatalf("flow %d differs", i)
+		}
+	}
+}
+
+func TestWorkloadEdgeCases(t *testing.T) {
+	net := NewNetwork()
+	if flows := GenerateFlows(net, 1, 1e9, DefaultWorkload(0.5, Second, 1)); flows != nil {
+		t.Error("single-host workload must be empty")
+	}
+	if flows := GenerateFlows(net, 8, 1e9, DefaultWorkload(0, Second, 1)); flows != nil {
+		t.Error("zero-load workload must be empty")
+	}
+}
+
+func TestCollectFCT(t *testing.T) {
+	flows := []*Flow{
+		{Size: 1000, Start: 0, Finish: 10 * Microsecond},
+		{Size: 1000, Start: 0, Finish: 20 * Microsecond},
+		{Size: 1000, Start: 0, Finish: 30 * Microsecond},
+		{Size: 1000, Start: 0}, // unfinished
+		{Size: 1 << 20, Start: 0, Finish: 100 * Microsecond},
+	}
+	s := CollectFCT(flows, ShortFlows(64*1024))
+	if s.N != 3 || s.Unfinished != 1 {
+		t.Fatalf("N=%d Unfinished=%d", s.N, s.Unfinished)
+	}
+	if s.Mean != 20*Microsecond || s.Median != 20*Microsecond || s.Max != 30*Microsecond {
+		t.Errorf("stats = %+v", s)
+	}
+	l := CollectFCT(flows, LongFlows(64*1024))
+	if l.N != 1 || l.Mean != 100*Microsecond {
+		t.Errorf("long stats = %+v", l)
+	}
+	empty := CollectFCT(nil, nil)
+	if empty.N != 0 {
+		t.Error("empty stats")
+	}
+}
+
+func TestQueueRecorderCDF(t *testing.T) {
+	r := &QueueRecorder{Samples: []int{100, 200, 200, 300}}
+	depths, frac := r.CDF()
+	if len(depths) != 3 {
+		t.Fatalf("depths = %v", depths)
+	}
+	if frac[len(frac)-1] != 1 {
+		t.Errorf("CDF tail = %g", frac[len(frac)-1])
+	}
+	if got := r.FractionBelow(200); got != 0.75 {
+		t.Errorf("FractionBelow(200) = %g, want 0.75", got)
+	}
+	var emptyRec QueueRecorder
+	if d, f := emptyRec.CDF(); d != nil || f != nil {
+		t.Error("empty CDF must be nil")
+	}
+}
+
+func TestInterArrivalRecorder(t *testing.T) {
+	sim := NewSimulator()
+	p := NewPort(sim, "p", 100e9, 0, &sink{})
+	r := &InterArrivalRecorder{}
+	r.Attach(p)
+	for i := 0; i < 10; i++ {
+		p.Send(&Packet{Size: 1500})
+	}
+	sim.Run(Second)
+	if len(r.Gaps) != 9 {
+		t.Fatalf("gaps = %d", len(r.Gaps))
+	}
+	if q := r.Quantile(0.5); q != 120*Nanosecond {
+		t.Errorf("median gap = %v, want 120ns", q)
+	}
+	var emptyRec InterArrivalRecorder
+	if emptyRec.Quantile(0.5) != 0 {
+		t.Error("empty quantile must be 0")
+	}
+}
+
+func TestThroughputMeter(t *testing.T) {
+	sim := NewSimulator()
+	p := NewPort(sim, "p", 1e9, 0, &sink{})
+	m := &ThroughputMeter{Window: Millisecond}
+	m.Attach(sim, p)
+	// Saturate for ~5 ms.
+	var feed func()
+	feed = func() {
+		if sim.Now() < 5*Millisecond {
+			p.Send(&Packet{Size: 1500, Payload: 1460})
+			sim.After(12*Microsecond, feed) // 1 Gbps worth
+		}
+	}
+	sim.After(0, feed)
+	sim.Run(6 * Millisecond)
+	if len(m.BpsSeries) < 4 {
+		t.Fatalf("series = %v", m.BpsSeries)
+	}
+	mid := m.BpsSeries[2]
+	if mid < 0.5e9 || mid > 1.2e9 {
+		t.Errorf("mid-series goodput = %g bps, want ≈1G", mid)
+	}
+}
+
+func TestWorkloadEmpiricalSizeDist(t *testing.T) {
+	net := NewNetwork()
+	for i := 0; i < 8; i++ {
+		net.Hosts = append(net.Hosts, NewHost(net.Sim, i))
+	}
+	cfg := DefaultWorkload(0.5, 50*Millisecond, 9)
+	cfg.SizeDist = dist.WebSearchFlowSizes()
+	flows := GenerateFlows(net, 8, 10e9, cfg)
+	if len(flows) == 0 {
+		t.Fatal("no flows")
+	}
+	seenLarge := false
+	for _, f := range flows {
+		if f.Size < 1 {
+			t.Fatalf("flow size %d", f.Size)
+		}
+		if !f.Incast && f.Size > 1024*1024 {
+			seenLarge = true
+		}
+	}
+	if !seenLarge {
+		t.Error("no heavy-tail flows generated from the empirical distribution")
+	}
+}

@@ -1,0 +1,292 @@
+package netsim
+
+import "math"
+
+// Transport is a sender-side protocol engine for one flow.
+type Transport interface {
+	// Start begins transmission (scheduled at the flow's start time).
+	Start()
+	// OnAck processes a returning acknowledgement.
+	OnAck(p *Packet)
+}
+
+// TransportFactory builds a transport for a flow on its source host.
+type TransportFactory func(sim *Simulator, src *Host, f *Flow) Transport
+
+// CCVariant selects the window-growth law of the window transport.
+type CCVariant int
+
+const (
+	// Reno is classic AIMD with slow start.
+	Reno CCVariant = iota + 1
+	// Cubic grows the window with the CUBIC time-based law.
+	Cubic
+	// DCTCP is Reno plus ECN-fraction-proportional decrease.
+	DCTCP
+)
+
+// String implements fmt.Stringer.
+func (v CCVariant) String() string {
+	switch v {
+	case Reno:
+		return "reno"
+	case Cubic:
+		return "cubic"
+	case DCTCP:
+		return "dctcp"
+	default:
+		return "cc?"
+	}
+}
+
+const (
+	initialCwnd   = 10.0
+	minCwnd       = 1.0
+	dctcpG        = 1.0 / 16
+	cubicC        = 0.4
+	cubicBeta     = 0.7
+	defaultMinRTO = 200 * Microsecond
+)
+
+// windowTransport implements Reno/CUBIC/DCTCP window-based sending with
+// cumulative ACKs, fast retransmit on three duplicate ACKs, and RTO
+// recovery.
+type windowTransport struct {
+	sim     *Simulator
+	host    *Host
+	flow    *Flow
+	variant CCVariant
+
+	total    int // packets in flow
+	sndUna   int
+	sndNext  int
+	cwnd     float64
+	ssthresh float64
+	dupacks  int
+
+	recovering  bool
+	recoverSeq  int
+	rtoSeq      int64
+	srtt        Time
+	minRTO      Time
+	lastAckTime Time
+
+	// CUBIC state.
+	wMax     float64
+	lastDecr Time
+	cubicK   float64
+	hadLoss  bool
+
+	// DCTCP state.
+	alpha       float64
+	ecnAcked    int
+	totalAcked  int
+	windowEnd   int // seq at which the current observation window closes
+	markedInWin bool
+}
+
+// NewWindowTransport returns a factory for the given congestion-control
+// variant.
+func NewWindowTransport(variant CCVariant) TransportFactory {
+	return func(sim *Simulator, src *Host, f *Flow) Transport {
+		return &windowTransport{
+			sim:      sim,
+			host:     src,
+			flow:     f,
+			variant:  variant,
+			total:    f.NumPackets(),
+			cwnd:     initialCwnd,
+			ssthresh: math.Inf(1),
+			minRTO:   defaultMinRTO,
+			alpha:    0,
+		}
+	}
+}
+
+// Start implements Transport.
+func (t *windowTransport) Start() {
+	t.windowEnd = int(t.cwnd)
+	t.trySend()
+	t.armRTO()
+}
+
+func (t *windowTransport) inflight() int { return t.sndNext - t.sndUna }
+
+func (t *windowTransport) trySend() {
+	for t.sndNext < t.total && float64(t.inflight()) < t.cwnd {
+		t.emit(t.sndNext)
+		t.sndNext++
+	}
+}
+
+func (t *windowTransport) emit(seq int) {
+	payload := t.flow.PacketPayload(seq)
+	t.host.NIC.Send(&Packet{
+		FlowID:  t.flow.ID,
+		Src:     t.flow.Src,
+		Dst:     t.flow.Dst,
+		Seq:     seq,
+		Size:    payload + HeaderBytes,
+		Payload: payload,
+		Sent:    t.sim.Now(),
+	})
+}
+
+// OnAck implements Transport.
+func (t *windowTransport) OnAck(p *Packet) {
+	if t.flow.Done() {
+		return
+	}
+	t.lastAckTime = t.sim.Now()
+	if rtt := t.sim.Now() - p.Sent; rtt > 0 {
+		if t.srtt == 0 {
+			t.srtt = rtt
+		} else {
+			t.srtt = (7*t.srtt + rtt) / 8
+		}
+	}
+	if t.variant == DCTCP {
+		t.totalAcked++
+		if p.ECNEcho {
+			t.ecnAcked++
+			t.markedInWin = true
+		}
+	}
+	switch {
+	case p.AckNo > t.sndUna:
+		newly := p.AckNo - t.sndUna
+		t.sndUna = p.AckNo
+		t.dupacks = 0
+		if t.recovering {
+			if t.sndUna >= t.recoverSeq {
+				t.recovering = false
+			} else {
+				// NewReno partial ACK: the next hole is lost too;
+				// retransmit it immediately instead of stalling into RTO.
+				t.emit(t.sndUna)
+			}
+		}
+		if !t.recovering {
+			t.grow(newly)
+		}
+		if t.variant == DCTCP && t.sndUna >= t.windowEnd {
+			t.closeDctcpWindow()
+		}
+		if t.sndUna >= t.total {
+			t.flow.Finish = t.sim.Now()
+			if t.host.OnFlowDone != nil {
+				t.host.OnFlowDone(t.flow)
+			}
+			return
+		}
+	case p.AckNo == t.sndUna:
+		t.dupacks++
+		if t.dupacks == 3 && !t.recovering {
+			t.fastRetransmit()
+		}
+	}
+	t.trySend()
+	t.armRTO()
+}
+
+// grow applies the variant's window increase for newly acked packets.
+func (t *windowTransport) grow(newly int) {
+	if t.cwnd < t.ssthresh {
+		t.cwnd += float64(newly) // slow start
+		return
+	}
+	switch t.variant {
+	case Cubic:
+		if !t.hadLoss {
+			t.cwnd += float64(newly) / t.cwnd // pre-loss: Reno-like probing
+			return
+		}
+		el := (t.sim.Now() - t.lastDecr).Seconds()
+		target := cubicC*math.Pow(el-t.cubicK, 3) + t.wMax
+		if target > t.cwnd {
+			// Converge toward the cubic target within roughly one RTT.
+			t.cwnd += (target - t.cwnd) / t.cwnd * float64(newly)
+		} else {
+			t.cwnd += float64(newly) * 0.01 / t.cwnd // TCP-friendly floor
+		}
+	default: // Reno, DCTCP
+		t.cwnd += float64(newly) / t.cwnd
+	}
+}
+
+// closeDctcpWindow updates α and applies the proportional decrease once per
+// observation window (~one RTT of acks).
+func (t *windowTransport) closeDctcpWindow() {
+	if t.totalAcked > 0 {
+		frac := float64(t.ecnAcked) / float64(t.totalAcked)
+		t.alpha = (1-dctcpG)*t.alpha + dctcpG*frac
+	}
+	if t.markedInWin {
+		t.cwnd *= 1 - t.alpha/2
+		if t.cwnd < minCwnd {
+			t.cwnd = minCwnd
+		}
+		t.ssthresh = t.cwnd
+	}
+	t.ecnAcked, t.totalAcked, t.markedInWin = 0, 0, false
+	t.windowEnd = t.sndUna + int(math.Max(t.cwnd, 1))
+}
+
+func (t *windowTransport) fastRetransmit() {
+	t.onLoss()
+	t.recovering = true
+	t.recoverSeq = t.sndNext
+	t.emit(t.sndUna)
+}
+
+// onLoss applies the multiplicative decrease.
+func (t *windowTransport) onLoss() {
+	switch t.variant {
+	case Cubic:
+		t.wMax = t.cwnd
+		t.hadLoss = true
+		t.lastDecr = t.sim.Now()
+		t.cwnd = math.Max(minCwnd, t.cwnd*cubicBeta)
+		t.cubicK = math.Cbrt(t.wMax * (1 - cubicBeta) / cubicC)
+	default:
+		t.cwnd = math.Max(minCwnd, t.cwnd/2)
+	}
+	t.ssthresh = math.Max(t.cwnd, 2)
+}
+
+// rto returns the retransmission timeout.
+func (t *windowTransport) rto() Time {
+	if t.srtt == 0 {
+		return t.minRTO
+	}
+	r := 3 * t.srtt
+	if r < t.minRTO {
+		r = t.minRTO
+	}
+	return r
+}
+
+// armRTO schedules a retransmission check; newer arms invalidate older ones.
+func (t *windowTransport) armRTO() {
+	if t.flow.Done() || t.sndUna >= t.total {
+		return
+	}
+	t.rtoSeq++
+	seq := t.rtoSeq
+	una := t.sndUna
+	t.sim.After(t.rto(), func() {
+		if seq != t.rtoSeq || t.flow.Done() {
+			return
+		}
+		if t.sndUna == una {
+			// No progress: timeout. Collapse the window and resend.
+			t.ssthresh = math.Max(t.cwnd/2, 2)
+			t.cwnd = minCwnd
+			t.recovering = false
+			t.dupacks = 0
+			t.sndNext = t.sndUna
+			t.trySend()
+		}
+		t.armRTO()
+	})
+}

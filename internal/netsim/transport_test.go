@@ -1,0 +1,216 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// buildStarPair returns a 2-host star and its network.
+func buildStarPair(rate float64) *Topology {
+	return BuildStar(StarConfig{Hosts: 2, LinkRateBps: rate, LinkDelay: Microsecond})
+}
+
+func TestSingleFlowCompletes(t *testing.T) {
+	topo := buildStarPair(10e9)
+	net := topo.Net
+	f := net.AddFlow(&Flow{Src: 0, Dst: 1, Size: 100 * 1024, Start: 0})
+	if err := net.StartFlow(f, NewWindowTransport(Reno)); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.Run(Second)
+	if !f.Done() {
+		t.Fatal("flow did not complete")
+	}
+	// 100 KB at 10 Gbps with 4 µs RTT-ish path: well under a millisecond.
+	if f.FCT() > 5*Millisecond {
+		t.Errorf("FCT = %v, implausibly slow", f.FCT())
+	}
+	if f.FCT() <= 0 {
+		t.Errorf("FCT = %v", f.FCT())
+	}
+}
+
+func TestAllVariantsComplete(t *testing.T) {
+	for _, variant := range []CCVariant{Reno, Cubic, DCTCP} {
+		t.Run(variant.String(), func(t *testing.T) {
+			topo := buildStarPair(10e9)
+			if variant == DCTCP {
+				topo.SetECNThreshold(65 * 1024)
+			}
+			net := topo.Net
+			f := net.AddFlow(&Flow{Src: 0, Dst: 1, Size: 2 * 1024 * 1024, Start: 0})
+			if err := net.StartFlow(f, NewWindowTransport(variant)); err != nil {
+				t.Fatal(err)
+			}
+			net.Sim.Run(10 * Second)
+			if !f.Done() {
+				t.Fatalf("%v flow did not complete", variant)
+			}
+		})
+	}
+}
+
+func TestFlowHelpers(t *testing.T) {
+	f := &Flow{Size: 3000}
+	if f.NumPackets() != 3 { // 1460+1460+80
+		t.Errorf("NumPackets = %d, want 3", f.NumPackets())
+	}
+	if f.PacketPayload(0) != MSS || f.PacketPayload(2) != 80 {
+		t.Errorf("payloads = %d, %d", f.PacketPayload(0), f.PacketPayload(2))
+	}
+	empty := &Flow{Size: 0}
+	if empty.NumPackets() != 1 {
+		t.Errorf("zero-size flow packets = %d, want 1", empty.NumPackets())
+	}
+	if f.Done() || f.FCT() != 0 {
+		t.Error("unfinished flow must report not done")
+	}
+}
+
+func TestCongestionSharingDumbbell(t *testing.T) {
+	// Two senders share a 1 Gbps bottleneck: both must finish, and total
+	// goodput cannot exceed the bottleneck.
+	topo := BuildDumbbell(DumbbellConfig{
+		HostsPerSide:      2,
+		AccessRateBps:     10e9,
+		BottleneckRateBps: 1e9,
+		LinkDelay:         5 * Microsecond,
+	})
+	net := topo.Net
+	const size = 2 * 1024 * 1024
+	f1 := net.AddFlow(&Flow{Src: 0, Dst: 2, Size: size, Start: 0})
+	f2 := net.AddFlow(&Flow{Src: 1, Dst: 3, Size: size, Start: 0})
+	for _, f := range []*Flow{f1, f2} {
+		if err := net.StartFlow(f, NewWindowTransport(Reno)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Sim.Run(10 * Second)
+	if !f1.Done() || !f2.Done() {
+		t.Fatalf("flows done: %v %v", f1.Done(), f2.Done())
+	}
+	// Ideal serialised time for 4 MB over 1 Gbps is ~33.6 ms; congestion
+	// overheads allowed, but an FCT below the ideal would indicate the
+	// bottleneck was not enforced.
+	last := f1.Finish
+	if f2.Finish > last {
+		last = f2.Finish
+	}
+	idealBits := float64(2*size+2*size/MSS*HeaderBytes) * 8
+	ideal := Time(idealBits / 1e9 * float64(Second))
+	if last < ideal {
+		t.Errorf("completion %v beats ideal %v: bottleneck not enforced", last, ideal)
+	}
+	if last > 40*ideal {
+		t.Errorf("completion %v way beyond ideal %v: transport broken", last, ideal)
+	}
+}
+
+func TestDCTCPKeepsQueueNearThreshold(t *testing.T) {
+	// §II-B: with DCTCP, queue size stays close to the ECN threshold — the
+	// skew ADA exploits. Long-running flow into a 1 Gbps bottleneck.
+	topo := BuildDumbbell(DumbbellConfig{
+		HostsPerSide:      2,
+		AccessRateBps:     10e9,
+		BottleneckRateBps: 1e9,
+		LinkDelay:         5 * Microsecond,
+	})
+	const ecnK = 30 * 1024
+	topo.SetECNThreshold(ecnK)
+	net := topo.Net
+	rec := &QueueRecorder{}
+	rec.Attach(topo.CorePorts[0])
+	f := net.AddFlow(&Flow{Src: 0, Dst: 2, Size: 8 * 1024 * 1024, Start: 0})
+	if err := net.StartFlow(f, NewWindowTransport(DCTCP)); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.Run(5 * Second)
+	if !f.Done() {
+		t.Fatal("flow did not complete")
+	}
+	if len(rec.Samples) == 0 {
+		t.Fatal("no queue samples")
+	}
+	// The vast majority of samples must sit at or below a small multiple of
+	// the threshold (DCTCP's working point).
+	frac := rec.FractionBelow(3 * ecnK)
+	if frac < 0.95 {
+		t.Errorf("only %.2f of samples within 3×ECN threshold", frac)
+	}
+}
+
+func TestRenoFillsBufferDeeperThanDCTCP(t *testing.T) {
+	run := func(variant CCVariant, ecn int) float64 {
+		topo := BuildDumbbell(DumbbellConfig{
+			HostsPerSide:      2,
+			AccessRateBps:     10e9,
+			BottleneckRateBps: 1e9,
+			LinkDelay:         5 * Microsecond,
+		})
+		if ecn > 0 {
+			topo.SetECNThreshold(ecn)
+		}
+		net := topo.Net
+		rec := &QueueRecorder{}
+		rec.Attach(topo.CorePorts[0])
+		f := net.AddFlow(&Flow{Src: 0, Dst: 2, Size: 8 * 1024 * 1024, Start: 0})
+		if err := net.StartFlow(f, NewWindowTransport(variant)); err != nil {
+			t.Fatal(err)
+		}
+		net.Sim.Run(5 * Second)
+		// Mean queue depth.
+		sum := 0.0
+		for _, s := range rec.Samples {
+			sum += float64(s)
+		}
+		if len(rec.Samples) == 0 {
+			return 0
+		}
+		return sum / float64(len(rec.Samples))
+	}
+	reno := run(Reno, 0)
+	dctcp := run(DCTCP, 30*1024)
+	if dctcp >= reno {
+		t.Errorf("DCTCP mean queue %.0f not below Reno %.0f", dctcp, reno)
+	}
+}
+
+func TestIncastManyToOne(t *testing.T) {
+	// 8 senders converge on host 0 through a star; all must eventually
+	// complete despite buffer pressure (RTO recovery).
+	topo := BuildStar(StarConfig{Hosts: 9, LinkRateBps: 1e9, LinkDelay: Microsecond})
+	net := topo.Net
+	var flows []*Flow
+	for s := 1; s <= 8; s++ {
+		f := net.AddFlow(&Flow{Src: s, Dst: 0, Size: 64 * 1024, Start: 0, Incast: true})
+		flows = append(flows, f)
+		if err := net.StartFlow(f, NewWindowTransport(Reno)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Sim.Run(10 * Second)
+	for _, f := range flows {
+		if !f.Done() {
+			t.Fatalf("incast flow %d→%d stuck (sent buffer drops should recover via RTO)", f.Src, f.Dst)
+		}
+	}
+}
+
+func TestHostOutOfOrderReassembly(t *testing.T) {
+	sim := NewSimulator()
+	h := NewHost(sim, 0)
+	out := &sink{}
+	h.NIC = NewPort(sim, "h0", 1e9, 0, out)
+	// Deliver seq 1 before seq 0: ACKs must stay cumulative.
+	h.Receive(&Packet{FlowID: 1, Src: 9, Dst: 0, Seq: 1, Size: 1500, Payload: 1460})
+	h.Receive(&Packet{FlowID: 1, Src: 9, Dst: 0, Seq: 0, Size: 1500, Payload: 1460})
+	sim.Run(Second)
+	if len(out.pkts) != 2 {
+		t.Fatalf("acks sent = %d", len(out.pkts))
+	}
+	if out.pkts[0].AckNo != 0 {
+		t.Errorf("first ack = %d, want 0 (dup)", out.pkts[0].AckNo)
+	}
+	if out.pkts[1].AckNo != 2 {
+		t.Errorf("second ack = %d, want 2 (cumulative)", out.pkts[1].AckNo)
+	}
+}

@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"math/rand"
+
+	"github.com/ada-repro/ada/internal/dist"
+)
+
+// WorkloadConfig describes the §V-C traffic mix: heavy-tailed flow sizes
+// (80% short, 20% long), Poisson arrivals at a target load, plus periodic
+// incast episodes with a configurable fan-in.
+type WorkloadConfig struct {
+	// Load is the offered load as a fraction of aggregate host bandwidth.
+	Load float64
+	// ShortMin and ShortMax bound short-flow sizes in bytes (paper:
+	// 16–64 KB).
+	ShortMin, ShortMax int
+	// LongSize is the long-flow size in bytes (paper: 1024 KB).
+	LongSize int
+	// ShortFrac is the short-flow fraction of flows (paper: 0.8).
+	ShortFrac float64
+	// IncastFanIn is the number of simultaneous senders per incast episode
+	// (paper: 32); zero disables incast.
+	IncastFanIn int
+	// IncastEvery is the episode period.
+	IncastEvery Time
+	// IncastSize is the per-sender incast transfer in bytes.
+	IncastSize int
+	// SizeDist, when set, replaces the short/long two-point mix with an
+	// empirical flow-size distribution (e.g. dist.WebSearchFlowSizes);
+	// ShortMax still classifies flows for FCT reporting.
+	SizeDist dist.Distribution
+	// Duration is the arrival window; flows arrive in [0, Duration).
+	Duration Time
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// DefaultWorkload returns the paper's §V-C mix at the given load.
+func DefaultWorkload(load float64, duration Time, seed int64) WorkloadConfig {
+	return WorkloadConfig{
+		Load:        load,
+		ShortMin:    16 * 1024,
+		ShortMax:    64 * 1024,
+		LongSize:    1024 * 1024,
+		ShortFrac:   0.8,
+		IncastFanIn: 32,
+		IncastEvery: 0, // enabled explicitly by experiments that need it
+		IncastSize:  16 * 1024,
+		Duration:    duration,
+		Seed:        seed,
+	}
+}
+
+// meanFlowSize returns the expected flow size in bytes.
+func (cfg WorkloadConfig) meanFlowSize() float64 {
+	if e, ok := cfg.SizeDist.(*dist.Empirical); ok {
+		return e.Mean()
+	}
+	meanShort := float64(cfg.ShortMin+cfg.ShortMax) / 2
+	return cfg.ShortFrac*meanShort + (1-cfg.ShortFrac)*float64(cfg.LongSize)
+}
+
+// GenerateFlows produces the flow list for a topology with the given host
+// count and per-host access rate. Flows are registered with the network but
+// not started; callers start them with the transport of the scenario under
+// test.
+func GenerateFlows(net *Network, hosts int, hostRateBps float64, cfg WorkloadConfig) []*Flow {
+	if hosts < 2 || cfg.Duration <= 0 || cfg.Load <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Arrival rate: Load × aggregate bandwidth / mean flow size.
+	aggBps := cfg.Load * hostRateBps * float64(hosts)
+	lambda := aggBps / (8 * cfg.meanFlowSize()) // flows per second
+	meanGap := float64(Second) / lambda
+
+	var out []*Flow
+	for t := Time(rng.ExpFloat64() * meanGap); t < cfg.Duration; t += Time(rng.ExpFloat64() * meanGap) {
+		src := rng.Intn(hosts)
+		dst := rng.Intn(hosts - 1)
+		if dst >= src {
+			dst++
+		}
+		size := cfg.LongSize
+		if cfg.SizeDist != nil {
+			size = int(cfg.SizeDist.Sample(rng))
+			if size < 1 {
+				size = 1
+			}
+		} else if rng.Float64() < cfg.ShortFrac {
+			size = cfg.ShortMin + rng.Intn(cfg.ShortMax-cfg.ShortMin+1)
+		}
+		f := &Flow{Src: src, Dst: dst, Size: size, Start: t}
+		net.AddFlow(f)
+		out = append(out, f)
+	}
+
+	// Incast episodes: FanIn senders converge on one victim simultaneously.
+	if cfg.IncastFanIn > 1 && cfg.IncastEvery > 0 {
+		for t := cfg.IncastEvery; t < cfg.Duration; t += cfg.IncastEvery {
+			victim := rng.Intn(hosts)
+			for s := 0; s < cfg.IncastFanIn; s++ {
+				src := rng.Intn(hosts - 1)
+				if src >= victim {
+					src++
+				}
+				f := &Flow{Src: src, Dst: victim, Size: cfg.IncastSize, Start: t, Incast: true}
+				net.AddFlow(f)
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// StartAll launches every flow with the given transport factory.
+func StartAll(net *Network, flows []*Flow, factory TransportFactory) error {
+	for _, f := range flows {
+		if err := net.StartFlow(f, factory); err != nil {
+			return err
+		}
+	}
+	return nil
+}

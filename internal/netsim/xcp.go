@@ -1,0 +1,264 @@
+package netsim
+
+import "math"
+
+// XCP (Katabi et al., SIGCOMM 2002) is the paper's Table I entry with the
+// heaviest arithmetic appetite: four floating-point operations per control
+// decision, iterative feedback, and convergence that suffers directly from
+// arithmetic error. Routers compute an aggregate feedback
+//
+//	φ = α·d·S − β·Q
+//
+// per control interval (S spare bandwidth, Q persistent queue, d mean RTT)
+// and distribute it across packets: positive feedback proportional to
+// rtt²·size/cwnd (so slow, small-window flows catch up faster) and negative
+// feedback proportional to rtt·size. Every variable×variable multiply and
+// divide goes through an Arithmetic site, exactly as the TCAM realisation
+// would.
+//
+// Fixed-point convention: ξ factors are scaled by 2^16.
+
+// XCPSites holds one Arithmetic per call-site class of the XCP computation,
+// mirroring a P4 program's one-table-per-statement layout. The ×2^16
+// fixed-point scalings are shifts the ALU performs natively.
+type XCPSites struct {
+	// SmallMul serves rtt×rtt and rtt×size (microsecond × packet-size
+	// operands).
+	SmallMul Arithmetic
+	// BigMul serves rtt²×size and ξ×basis (wide fixed-point operands).
+	BigMul Arithmetic
+	// PktDiv serves the per-packet basis division by cwnd.
+	PktDiv Arithmetic
+	// CtlDiv serves the per-interval ξ divisions.
+	CtlDiv Arithmetic
+}
+
+// UniformXCPSites uses one Arithmetic everywhere.
+func UniformXCPSites(a Arithmetic) XCPSites {
+	return XCPSites{SmallMul: a, BigMul: a, PktDiv: a, CtlDiv: a}
+}
+
+const xcpXiScale = 1 << 16
+
+// XCPState is the per-output-port XCP efficiency/fairness controller.
+type XCPState struct {
+	sim   *Simulator
+	port  *Port
+	sites XCPSites
+
+	// CBytesPerInterval is the link capacity in bytes per control interval.
+	CBytesPerInterval uint64
+	// DUs is the mean RTT estimate in microseconds (the control interval).
+	DUs uint64
+
+	bytesIn uint64
+	// ξ factors for the current interval, scaled by 2^16.
+	xiPos, xiNeg uint64
+	// Per-interval accumulators over the previous interval's packets.
+	sumPosBasis uint64 // Σ rtt²·size/cwnd (µs²·B/B = µs²)
+	sumNegBasis uint64 // Σ rtt·size (µs·B)
+	// Updates counts control intervals.
+	Updates uint64
+}
+
+// AttachXCP installs XCP processing on a port and starts its interval timer.
+// d is the mean RTT estimate.
+func AttachXCP(sim *Simulator, port *Port, sites XCPSites, d Time) *XCPState {
+	st := &XCPState{
+		sim:   sim,
+		port:  port,
+		sites: sites,
+		DUs:   uint64(d / Microsecond),
+	}
+	if st.DUs == 0 {
+		st.DUs = 1
+	}
+	st.CBytesPerInterval = uint64(port.RateBps / 8 * float64(st.DUs) / 1e6)
+	port.XCP = st
+	st.scheduleUpdate()
+	return st
+}
+
+func (st *XCPState) scheduleUpdate() {
+	st.sim.After(Time(st.DUs)*Microsecond, func() {
+		st.update()
+		st.scheduleUpdate()
+	})
+}
+
+// OnPacket computes this packet's feedback allowance and lowers the carried
+// feedback field, XCP's router-side per-packet path.
+func (st *XCPState) OnPacket(p *Packet) {
+	st.bytesIn += uint64(p.Size)
+	if p.Ack || p.XCPCwnd == 0 {
+		return
+	}
+	rtt := p.XCPRTTUs
+	if rtt == 0 {
+		rtt = st.DUs
+	}
+	size := uint64(p.Size)
+
+	// Accumulate the next interval's distribution bases.
+	rttSq := st.sites.SmallMul.Multiply(rtt, rtt)
+	posBasis := st.sites.PktDiv.Divide(st.sites.BigMul.Multiply(rttSq, size), maxU64(p.XCPCwnd, 1))
+	negBasis := st.sites.SmallMul.Multiply(rtt, size)
+	st.sumPosBasis += posBasis
+	st.sumNegBasis += negBasis
+
+	// Per-packet feedback from the current ξ factors (bytes, signed).
+	pos := int64(st.sites.BigMul.Multiply(st.xiPos, posBasis) >> 16)
+	neg := int64(st.sites.BigMul.Multiply(st.xiNeg, negBasis) >> 16)
+	feedback := pos - neg
+	if feedback < p.XCPFeedback {
+		p.XCPFeedback = feedback
+	}
+}
+
+// update recomputes the aggregate feedback and ξ factors once per interval.
+func (st *XCPState) update() {
+	st.Updates++
+	in := st.bytesIn
+	st.bytesIn = 0
+
+	// φ = α·(C − y) − β·Q, in bytes per interval. The constant factors
+	// decompose into native shift-adds (×0.4 ≈ 410>>10, ×0.226 ≈ 231>>10).
+	var phiPos, phiNeg uint64
+	if st.CBytesPerInterval >= in {
+		phiPos = constMul(st.CBytesPerInterval-in, rcpAlphaQ10) >> 10
+	} else {
+		phiNeg = constMul(in-st.CBytesPerInterval, rcpAlphaQ10) >> 10
+	}
+	q := uint64(st.port.QueuedBytes())
+	phiNeg += constMul(q, rcpBetaQ10) >> 10
+
+	// ξ factors for the next interval: scale the aggregate feedback by the
+	// measured distribution bases.
+	if st.sumPosBasis > 0 {
+		st.xiPos = st.sites.CtlDiv.Divide(phiPos*xcpXiScale, st.sumPosBasis)
+	} else {
+		st.xiPos = 0
+	}
+	if st.sumNegBasis > 0 {
+		st.xiNeg = st.sites.CtlDiv.Divide(phiNeg*xcpXiScale, st.sumNegBasis)
+	} else {
+		st.xiNeg = 0
+	}
+	st.sumPosBasis, st.sumNegBasis = 0, 0
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// xcpTransport is the XCP sender: a window transport whose window moves only
+// by the network's explicit feedback.
+type xcpTransport struct {
+	sim  *Simulator
+	host *Host
+	flow *Flow
+
+	total     int
+	sndUna    int
+	sndNext   int
+	cwndBytes float64
+	srttUs    uint64
+	rtoSeq    int64
+}
+
+// NewXCPTransport returns a factory for XCP senders.
+func NewXCPTransport() TransportFactory {
+	return func(sim *Simulator, src *Host, f *Flow) Transport {
+		return &xcpTransport{
+			sim:       sim,
+			host:      src,
+			flow:      f,
+			total:     f.NumPackets(),
+			cwndBytes: 4 * (MSS + HeaderBytes),
+			srttUs:    50,
+		}
+	}
+}
+
+// Start implements Transport.
+func (t *xcpTransport) Start() {
+	t.trySend()
+	t.armRTO()
+}
+
+func (t *xcpTransport) inflightBytes() float64 {
+	return float64((t.sndNext - t.sndUna) * (MSS + HeaderBytes))
+}
+
+func (t *xcpTransport) trySend() {
+	for t.sndNext < t.total && t.inflightBytes() < t.cwndBytes {
+		payload := t.flow.PacketPayload(t.sndNext)
+		t.host.NIC.Send(&Packet{
+			FlowID:      t.flow.ID,
+			Src:         t.flow.Src,
+			Dst:         t.flow.Dst,
+			Seq:         t.sndNext,
+			Size:        payload + HeaderBytes,
+			Payload:     payload,
+			XCPCwnd:     uint64(t.cwndBytes),
+			XCPRTTUs:    t.srttUs,
+			XCPFeedback: math.MaxInt64,
+			Sent:        t.sim.Now(),
+		})
+		t.sndNext++
+	}
+}
+
+// OnAck implements Transport: apply the network's explicit feedback.
+func (t *xcpTransport) OnAck(p *Packet) {
+	if t.flow.Done() {
+		return
+	}
+	if rtt := t.sim.Now() - p.Sent; rtt > 0 {
+		r := uint64(rtt / Microsecond)
+		if r == 0 {
+			r = 1
+		}
+		t.srttUs = (7*t.srttUs + r) / 8
+	}
+	if p.XCPFeedback != math.MaxInt64 {
+		t.cwndBytes += float64(p.XCPFeedback)
+		if min := float64(MSS + HeaderBytes); t.cwndBytes < min {
+			t.cwndBytes = min
+		}
+	}
+	if p.AckNo > t.sndUna {
+		t.sndUna = p.AckNo
+		if t.sndUna >= t.total {
+			t.flow.Finish = t.sim.Now()
+			if t.host.OnFlowDone != nil {
+				t.host.OnFlowDone(t.flow)
+			}
+			return
+		}
+	}
+	t.trySend()
+	t.armRTO()
+}
+
+func (t *xcpTransport) armRTO() {
+	if t.flow.Done() {
+		return
+	}
+	t.rtoSeq++
+	seq := t.rtoSeq
+	una := t.sndUna
+	t.sim.After(2*Millisecond, func() {
+		if seq != t.rtoSeq || t.flow.Done() {
+			return
+		}
+		if t.sndUna == una {
+			t.sndNext = t.sndUna
+			t.trySend()
+		}
+		t.armRTO()
+	})
+}

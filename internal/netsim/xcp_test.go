@@ -1,0 +1,135 @@
+package netsim
+
+import (
+	"testing"
+)
+
+func TestXCPSingleFlowConverges(t *testing.T) {
+	topo := BuildDumbbell(DumbbellConfig{
+		HostsPerSide:      1,
+		AccessRateBps:     1e9,
+		BottleneckRateBps: 1e9,
+		LinkDelay:         5 * Microsecond,
+	})
+	net := topo.Net
+	st := AttachXCP(net.Sim, topo.CorePorts[0], UniformXCPSites(IdealArith{}), 40*Microsecond)
+	f := net.AddFlow(&Flow{Src: 0, Dst: 1, Size: 4 << 20, Start: 0})
+	if err := net.StartFlow(f, NewXCPTransport()); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.Run(10 * Second)
+	if !f.Done() {
+		t.Fatal("XCP flow did not complete")
+	}
+	if st.Updates == 0 {
+		t.Fatal("XCP controller never updated")
+	}
+	// Ideal serialised time ≈ 34 ms; XCP's explicit ramp should land within
+	// a small factor.
+	ideal := Time(float64(f.Size+f.NumPackets()*HeaderBytes) * 8 / 1e9 * float64(Second))
+	if f.FCT() > 4*ideal {
+		t.Errorf("XCP FCT %v not close to ideal %v", f.FCT(), ideal)
+	}
+}
+
+func TestXCPSharesFairly(t *testing.T) {
+	topo := BuildDumbbell(DumbbellConfig{
+		HostsPerSide:      2,
+		AccessRateBps:     10e9,
+		BottleneckRateBps: 1e9,
+		LinkDelay:         5 * Microsecond,
+	})
+	net := topo.Net
+	AttachXCP(net.Sim, topo.CorePorts[0], UniformXCPSites(IdealArith{}), 40*Microsecond)
+	f1 := net.AddFlow(&Flow{Src: 0, Dst: 2, Size: 2 << 20, Start: 0})
+	f2 := net.AddFlow(&Flow{Src: 1, Dst: 3, Size: 2 << 20, Start: 0})
+	for _, f := range []*Flow{f1, f2} {
+		if err := net.StartFlow(f, NewXCPTransport()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Sim.Run(10 * Second)
+	if !f1.Done() || !f2.Done() {
+		t.Fatalf("flows done: %v %v", f1.Done(), f2.Done())
+	}
+	a, b := float64(f1.FCT()), float64(f2.FCT())
+	if a/b > 3 || b/a > 3 {
+		t.Errorf("unfair XCP completion: %v vs %v", f1.FCT(), f2.FCT())
+	}
+}
+
+func TestXCPKeepsQueueSmall(t *testing.T) {
+	// XCP's β·Q term drains the persistent queue; with exact arithmetic the
+	// bottleneck queue must stay far below the buffer.
+	topo := BuildDumbbell(DumbbellConfig{
+		HostsPerSide:      2,
+		AccessRateBps:     10e9,
+		BottleneckRateBps: 1e9,
+		LinkDelay:         5 * Microsecond,
+	})
+	net := topo.Net
+	AttachXCP(net.Sim, topo.CorePorts[0], UniformXCPSites(IdealArith{}), 40*Microsecond)
+	rec := &QueueRecorder{}
+	rec.Attach(topo.CorePorts[0])
+	f1 := net.AddFlow(&Flow{Src: 0, Dst: 2, Size: 8 << 20, Start: 0})
+	f2 := net.AddFlow(&Flow{Src: 1, Dst: 3, Size: 8 << 20, Start: 0})
+	for _, f := range []*Flow{f1, f2} {
+		if err := net.StartFlow(f, NewXCPTransport()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Sim.Run(5 * Second)
+	if len(rec.Samples) == 0 {
+		t.Fatal("no queue samples")
+	}
+	if frac := rec.FractionBelow(120 * 1024); frac < 0.9 {
+		t.Errorf("only %.2f of samples below 120KB; XCP queue control failed", frac)
+	}
+}
+
+func TestXCPFeedbackOnlyDecreasesAtRouters(t *testing.T) {
+	sim := NewSimulator()
+	dst := &sink{}
+	port := NewPort(sim, "p", 1e9, 0, dst)
+	st := AttachXCP(sim, port, UniformXCPSites(IdealArith{}), 100*Microsecond)
+	st.xiPos = 0
+	st.xiNeg = 1 << 20 // force strongly negative feedback
+	p := &Packet{Size: 1500, Payload: 1460, XCPCwnd: 100000, XCPRTTUs: 50, XCPFeedback: 1 << 40}
+	port.Send(p)
+	sim.Run(Millisecond)
+	if p.XCPFeedback >= 1<<40 {
+		t.Error("router did not lower the feedback field")
+	}
+	if p.XCPFeedback > 0 {
+		t.Errorf("feedback = %d, want negative under forced ξn", p.XCPFeedback)
+	}
+}
+
+func TestXCPLossyArithmeticHurts(t *testing.T) {
+	// The Table I motivation: XCP's convergence degrades under arithmetic
+	// error. A consistent underestimate of the ξ division starves feedback.
+	run := func(a Arithmetic) Time {
+		topo := BuildDumbbell(DumbbellConfig{
+			HostsPerSide:      1,
+			AccessRateBps:     1e9,
+			BottleneckRateBps: 1e9,
+			LinkDelay:         5 * Microsecond,
+		})
+		net := topo.Net
+		AttachXCP(net.Sim, topo.CorePorts[0], UniformXCPSites(a), 40*Microsecond)
+		f := net.AddFlow(&Flow{Src: 0, Dst: 1, Size: 1 << 20, Start: 0})
+		if err := net.StartFlow(f, NewXCPTransport()); err != nil {
+			t.Fatal(err)
+		}
+		net.Sim.Run(10 * Second)
+		if !f.Done() {
+			return 10 * Second
+		}
+		return f.FCT()
+	}
+	ideal := run(IdealArith{})
+	lossy := run(lossyArith{factor: 0.05})
+	if lossy <= ideal {
+		t.Errorf("lossy XCP FCT %v not above ideal %v", lossy, ideal)
+	}
+}

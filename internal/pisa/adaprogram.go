@@ -1,0 +1,66 @@
+package pisa
+
+import (
+	"fmt"
+
+	"github.com/ada-repro/ada/internal/tcam"
+)
+
+// VarSpec describes one monitored variable for BuildADAProgram.
+type VarSpec struct {
+	// Name labels the variable (e.g. "R" or "dT").
+	Name string
+	// Monitoring is the variable's monitoring TCAM.
+	Monitoring *tcam.Table
+	// Bins is the register cell count (one per bin).
+	Bins int
+}
+
+// BuildADAProgram lays ADA out on the pipeline the way the P4 implementation
+// does (Table II): one stage per monitored variable holding its monitoring
+// TCAM and hit registers, then one stage with the shared calculation TCAM.
+// ADA(R) and ADA(ΔT) therefore occupy 2 stages, ADA(ΔT, R) occupies 3.
+func BuildADAProgram(name string, vars []VarSpec, calc *tcam.Table) (*Pipeline, error) {
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("pisa: ADA program needs at least one monitored variable")
+	}
+	if calc == nil {
+		return nil, fmt.Errorf("pisa: ADA program needs a calculation table")
+	}
+	p := NewPipeline(name, 0)
+	for _, v := range vars {
+		regs := &RegisterArray{Name: v.Name + ".hits", Cells: v.Bins, Bits: 32}
+		stage := &Stage{
+			Name:      "monitor." + v.Name,
+			Registers: []*RegisterArray{regs},
+			Tables: []TableBinding{{
+				Table: v.Monitoring,
+				Actions: []Action{{
+					Name:      "count_hit",
+					Ops:       []ALUOp{OpRegisterRead, OpAdd, OpRegisterWrite},
+					Registers: []*RegisterArray{regs},
+				}},
+			}},
+		}
+		if err := p.AddStage(stage); err != nil {
+			return nil, err
+		}
+	}
+	calcStage := &Stage{
+		Name: "calculate",
+		Tables: []TableBinding{{
+			Table: calc,
+			Actions: []Action{{
+				Name: "load_result",
+				Ops:  []ALUOp{OpAdd}, // copy result into the header vector
+			}},
+		}},
+	}
+	if err := p.AddStage(calcStage); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,246 @@
+// Package pisa models the PISA/RMT switch architecture constraints that make
+// ADA necessary (§II): a bounded pipeline of match-action stages, an ALU that
+// supports only additions, subtractions, shifts, and bitwise logic (no
+// multiplication, division, loops, or floating point), stage-local register
+// memory, and scarce TCAM.
+//
+// Programs declare their stage layout; the validator rejects anything a real
+// RMT compiler would reject, and the resource report yields the stage/entry
+// accounting of the paper's Table II.
+package pisa
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/ada-repro/ada/internal/tcam"
+)
+
+var (
+	// ErrUnsupportedOp reports an ALU operation PISA cannot execute at line
+	// rate (multiplication, division, ...).
+	ErrUnsupportedOp = errors.New("pisa: ALU operation not supported at line rate")
+	// ErrStageBudget reports a program exceeding the pipeline's stage count.
+	ErrStageBudget = errors.New("pisa: stage budget exceeded")
+	// ErrCrossStageRegister reports an action accessing a register array
+	// that lives in a different stage; RMT stages cannot share memory.
+	ErrCrossStageRegister = errors.New("pisa: register accessed outside its home stage")
+	// ErrLoop reports control flow that revisits a stage; PISA pipelines are
+	// feed-forward only.
+	ErrLoop = errors.New("pisa: loops are not supported")
+)
+
+// ALUOp enumerates action primitives.
+type ALUOp int
+
+const (
+	// OpAdd is integer addition.
+	OpAdd ALUOp = iota + 1
+	// OpSub is integer subtraction.
+	OpSub
+	// OpShiftLeft is a logical left shift.
+	OpShiftLeft
+	// OpShiftRight is a logical right shift.
+	OpShiftRight
+	// OpBitAnd is bitwise AND.
+	OpBitAnd
+	// OpBitOr is bitwise OR.
+	OpBitOr
+	// OpBitXor is bitwise XOR.
+	OpBitXor
+	// OpHash is a hardware hash function.
+	OpHash
+	// OpRegisterRead reads a register in the same stage.
+	OpRegisterRead
+	// OpRegisterWrite writes a register in the same stage.
+	OpRegisterWrite
+	// OpMultiply is NOT supported; programs using it fail validation. It
+	// exists so emulation layers can express what they are replacing.
+	OpMultiply
+	// OpDivide is NOT supported.
+	OpDivide
+)
+
+// Supported reports whether the modelled switch executes op at line rate.
+func (op ALUOp) Supported() bool {
+	switch op {
+	case OpMultiply, OpDivide:
+		return false
+	default:
+		return op >= OpAdd && op <= OpRegisterWrite
+	}
+}
+
+// String implements fmt.Stringer.
+func (op ALUOp) String() string {
+	names := map[ALUOp]string{
+		OpAdd: "add", OpSub: "sub", OpShiftLeft: "shl", OpShiftRight: "shr",
+		OpBitAnd: "and", OpBitOr: "or", OpBitXor: "xor", OpHash: "hash",
+		OpRegisterRead: "reg_read", OpRegisterWrite: "reg_write",
+		OpMultiply: "mul(UNSUPPORTED)", OpDivide: "div(UNSUPPORTED)",
+	}
+	if s, ok := names[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("ALUOp(%d)", int(op))
+}
+
+// RegisterArray is a stage-local array of counters/accumulators.
+type RegisterArray struct {
+	// Name identifies the array.
+	Name string
+	// Cells is the number of register cells.
+	Cells int
+	// Bits is the cell width.
+	Bits int
+	home *Stage
+}
+
+// Action is one match-action table's action: a sequence of ALU primitives
+// plus the register arrays it touches.
+type Action struct {
+	// Name identifies the action for diagnostics.
+	Name string
+	// Ops is the primitive sequence.
+	Ops []ALUOp
+	// Registers are the arrays read or written.
+	Registers []*RegisterArray
+}
+
+// TableBinding attaches a ternary table and its actions to a stage.
+type TableBinding struct {
+	// Table is the match table.
+	Table *tcam.Table
+	// Actions are the actions reachable from this table's entries.
+	Actions []Action
+}
+
+// Stage is one pipeline stage.
+type Stage struct {
+	// Name identifies the stage.
+	Name string
+	// Tables are the match tables placed in this stage.
+	Tables []TableBinding
+	// Registers are the arrays homed in this stage.
+	Registers []*RegisterArray
+}
+
+// Pipeline is a feed-forward sequence of stages.
+type Pipeline struct {
+	name      string
+	maxStages int
+	stages    []*Stage
+}
+
+// DefaultMaxStages matches the Tofino ingress pipeline depth.
+const DefaultMaxStages = 12
+
+// NewPipeline creates an empty pipeline. maxStages <= 0 selects
+// DefaultMaxStages.
+func NewPipeline(name string, maxStages int) *Pipeline {
+	if maxStages <= 0 {
+		maxStages = DefaultMaxStages
+	}
+	return &Pipeline{name: name, maxStages: maxStages}
+}
+
+// AddStage appends a stage, homing its register arrays.
+func (p *Pipeline) AddStage(s *Stage) error {
+	if len(p.stages) >= p.maxStages {
+		return fmt.Errorf("%w: pipeline %q holds %d stages", ErrStageBudget, p.name, p.maxStages)
+	}
+	for _, st := range p.stages {
+		if st == s {
+			return fmt.Errorf("%w: stage %q appended twice", ErrLoop, s.Name)
+		}
+	}
+	for _, r := range s.Registers {
+		r.home = s
+	}
+	p.stages = append(p.stages, s)
+	return nil
+}
+
+// Stages returns the stage list.
+func (p *Pipeline) Stages() []*Stage {
+	out := make([]*Stage, len(p.stages))
+	copy(out, p.stages)
+	return out
+}
+
+// NumStages returns the occupied stage count.
+func (p *Pipeline) NumStages() int { return len(p.stages) }
+
+// Validate enforces the §II constraints: every ALU op must be supported, and
+// every register access must target an array homed in the accessing stage.
+func (p *Pipeline) Validate() error {
+	for _, s := range p.stages {
+		for _, tb := range s.Tables {
+			for _, a := range tb.Actions {
+				for _, op := range a.Ops {
+					if !op.Supported() {
+						return fmt.Errorf("%w: stage %q action %q uses %v",
+							ErrUnsupportedOp, s.Name, a.Name, op)
+					}
+				}
+				for _, r := range a.Registers {
+					if r.home != s {
+						home := "unhomed"
+						if r.home != nil {
+							home = r.home.Name
+						}
+						return fmt.Errorf("%w: stage %q action %q touches %q (home %q)",
+							ErrCrossStageRegister, s.Name, a.Name, r.Name, home)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Report summarises pipeline resource usage, the quantities Table II counts.
+type Report struct {
+	// Stages is the number of occupied pipeline stages.
+	Stages int
+	// TCAMEntries is the total installed ternary entries.
+	TCAMEntries int
+	// TCAMCapacity is the total declared entry capacity (0 components are
+	// unbounded and excluded).
+	TCAMCapacity int
+	// RegisterCells is the total register cell count.
+	RegisterCells int
+	// Tables is the number of match tables.
+	Tables int
+}
+
+// Resources computes the usage report.
+func (p *Pipeline) Resources() Report {
+	var r Report
+	r.Stages = len(p.stages)
+	for _, s := range p.stages {
+		for _, tb := range s.Tables {
+			r.Tables++
+			r.TCAMEntries += tb.Table.Len()
+			if c := tb.Table.Capacity(); c > 0 {
+				r.TCAMCapacity += c
+			}
+		}
+		for _, reg := range s.Registers {
+			r.RegisterCells += reg.Cells
+		}
+	}
+	return r
+}
+
+// String renders a short multi-line summary.
+func (p *Pipeline) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline %q (%d/%d stages)\n", p.name, len(p.stages), p.maxStages)
+	for i, s := range p.stages {
+		fmt.Fprintf(&b, "  stage %d %q: %d tables, %d register arrays\n",
+			i, s.Name, len(s.Tables), len(s.Registers))
+	}
+	return b.String()
+}

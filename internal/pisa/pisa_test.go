@@ -1,0 +1,246 @@
+package pisa
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ada-repro/ada/internal/bitstr"
+	"github.com/ada-repro/ada/internal/tcam"
+)
+
+func TestALUOpSupport(t *testing.T) {
+	supported := []ALUOp{OpAdd, OpSub, OpShiftLeft, OpShiftRight, OpBitAnd,
+		OpBitOr, OpBitXor, OpHash, OpRegisterRead, OpRegisterWrite}
+	for _, op := range supported {
+		if !op.Supported() {
+			t.Errorf("%v must be supported", op)
+		}
+	}
+	for _, op := range []ALUOp{OpMultiply, OpDivide, ALUOp(0), ALUOp(99)} {
+		if op.Supported() {
+			t.Errorf("%v must not be supported", op)
+		}
+	}
+	for _, op := range []ALUOp{OpAdd, OpMultiply, ALUOp(42)} {
+		if op.String() == "" {
+			t.Errorf("empty String for op %d", int(op))
+		}
+	}
+}
+
+func TestValidateRejectsMultiplication(t *testing.T) {
+	// The core §II constraint: a program that multiplies in an action must
+	// not validate — this is why ADA exists.
+	p := NewPipeline("bad", 0)
+	tb := tcam.MustNew("t", 0, 8)
+	stage := &Stage{
+		Name: "s0",
+		Tables: []TableBinding{{
+			Table:   tb,
+			Actions: []Action{{Name: "rate_calc", Ops: []ALUOp{OpMultiply}}},
+		}},
+	}
+	if err := p.AddStage(stage); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); !errors.Is(err, ErrUnsupportedOp) {
+		t.Errorf("Validate error = %v, want ErrUnsupportedOp", err)
+	}
+}
+
+func TestValidateRejectsCrossStageRegister(t *testing.T) {
+	p := NewPipeline("bad", 0)
+	reg := &RegisterArray{Name: "counter", Cells: 4, Bits: 32}
+	s0 := &Stage{Name: "s0", Registers: []*RegisterArray{reg}}
+	s1 := &Stage{
+		Name: "s1",
+		Tables: []TableBinding{{
+			Table: tcam.MustNew("t", 0, 8),
+			Actions: []Action{{
+				Name:      "touch_foreign",
+				Ops:       []ALUOp{OpRegisterRead},
+				Registers: []*RegisterArray{reg},
+			}},
+		}},
+	}
+	if err := p.AddStage(s0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddStage(s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); !errors.Is(err, ErrCrossStageRegister) {
+		t.Errorf("Validate error = %v, want ErrCrossStageRegister", err)
+	}
+}
+
+func TestStageBudget(t *testing.T) {
+	p := NewPipeline("tiny", 2)
+	if err := p.AddStage(&Stage{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddStage(&Stage{Name: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddStage(&Stage{Name: "c"}); !errors.Is(err, ErrStageBudget) {
+		t.Errorf("AddStage error = %v, want ErrStageBudget", err)
+	}
+}
+
+func TestLoopRejected(t *testing.T) {
+	p := NewPipeline("loopy", 0)
+	s := &Stage{Name: "s"}
+	if err := p.AddStage(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddStage(s); !errors.Is(err, ErrLoop) {
+		t.Errorf("re-adding stage error = %v, want ErrLoop", err)
+	}
+}
+
+func TestResources(t *testing.T) {
+	p := NewPipeline("r", 0)
+	tb := tcam.MustNew("calc", 128, 16)
+	root, _ := bitstr.Root(16)
+	if _, err := tb.InsertPrefix(root, 0, uint64(0)); err != nil {
+		t.Fatal(err)
+	}
+	reg := &RegisterArray{Name: "hits", Cells: 12, Bits: 32}
+	if err := p.AddStage(&Stage{
+		Name:      "s0",
+		Tables:    []TableBinding{{Table: tb}},
+		Registers: []*RegisterArray{reg},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r := p.Resources()
+	if r.Stages != 1 || r.Tables != 1 || r.TCAMEntries != 1 ||
+		r.TCAMCapacity != 128 || r.RegisterCells != 12 {
+		t.Errorf("Resources = %+v", r)
+	}
+	if p.String() == "" {
+		t.Error("String must render")
+	}
+}
+
+func TestBuildADAProgramStageCounts(t *testing.T) {
+	// Table II: ADA(R) → 2 stages, ADA(ΔT) → 2 stages, ADA(ΔT, R) → 3.
+	calc := tcam.MustNew("calc", 128, 32, 32)
+	monR := tcam.MustNew("mon.R", 12, 32)
+	monDT := tcam.MustNew("mon.dT", 12, 32)
+
+	tests := []struct {
+		name  string
+		vars  []VarSpec
+		wantS int
+	}{
+		{"ADA(R)", []VarSpec{{Name: "R", Monitoring: monR, Bins: 8}}, 2},
+		{"ADA(dT)", []VarSpec{{Name: "dT", Monitoring: monDT, Bins: 8}}, 2},
+		{"ADA(dT,R)", []VarSpec{
+			{Name: "dT", Monitoring: monDT, Bins: 8},
+			{Name: "R", Monitoring: monR, Bins: 8},
+		}, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p, err := BuildADAProgram(tt.name, tt.vars, calc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.NumStages() != tt.wantS {
+				t.Errorf("stages = %d, want %d", p.NumStages(), tt.wantS)
+			}
+			if err := p.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+			r := p.Resources()
+			wantRegs := 0
+			for _, v := range tt.vars {
+				wantRegs += v.Bins
+			}
+			if r.RegisterCells != wantRegs {
+				t.Errorf("register cells = %d, want %d", r.RegisterCells, wantRegs)
+			}
+		})
+	}
+}
+
+func TestBuildADAProgramErrors(t *testing.T) {
+	calc := tcam.MustNew("calc", 0, 8)
+	if _, err := BuildADAProgram("x", nil, calc); err == nil {
+		t.Error("no variables: want error")
+	}
+	mon := tcam.MustNew("m", 0, 8)
+	if _, err := BuildADAProgram("x", []VarSpec{{Name: "v", Monitoring: mon, Bins: 4}}, nil); err == nil {
+		t.Error("nil calc: want error")
+	}
+}
+
+func TestStagesCopy(t *testing.T) {
+	p := NewPipeline("c", 0)
+	if err := p.AddStage(&Stage{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	ss := p.Stages()
+	ss[0] = nil
+	if p.Stages()[0] == nil {
+		t.Error("Stages leaked internal slice")
+	}
+}
+
+// TestForwardingContention captures the paper's motivation that TCAM is
+// shared with core functions: an ADA deployment must fit alongside a
+// forwarding table within the same stage/entry budget, and the resource
+// report must expose the combined footprint the operator trades off.
+func TestForwardingContention(t *testing.T) {
+	p := NewPipeline("switch", 4)
+	// Stage 0: IP forwarding, the TCAM's primary tenant.
+	fwd := tcam.MustNew("ipv4.lpm", 1024, 32)
+	for i := 0; i < 512; i++ {
+		pre, err := bitstr.New(uint64(i)<<23, 9, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fwd.InsertPrefix(pre, 0, i%16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.AddStage(&Stage{
+		Name:   "forward",
+		Tables: []TableBinding{{Table: fwd, Actions: []Action{{Name: "set_egress", Ops: []ALUOp{OpAdd}}}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// ADA occupies the remaining stages.
+	mon := tcam.MustNew("ada.mon", 12, 32)
+	calc := tcam.MustNew("ada.calc", 128, 32)
+	adaP, err := BuildADAProgram("ada", []VarSpec{{Name: "R", Monitoring: mon, Bins: 12}}, calc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range adaP.Stages() {
+		if err := p.AddStage(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := p.Resources()
+	if r.Stages != 3 {
+		t.Errorf("stages = %d, want 3 (forward + monitor + calc)", r.Stages)
+	}
+	if r.TCAMCapacity != 1024+12+128 {
+		t.Errorf("TCAM capacity = %d, want 1164", r.TCAMCapacity)
+	}
+	if r.TCAMEntries != 512 {
+		t.Errorf("entries = %d, want 512 (ADA tables empty before install)", r.TCAMEntries)
+	}
+	// A fourth tenant must be rejected by the stage budget.
+	if err := p.AddStage(&Stage{Name: "extra1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddStage(&Stage{Name: "extra2"}); !errors.Is(err, ErrStageBudget) {
+		t.Errorf("over-budget stage error = %v, want ErrStageBudget", err)
+	}
+}

@@ -1,0 +1,62 @@
+package population_test
+
+import (
+	"fmt"
+
+	"github.com/ada-repro/ada/internal/population"
+	"github.com/ada-repro/ada/internal/trie"
+)
+
+// ExampleADAUnary builds a distribution-aware calculation table: the hot
+// interval around the observed operands receives fine entries while the
+// cold remainder collapses into coarse backstops.
+func ExampleADAUnary() {
+	tr, err := trie.NewInitial(8, 8) // 8 monitoring bins over 8-bit operands
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// The data plane observed operands clustered at 40–47; several control
+	// rounds of Algorithm 2 zoom the bins in.
+	for round := 0; round < 4; round++ {
+		tr.ResetHits()
+		for i := 0; i < 100; i++ {
+			tr.Record(uint64(40 + i%8))
+		}
+		tr.Rebalance(0.20)
+	}
+
+	square := func(x uint64) uint64 { return x * x }
+	entries, err := population.ADAUnary(tr, square, 8, population.Midpoint)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("entries: %d (within budget 8)\n", len(entries))
+	lookup, _ := population.LookupEntry(entries, 44)
+	fmt.Printf("lookup 44 resolves inside [40,47]: %v\n",
+		lookup.P.Lo() >= 40 && lookup.P.Hi() <= 47)
+	fmt.Printf("its result is 44^2 within 10%%: %v\n",
+		float64(lookup.Result) > 0.9*44*44 && float64(lookup.Result) < 1.1*44*44)
+	// Output:
+	// entries: 8 (within budget 8)
+	// lookup 44 resolves inside [40,47]: true
+	// its result is 44^2 within 10%: true
+}
+
+// ExampleSigBitsUnary shows the paper's §II-A baseline form
+// 0^p 1 (0|1)^s x^r: interval width grows with operand magnitude.
+func ExampleSigBitsUnary() {
+	double := func(x uint64) uint64 { return 2 * x }
+	entries, err := population.SigBitsUnary(double, 8, 1, population.Midpoint)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	small, _ := population.LookupEntry(entries, 5)
+	large, _ := population.LookupEntry(entries, 200)
+	fmt.Printf("entry at 5 covers %d values; entry at 200 covers %d values\n",
+		small.P.Size(), large.P.Size())
+	// Output:
+	// entry at 5 covers 2 values; entry at 200 covers 64 values
+}

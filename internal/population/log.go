@@ -1,0 +1,165 @@
+package population
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/ada-repro/ada/internal/bitstr"
+)
+
+// DefaultLogScale is the fixed-point scale for logarithm tables: log2 values
+// are stored as round(log2(x) * DefaultLogScale).
+const DefaultLogScale = 1 << 16
+
+// LogTables is the logarithmic population of Sharma et al. [12]: a log2
+// lookup over the operand domain and an antilog (2^x) lookup over the
+// log-sum domain. Multiplication becomes antilog(log(x) + log(y)) and
+// division antilog(log(x) − log(y)), both expressible with the switch's
+// native add/subtract ALU between two TCAM lookups.
+type LogTables struct {
+	// Width is the operand width in bits.
+	Width int
+	// Scale is the fixed-point multiplier applied to log2 values.
+	Scale uint64
+	// Log maps operand prefixes to round(log2(rep) * Scale).
+	Log []UnaryEntry
+	// Antilog maps scaled-log prefixes back to round(2^(rep/Scale)).
+	Antilog []UnaryEntry
+	// AntilogWidth is the key width of the antilog table in bits; it must
+	// hold the largest possible log sum, 2 * Width * Scale.
+	AntilogWidth int
+}
+
+// BuildLogTables constructs log/antilog tables with the given per-table
+// entry budgets. scale == 0 selects DefaultLogScale.
+func BuildLogTables(width, logBudget, antilogBudget int, scale uint64, rep Representative) (*LogTables, error) {
+	if width < 1 || width > 32 {
+		// Antilog sums for wider operands exceed the uint64 key space.
+		return nil, fmt.Errorf("%w: log tables support widths 1-32, got %d", ErrWidth, width)
+	}
+	if scale == 0 {
+		scale = DefaultLogScale
+	}
+	logf := func(x uint64) uint64 {
+		if x < 1 {
+			x = 1
+		}
+		return uint64(math.Round(math.Log2(float64(x)) * float64(scale)))
+	}
+	logEntries, err := NaiveUnary(logf, width, logBudget, rep)
+	if err != nil {
+		return nil, fmt.Errorf("log table: %w", err)
+	}
+	maxSum := 2 * uint64(width) * scale
+	alWidth := 1
+	for uint64(1)<<uint(alWidth) <= maxSum {
+		alWidth++
+	}
+	expf := func(l uint64) uint64 {
+		v := math.Exp2(float64(l) / float64(scale))
+		if v >= math.MaxUint64 {
+			return math.MaxUint64
+		}
+		return uint64(math.Round(v))
+	}
+	antilogEntries, err := NaiveUnary(expf, alWidth, antilogBudget, rep)
+	if err != nil {
+		return nil, fmt.Errorf("antilog table: %w", err)
+	}
+	return &LogTables{
+		Width:        width,
+		Scale:        scale,
+		Log:          logEntries,
+		Antilog:      antilogEntries,
+		AntilogWidth: alWidth,
+	}, nil
+}
+
+// TotalEntries returns the combined TCAM footprint of both tables.
+func (lt *LogTables) TotalEntries() int { return len(lt.Log) + len(lt.Antilog) }
+
+// lookupSorted finds the deepest (longest-prefix) unary entry containing v.
+// Entries must be in bitstr.SortPrefixes order; both flat partitions
+// (NaiveUnary, SigBitsUnary) and nested LPM covers (ADAUnary) are supported.
+// It is the software analogue of the hardware resolution in the tcam
+// package.
+//
+// Prefix sets form a laminar family, so among all entries containing v the
+// deepest one has the largest Lo (ties broken by more significant bits,
+// which sort earlier).
+func lookupSorted(entries []UnaryEntry, v uint64) (UnaryEntry, bool) {
+	i := sort.Search(len(entries), func(i int) bool { return entries[i].P.Lo() > v }) - 1
+	for ; i >= 0; i-- {
+		if !entries[i].P.Contains(v) {
+			continue
+		}
+		best := entries[i]
+		lo := entries[i].P.Lo()
+		for j := i - 1; j >= 0 && entries[j].P.Lo() == lo; j-- {
+			if entries[j].P.Contains(v) && entries[j].P.Bits() > best.P.Bits() {
+				best = entries[j]
+			}
+		}
+		return best, true
+	}
+	return UnaryEntry{}, false
+}
+
+// Multiply evaluates x*y through the log pipeline, mirroring the data-plane
+// sequence: two log lookups, one native addition, one antilog lookup. Zero
+// operands short-circuit to zero, as the P4 implementation guards them with
+// a match on the zero key.
+func (lt *LogTables) Multiply(x, y uint64) (uint64, bool) {
+	if x == 0 || y == 0 {
+		return 0, true
+	}
+	lx, ok := lookupSorted(lt.Log, x)
+	if !ok {
+		return 0, false
+	}
+	ly, ok := lookupSorted(lt.Log, y)
+	if !ok {
+		return 0, false
+	}
+	sum := lx.Result + ly.Result
+	al, ok := lookupSorted(lt.Antilog, sum)
+	if !ok {
+		return 0, false
+	}
+	return al.Result, true
+}
+
+// Divide evaluates x/y through the log pipeline (antilog(log x − log y)).
+// x < y truncates toward zero as integer division does; y == 0 reports
+// failure.
+func (lt *LogTables) Divide(x, y uint64) (uint64, bool) {
+	if y == 0 {
+		return 0, false
+	}
+	if x == 0 {
+		return 0, true
+	}
+	lx, ok := lookupSorted(lt.Log, x)
+	if !ok {
+		return 0, false
+	}
+	ly, ok := lookupSorted(lt.Log, y)
+	if !ok {
+		return 0, false
+	}
+	if ly.Result >= lx.Result {
+		// log x <= log y: quotient rounds to <= 1.
+		if ly.Result-lx.Result > lt.Scale/2 {
+			return 0, true
+		}
+		return 1, true
+	}
+	al, ok := lookupSorted(lt.Antilog, lx.Result-ly.Result)
+	if !ok {
+		return 0, false
+	}
+	return al.Result, true
+}
+
+var _ = bitstr.Prefix{} // bitstr types appear in exported fields above

@@ -1,0 +1,148 @@
+package population
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBuildLogTables(t *testing.T) {
+	lt, err := BuildLogTables(16, 64, 128, 0, Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Scale != DefaultLogScale {
+		t.Errorf("Scale = %d, want default", lt.Scale)
+	}
+	if lt.TotalEntries() != len(lt.Log)+len(lt.Antilog) {
+		t.Error("TotalEntries inconsistent")
+	}
+	if len(lt.Log) != 64 {
+		t.Errorf("log entries = %d, want 64", len(lt.Log))
+	}
+	// Antilog key width must hold 2*width*scale.
+	need := 2 * uint64(16) * lt.Scale
+	if uint64(1)<<uint(lt.AntilogWidth) <= need {
+		t.Errorf("antilog width %d cannot hold %d", lt.AntilogWidth, need)
+	}
+}
+
+func TestBuildLogTablesErrors(t *testing.T) {
+	if _, err := BuildLogTables(0, 8, 8, 0, Midpoint); err == nil {
+		t.Error("width 0: want error")
+	}
+	if _, err := BuildLogTables(33, 8, 8, 0, Midpoint); err == nil {
+		t.Error("width 33: want error")
+	}
+	if _, err := BuildLogTables(16, 0, 8, 0, Midpoint); err == nil {
+		t.Error("log budget 0: want error")
+	}
+	if _, err := BuildLogTables(16, 8, 0, 0, Midpoint); err == nil {
+		t.Error("antilog budget 0: want error")
+	}
+}
+
+func TestLogMultiplyAccuracy(t *testing.T) {
+	lt, err := BuildLogTables(16, 512, 1024, 0, Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	total, n := 0.0, 0
+	for i := 0; i < 5000; i++ {
+		x := uint64(1 + rng.Intn(1<<16-1))
+		y := uint64(1 + rng.Intn(1<<16-1))
+		got, ok := lt.Multiply(x, y)
+		if !ok {
+			t.Fatalf("Multiply(%d, %d) missed", x, y)
+		}
+		exact := float64(x * y)
+		total += math.Abs(float64(got)-exact) / exact
+		n++
+	}
+	avg := total / float64(n)
+	if avg > 0.10 {
+		t.Errorf("avg multiply error %.3f exceeds 10%%", avg)
+	}
+}
+
+func TestLogMultiplyZero(t *testing.T) {
+	lt, err := BuildLogTables(8, 32, 64, 0, Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := lt.Multiply(0, 200); !ok || got != 0 {
+		t.Errorf("Multiply(0, 200) = %d, %v", got, ok)
+	}
+	if got, ok := lt.Multiply(7, 0); !ok || got != 0 {
+		t.Errorf("Multiply(7, 0) = %d, %v", got, ok)
+	}
+}
+
+func TestLogDivide(t *testing.T) {
+	lt, err := BuildLogTables(16, 2048, 2048, 0, Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	total, n := 0.0, 0
+	for i := 0; i < 5000; i++ {
+		// Operands sit where the equal-width log table is reasonably fine;
+		// small divisors are exactly the regime the naive log population
+		// handles badly (§II-A), exercised in the sig-bits tests instead.
+		y := uint64(1024 + rng.Intn(8192))
+		x := y + uint64(rng.Intn(1<<16-int(y)))
+		got, ok := lt.Divide(x, y)
+		if !ok {
+			t.Fatalf("Divide(%d, %d) missed", x, y)
+		}
+		exact := float64(x) / float64(y)
+		total += math.Abs(float64(got)-exact) / exact
+		n++
+	}
+	if avg := total / float64(n); avg > 0.10 {
+		t.Errorf("avg divide error %.3f exceeds 10%%", avg)
+	}
+}
+
+func TestLogDivideEdgeCases(t *testing.T) {
+	lt, err := BuildLogTables(8, 64, 128, 0, Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := lt.Divide(10, 0); ok {
+		t.Error("divide by zero must fail")
+	}
+	if got, ok := lt.Divide(0, 5); !ok || got != 0 {
+		t.Errorf("Divide(0,5) = %d, %v", got, ok)
+	}
+	// x < y: quotient near zero or one.
+	got, ok := lt.Divide(2, 200)
+	if !ok || got > 1 {
+		t.Errorf("Divide(2,200) = %d, %v; want 0 or 1", got, ok)
+	}
+	// x ≈ y: quotient 1.
+	got, ok = lt.Divide(100, 100)
+	if !ok || got > 2 {
+		t.Errorf("Divide(100,100) = %d, %v; want ≈1", got, ok)
+	}
+}
+
+func TestLookupSorted(t *testing.T) {
+	entries, err := NaiveUnary(ident, 8, 16, Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 256; v++ {
+		e, ok := lookupSorted(entries, v)
+		if !ok {
+			t.Fatalf("miss at %d", v)
+		}
+		if !e.P.Contains(v) {
+			t.Fatalf("entry %v does not contain %d", e.P, v)
+		}
+	}
+	if _, ok := lookupSorted(nil, 5); ok {
+		t.Error("empty table lookup must miss")
+	}
+}

@@ -1,0 +1,449 @@
+package population
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/ada-repro/ada/internal/bitstr"
+	"github.com/ada-repro/ada/internal/dist"
+	"github.com/ada-repro/ada/internal/trie"
+)
+
+func square(x uint64) uint64 { return x * x }
+func double(x uint64) uint64 { return 2 * x }
+func mul(x, y uint64) uint64 { return x * y }
+func ident(x uint64) uint64  { return x }
+func sum(x, y uint64) uint64 { return x + y }
+func clamp(v uint64, w int) uint64 {
+	if w >= 64 {
+		return v
+	}
+	return v & ((uint64(1) << uint(w)) - 1)
+}
+
+func TestSubdivide(t *testing.T) {
+	root, _ := bitstr.Root(4)
+	tests := []struct {
+		m    int
+		want int
+	}{
+		{0, 1}, {1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 5}, {16, 16}, {100, 16},
+	}
+	for _, tt := range tests {
+		got := Subdivide(root, tt.m)
+		if len(got) != tt.want {
+			t.Errorf("Subdivide(root4, %d) = %d prefixes, want %d", tt.m, len(got), tt.want)
+		}
+		if !bitstr.Partition(got) {
+			t.Errorf("Subdivide(root4, %d) does not tile the domain: %v", tt.m, got)
+		}
+	}
+}
+
+func TestSubdivideBalanced(t *testing.T) {
+	root, _ := bitstr.Root(8)
+	got := Subdivide(root, 8)
+	for _, p := range got {
+		if p.Bits() != 3 {
+			t.Errorf("power-of-two subdivision must be uniform; got %v", got)
+			break
+		}
+	}
+}
+
+func TestNaiveUnary(t *testing.T) {
+	entries, err := NaiveUnary(square, 8, 16, Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 16 {
+		t.Fatalf("got %d entries, want 16", len(entries))
+	}
+	if !CoversDomain(entries) {
+		t.Fatal("naive entries must tile the domain")
+	}
+	// Every entry's result must equal f(midpoint).
+	for _, e := range entries {
+		if e.Result != square(e.P.Midpoint()) {
+			t.Errorf("entry %v result %d, want %d", e.P, e.Result, square(e.P.Midpoint()))
+		}
+	}
+}
+
+func TestNaiveUnaryErrors(t *testing.T) {
+	if _, err := NaiveUnary(square, 0, 4, Midpoint); !errors.Is(err, ErrWidth) {
+		t.Errorf("width 0: %v", err)
+	}
+	if _, err := NaiveUnary(square, 8, 0, Midpoint); !errors.Is(err, ErrBudget) {
+		t.Errorf("budget 0: %v", err)
+	}
+}
+
+func TestNaiveUnaryRange(t *testing.T) {
+	// Working range [0, 99] of a 16-bit domain with 32 entries: all entries
+	// must live inside the range cover and tile it exactly.
+	entries, err := NaiveUnaryRange(square, 16, 32, 0, 99, Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) > 32 {
+		t.Fatalf("budget exceeded: %d", len(entries))
+	}
+	var lo, hi uint64 = math.MaxUint64, 0
+	for _, e := range entries {
+		if e.P.Lo() < lo {
+			lo = e.P.Lo()
+		}
+		if e.P.Hi() > hi {
+			hi = e.P.Hi()
+		}
+	}
+	if lo != 0 || hi < 99 || hi > 127 {
+		t.Errorf("cover spans [%d, %d], want [0, ~99..127]", lo, hi)
+	}
+	if _, err := NaiveUnaryRange(square, 16, 1, 1, 6, Midpoint); err == nil {
+		t.Error("budget below base cover size: want error")
+	}
+	if _, err := NaiveUnaryRange(square, 16, 8, 9, 2, Midpoint); !errors.Is(err, ErrRange) {
+		t.Errorf("inverted range: %v", err)
+	}
+}
+
+func TestNaiveBinary(t *testing.T) {
+	entries, err := NaiveBinary(mul, 4, 16, Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 16 { // 4 x 4
+		t.Fatalf("got %d entries, want 16", len(entries))
+	}
+	// Every (x, y) pair in the domain must be covered by exactly one entry.
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			hits := 0
+			for _, e := range entries {
+				if e.X.Contains(x) && e.Y.Contains(y) {
+					hits++
+				}
+			}
+			if hits != 1 {
+				t.Fatalf("(%d,%d) covered by %d entries", x, y, hits)
+			}
+		}
+	}
+	if _, err := NaiveBinary(mul, 0, 4, Midpoint); !errors.Is(err, ErrWidth) {
+		t.Errorf("width 0: %v", err)
+	}
+	if _, err := NaiveBinary(mul, 4, 0, Midpoint); !errors.Is(err, ErrBudget) {
+		t.Errorf("budget 0: %v", err)
+	}
+}
+
+func TestApportion(t *testing.T) {
+	got := apportion([]float64{3, 1}, 4, 8)
+	if got[0]+got[1] != 8 {
+		t.Fatalf("apportion total = %d, want 8", got[0]+got[1])
+	}
+	if got[0] < got[1] {
+		t.Errorf("heavier weight received fewer entries: %v", got)
+	}
+	// Zero weights fall back to equal shares, one minimum each.
+	got = apportion([]float64{0, 0, 0}, 0, 3)
+	for i, g := range got {
+		if g != 1 {
+			t.Errorf("equal-share alloc[%d] = %d, want 1", i, g)
+		}
+	}
+}
+
+func TestADAUnaryProportionality(t *testing.T) {
+	// Build a trie where bin 01x is overwhelmingly hot; ADA must assign it
+	// far more entries than the cold bins.
+	tr, err := trie.NewInitial(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SetLeafHits([]uint64{1, 1000, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ADAUnary(tr, square, 64, Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) > 64 {
+		t.Fatalf("budget exceeded: %d entries", len(entries))
+	}
+	if !CoversDomain(entries) {
+		t.Fatal("ADA entries must tile the domain")
+	}
+	hot, cold := 0, 0
+	hotBin := tr.Leaves()[1].Prefix
+	coldBin := tr.Leaves()[3].Prefix
+	for _, e := range entries {
+		if hotBin.ContainsPrefix(e.P) {
+			hot++
+		}
+		if coldBin.ContainsPrefix(e.P) {
+			cold++
+		}
+	}
+	if hot < 8*cold {
+		t.Errorf("hot bin got %d entries, cold got %d; want strong skew", hot, cold)
+	}
+}
+
+func TestADAUnaryNoData(t *testing.T) {
+	// With no hits anywhere, Algorithm 3 falls back to w = 0.5 per side:
+	// the result must be the uniform population.
+	tr, _ := trie.NewInitial(4, 6)
+	entries, err := ADAUnary(tr, ident, 16, Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 16 {
+		t.Fatalf("got %d entries, want 16", len(entries))
+	}
+	if !CoversDomain(entries) {
+		t.Fatal("must tile the domain")
+	}
+	for _, e := range entries {
+		if e.P.Bits() != 4 {
+			t.Errorf("no-data population must be uniform, got %v", e.P)
+		}
+	}
+}
+
+func TestADAUnaryBudgetOne(t *testing.T) {
+	tr, _ := trie.NewInitial(4, 6)
+	entries, err := ADAUnary(tr, ident, 1, Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].P.Bits() != 0 {
+		t.Fatalf("budget 1 must yield the root entry, got %v", entries)
+	}
+	if _, err := ADAUnary(tr, ident, 0, Midpoint); !errors.Is(err, ErrBudget) {
+		t.Errorf("budget 0: %v", err)
+	}
+}
+
+func TestADABinaryCoverage(t *testing.T) {
+	tx, _ := trie.NewInitial(4, 4)
+	ty, _ := trie.NewInitial(4, 4)
+	if err := tx.SetLeafHits([]uint64{100, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ty.SetLeafHits([]uint64{1, 1, 1, 100}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ADABinary(tx, ty, sum, 64, Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) > 64 {
+		t.Fatalf("budget exceeded: %d", len(entries))
+	}
+	// ADA covers may nest (LPM catch-alls), so every pair must be covered by
+	// at least one entry; hardware resolution picks the deepest.
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			hits := 0
+			for _, e := range entries {
+				if e.X.Contains(x) && e.Y.Contains(y) {
+					hits++
+				}
+			}
+			if hits == 0 {
+				t.Fatalf("(%d,%d) uncovered", x, y)
+			}
+		}
+	}
+	if _, err := ADABinary(tx, ty, sum, 0, Midpoint); !errors.Is(err, ErrBudget) {
+		t.Errorf("budget 0: %v", err)
+	}
+}
+
+// avgRelError measures mean relative error of a unary population against the
+// exact function over samples.
+func avgRelError(entries []UnaryEntry, f UnaryFunc, samples []uint64) float64 {
+	total := 0.0
+	for _, x := range samples {
+		e, ok := lookupSorted(entries, x)
+		if !ok {
+			total += 1
+			continue
+		}
+		exact := f(x)
+		if exact == 0 {
+			continue
+		}
+		total += math.Abs(float64(e.Result)-float64(exact)) / float64(exact)
+	}
+	return total / float64(len(samples))
+}
+
+func TestADABeatsNaiveOnSkewedOperands(t *testing.T) {
+	// The paper's core claim: with the same entry budget, distribution-aware
+	// population yields lower average error than the naive baseline when
+	// operands are skewed.
+	const width, budget = 16, 32
+	sampler := dist.NewIntSampler(
+		dist.Truncated{D: dist.Gaussian{Mu: 4000, Sigma: 180}, Lo: 0, Hi: 1 << width},
+		1<<width-1, 7)
+	train := sampler.Draw(20000)
+	test := sampler.Draw(20000)
+
+	tr, _ := trie.NewInitial(12, width)
+	for round := 0; round < 40; round++ {
+		tr.ResetHits()
+		tr.RecordAll(train[:2000])
+		for i := 0; i < 4 && tr.Rebalance(0.20); i++ {
+		}
+	}
+	tr.ResetHits()
+	tr.RecordAll(train)
+
+	adaEntries, err := ADAUnary(tr, square, budget, Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveEntries, err := NaiveUnary(square, width, budget, Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaErr := avgRelError(adaEntries, square, test)
+	naiveErr := avgRelError(naiveEntries, square, test)
+	if adaErr >= naiveErr/2 {
+		t.Errorf("ADA error %.4f not well below naive %.4f", adaErr, naiveErr)
+	}
+}
+
+func TestErrorGrowsWithWildcardedMagnitude(t *testing.T) {
+	// §II-A: under the 0^p 1 (0|1)^s x^r population, interval width grows
+	// with magnitude, so the worst-case x² error inside a large operand's
+	// bin exceeds that of a small operand's bin.
+	entries, err := SigBitsUnary(square, 16, 1, Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worstIn := func(x uint64) float64 {
+		e, ok := lookupSorted(entries, x)
+		if !ok {
+			t.Fatalf("miss at %d", x)
+		}
+		worst := 0.0
+		for v := e.P.Lo(); v <= e.P.Hi(); v++ {
+			exact := float64(square(v))
+			if exact == 0 {
+				continue
+			}
+			if rel := math.Abs(float64(e.Result)-exact) / exact; rel > worst {
+				worst = rel
+			}
+		}
+		return worst
+	}
+	small, large := worstIn(4), worstIn(8192)
+	if large <= small {
+		t.Errorf("worst-case error must grow with magnitude: err(4-bin)=%.3f err(8192-bin)=%.3f",
+			small, large)
+	}
+}
+
+func TestGeoMeanRepresentativeHelpsMultiplicativeError(t *testing.T) {
+	const width, budget = 16, 16
+	rng := rand.New(rand.NewSource(9))
+	samples := make([]uint64, 20000)
+	for i := range samples {
+		samples[i] = 1 + uint64(rng.Intn(1<<width-1))
+	}
+	mid, err := NaiveUnary(square, width, budget, Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo, err := NaiveUnary(square, width, budget, GeoMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, m := avgRelError(geo, square, samples), avgRelError(mid, square, samples); g >= m {
+		t.Errorf("geomean error %.4f not below midpoint %.4f", g, m)
+	}
+}
+
+func TestRepresentativeString(t *testing.T) {
+	if Midpoint.String() != "midpoint" || GeoMean.String() != "geomean" {
+		t.Error("Representative.String misrendered")
+	}
+	if Representative(99).String() == "" {
+		t.Error("unknown representative must render something")
+	}
+}
+
+func TestCoversDomainNegative(t *testing.T) {
+	if CoversDomain(nil) {
+		t.Error("empty set must not cover")
+	}
+	p, _ := bitstr.Parse("0xx")
+	if CoversDomain([]UnaryEntry{{P: p}}) {
+		t.Error("half domain must not cover")
+	}
+}
+
+// Property: ADAAllocate output always tiles the domain and respects budget,
+// for random tries and budgets.
+func TestQuickADAAllocateInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 150; trial++ {
+		width := 2 + rng.Intn(12)
+		m := 1 + rng.Intn(16)
+		tr, err := trie.NewInitial(m, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			tr.Record(rng.Uint64())
+		}
+		for i := 0; i < 5; i++ {
+			tr.Rebalance(0.2)
+		}
+		budget := 1 + rng.Intn(64)
+		ps, err := ADAAllocate(tr, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ps) > budget {
+			t.Fatalf("trial %d: %d prefixes exceed budget %d", trial, len(ps), budget)
+		}
+		entries := make([]UnaryEntry, len(ps))
+		seen := make(map[bitstr.Prefix]bool, len(ps))
+		for i, p := range ps {
+			if seen[p] {
+				t.Fatalf("trial %d: duplicate prefix %v", trial, p)
+			}
+			seen[p] = true
+			entries[i] = UnaryEntry{P: p}
+		}
+		if !CoversDomain(entries) {
+			t.Fatalf("trial %d: allocation does not cover the domain", trial)
+		}
+		// Every probe must resolve to a containing prefix via LPM.
+		for probe := 0; probe < 20; probe++ {
+			v := rng.Uint64() & (uint64(1)<<uint(width) - 1)
+			e, ok := lookupSorted(entries, v)
+			if !ok || !e.P.Contains(v) {
+				t.Fatalf("trial %d: LPM lookup of %d failed (ok=%v)", trial, v, ok)
+			}
+		}
+	}
+}
+
+func TestClampHelper(t *testing.T) {
+	if clamp(0x1FF, 8) != 0xFF {
+		t.Error("clamp failed")
+	}
+	if clamp(42, 64) != 42 {
+		t.Error("clamp 64 failed")
+	}
+}

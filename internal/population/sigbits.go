@@ -1,0 +1,90 @@
+package population
+
+import (
+	"fmt"
+
+	"github.com/ada-repro/ada/internal/bitstr"
+)
+
+// SigBitsUnary builds the wildcard population of §II-A, the form used by
+// Sharma et al. [12] and Nimble [10]: every entry is 0^p 1 (0|1)^s x^r — a
+// leading-one anchor followed by s significant bits and wildcards. Interval
+// width therefore grows with operand magnitude, which is exactly why the
+// paper observes larger errors for larger values. One extra entry matches
+// the exact value zero.
+//
+// Table size is 1 + Σ_{pos=0}^{width-1} 2^min(s, pos), growing exponentially
+// in s (paper Fig 7b).
+func SigBitsUnary(f UnaryFunc, width, s int, rep Representative) ([]UnaryEntry, error) {
+	prefixes, err := SigBitsPrefixes(width, s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]UnaryEntry, len(prefixes))
+	for i, p := range prefixes {
+		out[i] = UnaryEntry{P: p, Result: f(rep.Pick(p))}
+	}
+	return out, nil
+}
+
+// SigBitsPrefixes returns the match prefixes of the 0^p 1 (0|1)^s x^r
+// population in ascending value order. They exactly tile the domain.
+func SigBitsPrefixes(width, s int) ([]bitstr.Prefix, error) {
+	if width < 1 || width > 64 {
+		return nil, fmt.Errorf("%w: got %d", ErrWidth, width)
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("population: significant bits must be >= 0, got %d", s)
+	}
+	zero, err := bitstr.Exact(0, width)
+	if err != nil {
+		return nil, err
+	}
+	out := []bitstr.Prefix{zero}
+	for pos := 0; pos < width; pos++ {
+		k := s
+		if k > pos {
+			k = pos // cannot have more significant bits than remain below the anchor
+		}
+		lead := uint64(1) << uint(pos)
+		sig := width - pos + k // 0^p prefix + leading 1 + k bits
+		for c := uint64(0); c < uint64(1)<<uint(k); c++ {
+			v := lead | c<<uint(pos-k)
+			p, err := bitstr.New(v, sig, width)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// SigBitsTableSize returns the entry count of SigBitsPrefixes without
+// materialising it.
+func SigBitsTableSize(width, s int) int {
+	n := 1
+	for pos := 0; pos < width; pos++ {
+		k := s
+		if k > pos {
+			k = pos
+		}
+		n += 1 << uint(k)
+	}
+	return n
+}
+
+// SigBitsBinary is the two-operand cross product of SigBitsUnary marginals;
+// its size is the square of the unary table, the combinatorial blow-up the
+// paper warns about.
+func SigBitsBinary(f BinaryFunc, width, s int, rep Representative) ([]BinaryEntry, error) {
+	xs, err := SigBitsPrefixes(width, s)
+	if err != nil {
+		return nil, err
+	}
+	ys, err := SigBitsPrefixes(width, s)
+	if err != nil {
+		return nil, err
+	}
+	return crossProduct(f, xs, ys, rep), nil
+}

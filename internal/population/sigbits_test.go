@@ -1,0 +1,124 @@
+package population
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ada-repro/ada/internal/bitstr"
+)
+
+func TestSigBitsPrefixesTileDomain(t *testing.T) {
+	for _, s := range []int{0, 1, 2, 4} {
+		for _, width := range []int{4, 8, 16} {
+			ps, err := SigBitsPrefixes(width, s)
+			if err != nil {
+				t.Fatalf("width %d s %d: %v", width, s, err)
+			}
+			if !bitstr.Partition(ps) {
+				t.Errorf("width %d s %d: prefixes do not tile the domain", width, s)
+			}
+			if got := SigBitsTableSize(width, s); got != len(ps) {
+				t.Errorf("width %d s %d: TableSize = %d, actual %d", width, s, got, len(ps))
+			}
+		}
+	}
+}
+
+func TestSigBitsPaperForm(t *testing.T) {
+	// 4-bit, s = 1: every nonzero magnitude contributes min(2^1, 2^pos)
+	// entries anchored at the leading one.
+	ps, err := SigBitsPrefixes(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"0000",         // exact zero
+		"0001",         // pos 0
+		"0010", "0011", // pos 1
+		"010x", "011x", // pos 2
+		"10xx", "11xx", // pos 3
+	}
+	if len(ps) != len(want) {
+		t.Fatalf("got %d prefixes %v, want %d", len(ps), ps, len(want))
+	}
+	for i, p := range ps {
+		if p.String() != want[i] {
+			t.Errorf("prefix %d = %q, want %q", i, p, want[i])
+		}
+	}
+}
+
+func TestSigBitsTableSizeExponentialInS(t *testing.T) {
+	// Paper Fig 7b: table size grows exponentially with the significant
+	// bits.
+	prev := 0
+	for s := 1; s <= 8; s++ {
+		size := SigBitsTableSize(32, s)
+		if s > 1 {
+			ratio := float64(size) / float64(prev)
+			if ratio < 1.7 {
+				t.Errorf("s=%d size %d over s=%d size %d: growth ratio %.2f, want ≈2",
+					s, size, s-1, prev, ratio)
+			}
+		}
+		prev = size
+	}
+}
+
+func TestSigBitsUnaryResults(t *testing.T) {
+	entries, err := SigBitsUnary(double, 8, 2, Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Result != double(e.P.Midpoint()) {
+			t.Errorf("entry %v: result %d, want %d", e.P, e.Result, double(e.P.Midpoint()))
+		}
+	}
+}
+
+func TestSigBitsErrorFallsWithS(t *testing.T) {
+	// Paper Fig 7a: increasing significant bits reduces average error.
+	samples := make([]uint64, 0, 4096)
+	for v := uint64(1); v < 1<<12; v++ {
+		samples = append(samples, v)
+	}
+	var prevErr float64 = math.Inf(1)
+	for _, s := range []int{1, 3, 5, 7} {
+		entries, err := SigBitsUnary(square, 12, s, Midpoint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		avg := avgRelError(entries, square, samples)
+		if avg >= prevErr {
+			t.Errorf("s=%d avg error %.4f did not fall below %.4f", s, avg, prevErr)
+		}
+		prevErr = avg
+	}
+}
+
+func TestSigBitsBinarySize(t *testing.T) {
+	entries, err := SigBitsBinary(mul, 4, 1, Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unary := SigBitsTableSize(4, 1)
+	if len(entries) != unary*unary {
+		t.Errorf("binary size = %d, want %d²=%d", len(entries), unary, unary*unary)
+	}
+}
+
+func TestSigBitsErrors(t *testing.T) {
+	if _, err := SigBitsPrefixes(0, 1); err == nil {
+		t.Error("width 0: want error")
+	}
+	if _, err := SigBitsPrefixes(8, -1); err == nil {
+		t.Error("negative s: want error")
+	}
+	if _, err := SigBitsUnary(square, 65, 1, Midpoint); err == nil {
+		t.Error("width 65: want error")
+	}
+	if _, err := SigBitsBinary(mul, 0, 1, Midpoint); err == nil {
+		t.Error("binary width 0: want error")
+	}
+}

@@ -1,0 +1,128 @@
+// Package stats renders experiment results as fixed-width text tables, the
+// output format of cmd/adabench and EXPERIMENTS.md.
+package stats
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of cells rendered with aligned columns.
+type Table struct {
+	// Title is printed above the grid.
+	Title string
+	// Headers label the columns.
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; cells beyond the header count are kept as-is.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(cells))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddF appends a row of formatted values: strings pass through, float64
+// renders with 4 significant digits, integers as decimal.
+func (t *Table) AddF(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = formatCell(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatCell(c any) string {
+	switch v := c.(type) {
+	case string:
+		return v
+	case float64:
+		return strconv.FormatFloat(v, 'g', 4, 64)
+	case float32:
+		return strconv.FormatFloat(float64(v), 'g', 4, 64)
+	case int:
+		return strconv.Itoa(v)
+	case int64:
+		return strconv.FormatInt(v, 10)
+	case uint64:
+		return strconv.FormatUint(v, 10)
+	case fmt.Stringer:
+		return v.String()
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, len(c))
+			} else if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if pad := widths[i] - len(c); pad > 0 && i < len(widths)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(frac float64) string {
+	return strconv.FormatFloat(frac*100, 'f', 1, 64) + "%"
+}
+
+// KB formats bytes as kilobytes.
+func KB(bytes int) string {
+	return strconv.FormatFloat(float64(bytes)/1024, 'f', 1, 64) + "KB"
+}
+
+// Gbps formats bits/s as gigabits per second.
+func Gbps(bps float64) string {
+	return strconv.FormatFloat(bps/1e9, 'f', 2, 64) + "Gbps"
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "col a", "b")
+	tb.Add("x", "1")
+	tb.Add("longer cell", "2")
+	out := tb.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "=====") {
+		t.Errorf("missing title/underline:\n%s", out)
+	}
+	if !strings.Contains(out, "col a") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, underline, header, separator, two rows.
+	if len(lines) != 6 {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: "1" and "2" start at the same offset.
+	r1, r2 := lines[4], lines[5]
+	if strings.Index(r1, "1") != strings.Index(r2, "2") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableNoTitleNoHeaders(t *testing.T) {
+	tb := &Table{}
+	tb.Add("only", "row")
+	out := tb.String()
+	if strings.Contains(out, "=") || strings.Contains(out, "-") {
+		t.Errorf("decorations without title/headers:\n%s", out)
+	}
+	if !strings.Contains(out, "only") {
+		t.Errorf("row missing:\n%s", out)
+	}
+}
+
+func TestAddFFormats(t *testing.T) {
+	tb := NewTable("", "c")
+	tb.AddF("s", 3.14159, float32(2.5), 42, int64(-7), uint64(9), Time99{})
+	out := tb.String()
+	for _, want := range []string{"s", "3.142", "2.5", "42", "-7", "9", "99s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// Time99 exercises the fmt.Stringer branch.
+type Time99 struct{}
+
+func (Time99) String() string { return "99s" }
+
+func TestAddFDefaultBranch(t *testing.T) {
+	tb := NewTable("", "c")
+	tb.AddF([]int{1, 2})
+	if !strings.Contains(tb.String(), "[1 2]") {
+		t.Error("default formatting missed")
+	}
+}
+
+func TestRowWiderThanHeaders(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.Add("1", "2", "3") // more cells than headers must not panic
+	out := tb.String()
+	if !strings.Contains(out, "3") {
+		t.Errorf("extra cell dropped:\n%s", out)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if got := Pct(0.123); got != "12.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := KB(2048); got != "2.0KB" {
+		t.Errorf("KB = %q", got)
+	}
+	if got := Gbps(12.5e9); got != "12.50Gbps" {
+		t.Errorf("Gbps = %q", got)
+	}
+}

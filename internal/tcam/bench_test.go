@@ -1,0 +1,90 @@
+package tcam
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ada-repro/ada/internal/bitstr"
+)
+
+func benchTable(b *testing.B, entries int) *Table {
+	b.Helper()
+	tb := MustNew("bench", 0, 32)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < entries; i++ {
+		sig := 8 + rng.Intn(24)
+		p, err := bitstr.New(rng.Uint64()&0xFFFFFFFF, sig, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tb.InsertPrefix(p, 0, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func BenchmarkLookup128(b *testing.B) {
+	tb := benchTable(b, 128)
+	rng := rand.New(rand.NewSource(2))
+	keys := make([]uint64, 1024)
+	for i := range keys {
+		keys[i] = rng.Uint64() & 0xFFFFFFFF
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkLookup1024(b *testing.B) {
+	tb := benchTable(b, 1024)
+	rng := rand.New(rand.NewSource(2))
+	keys := make([]uint64, 1024)
+	for i := range keys {
+		keys[i] = rng.Uint64() & 0xFFFFFFFF
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkApplyRowsNoChange(b *testing.B) {
+	tb := MustNew("bench", 0, 16)
+	rows := make([]Row, 0, 64)
+	root, _ := bitstr.Root(16)
+	for i, p := range subdivideForBench(root, 64) {
+		rows = append(rows, RowFromPrefix(p, uint64(i)))
+	}
+	if _, err := tb.ApplyRows(rows); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.ApplyRows(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// subdivideForBench avoids importing population (cycle-free helper).
+func subdivideForBench(p bitstr.Prefix, m int) []bitstr.Prefix {
+	out := []bitstr.Prefix{p}
+	for len(out) < m {
+		best, bestWild := -1, 0
+		for i, q := range out {
+			if q.WildBits() > bestWild {
+				best, bestWild = i, q.WildBits()
+			}
+		}
+		if best < 0 {
+			break
+		}
+		l, _ := out[best].Left()
+		r, _ := out[best].Right()
+		out[best] = l
+		out = append(out, r)
+	}
+	return out
+}

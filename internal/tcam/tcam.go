@@ -1,0 +1,508 @@
+// Package tcam models the ternary content-addressable memory found in
+// PISA/RMT switch pipeline stages.
+//
+// A Table holds ternary entries over one or more key fields. Each field of an
+// entry carries a value and a mask; a key matches when key & mask == value for
+// every field. When several entries match, the table resolves the conflict by
+// longest prefix match — the entry with the most total significant (masked)
+// bits wins, mirroring the LPM resolution the paper relies on — with explicit
+// priority and insertion order as tie-breakers.
+//
+// Capacity is a hard limit, as TCAM is the scarce resource whose footprint
+// ADA exists to minimise. The table also keeps operation counters so the
+// control-plane overhead accounting (paper Table II, Fig 9) can be derived
+// from real operation counts rather than estimates.
+package tcam
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/ada-repro/ada/internal/bitstr"
+)
+
+var (
+	// ErrCapacity reports an insert into a full table.
+	ErrCapacity = errors.New("tcam: table capacity exhausted")
+	// ErrFieldCount reports a key or entry with the wrong number of fields.
+	ErrFieldCount = errors.New("tcam: field count mismatch")
+	// ErrNotFound reports an operation on a non-existent entry ID.
+	ErrNotFound = errors.New("tcam: entry not found")
+	// ErrFieldWidth reports a field value or mask outside its declared width.
+	ErrFieldWidth = errors.New("tcam: field exceeds declared width")
+)
+
+// Field is one ternary key field of an entry: the key bits selected by Mask
+// must equal Value.
+type Field struct {
+	Value uint64
+	Mask  uint64
+}
+
+// FieldFromPrefix converts a bitstr.Prefix into a ternary Field.
+func FieldFromPrefix(p bitstr.Prefix) Field {
+	return Field{Value: p.Value(), Mask: p.Mask()}
+}
+
+// SigBits returns the number of significant (masked) bits in the field.
+func (f Field) SigBits() int { return bits.OnesCount64(f.Mask) }
+
+// Matches reports whether key satisfies the field pattern.
+func (f Field) Matches(key uint64) bool { return key&f.Mask == f.Value }
+
+// Entry is one installed TCAM row.
+type Entry struct {
+	// ID is the table-unique identifier assigned at insert.
+	ID int
+	// Fields are the ternary match fields, one per table key field.
+	Fields []Field
+	// Priority breaks ties between entries with equal significant bits;
+	// larger wins.
+	Priority int
+	// Data is the opaque action data (e.g. an arithmetic result or a
+	// register index).
+	Data any
+
+	sig int // cached total significant bits
+	seq int // insertion sequence for deterministic final tie-break
+}
+
+// SigBits returns the total number of significant bits across all fields.
+func (e *Entry) SigBits() int { return e.sig }
+
+// Stats counts table operations since creation (or the last ResetStats).
+type Stats struct {
+	Lookups uint64
+	Hits    uint64
+	Misses  uint64
+	Inserts uint64
+	Deletes uint64
+	Updates uint64
+}
+
+// Table is a ternary match table with bounded capacity. It is safe for
+// concurrent use.
+type Table struct {
+	mu sync.RWMutex
+
+	name        string
+	capacity    int
+	fieldWidths []int
+	entries     map[int]*Entry
+	ordered     []*Entry // resolution order: sig desc, priority desc, seq asc
+	nextID      int
+	nextSeq     int
+	stats       Stats
+}
+
+// New creates a ternary table. capacity <= 0 means unbounded (used to model
+// the paper's "ideal, unlimited TCAM" baseline). fieldWidths declares the bit
+// width of each key field; at least one field is required.
+func New(name string, capacity int, fieldWidths ...int) (*Table, error) {
+	if len(fieldWidths) == 0 {
+		return nil, fmt.Errorf("%w: table %q needs at least one field", ErrFieldCount, name)
+	}
+	for i, w := range fieldWidths {
+		if w < 1 || w > 64 {
+			return nil, fmt.Errorf("%w: field %d width %d", ErrFieldWidth, i, w)
+		}
+	}
+	widths := make([]int, len(fieldWidths))
+	copy(widths, fieldWidths)
+	return &Table{
+		name:        name,
+		capacity:    capacity,
+		fieldWidths: widths,
+		entries:     make(map[int]*Entry),
+	}, nil
+}
+
+// MustNew is New but panics on error; for tests and static configuration.
+func MustNew(name string, capacity int, fieldWidths ...int) *Table {
+	t, err := New(name, capacity, fieldWidths...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Capacity returns the entry limit (0 = unbounded).
+func (t *Table) Capacity() int { return t.capacity }
+
+// Len returns the number of installed entries.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Occupancy returns installed/capacity in [0,1]; 0 for unbounded tables.
+func (t *Table) Occupancy() float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.capacity <= 0 {
+		return 0
+	}
+	return float64(len(t.entries)) / float64(t.capacity)
+}
+
+// FieldWidths returns a copy of the declared per-field widths.
+func (t *Table) FieldWidths() []int {
+	out := make([]int, len(t.fieldWidths))
+	copy(out, t.fieldWidths)
+	return out
+}
+
+// Stats returns a snapshot of the operation counters.
+func (t *Table) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.stats
+}
+
+// ResetStats zeroes the operation counters.
+func (t *Table) ResetStats() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats = Stats{}
+}
+
+func (t *Table) validateFields(fields []Field) error {
+	if len(fields) != len(t.fieldWidths) {
+		return fmt.Errorf("%w: got %d fields, table %q has %d",
+			ErrFieldCount, len(fields), t.name, len(t.fieldWidths))
+	}
+	for i, f := range fields {
+		var m uint64
+		if t.fieldWidths[i] >= 64 {
+			m = ^uint64(0)
+		} else {
+			m = (uint64(1) << uint(t.fieldWidths[i])) - 1
+		}
+		if f.Value&^m != 0 || f.Mask&^m != 0 {
+			return fmt.Errorf("%w: field %d value %#x mask %#x width %d",
+				ErrFieldWidth, i, f.Value, f.Mask, t.fieldWidths[i])
+		}
+		if f.Value&^f.Mask != 0 {
+			return fmt.Errorf("%w: field %d has value bits outside mask", ErrFieldWidth, i)
+		}
+	}
+	return nil
+}
+
+// Insert installs a new entry and returns its ID. It fails with ErrCapacity
+// when the table is full.
+func (t *Table) Insert(fields []Field, priority int, data any) (int, error) {
+	if err := t.validateFields(fields); err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.capacity > 0 && len(t.entries) >= t.capacity {
+		return 0, fmt.Errorf("%w: table %q at %d entries", ErrCapacity, t.name, t.capacity)
+	}
+	fs := make([]Field, len(fields))
+	copy(fs, fields)
+	sig := 0
+	for _, f := range fs {
+		sig += f.SigBits()
+	}
+	t.nextID++
+	t.nextSeq++
+	e := &Entry{ID: t.nextID, Fields: fs, Priority: priority, Data: data, sig: sig, seq: t.nextSeq}
+	t.entries[e.ID] = e
+	t.insertOrdered(e)
+	t.stats.Inserts++
+	return e.ID, nil
+}
+
+// InsertPrefix installs a single-field entry matching the given prefix.
+func (t *Table) InsertPrefix(p bitstr.Prefix, priority int, data any) (int, error) {
+	return t.Insert([]Field{FieldFromPrefix(p)}, priority, data)
+}
+
+// less reports resolution order: more significant bits first (LPM), then
+// higher priority, then earlier insertion.
+func less(a, b *Entry) bool {
+	if a.sig != b.sig {
+		return a.sig > b.sig
+	}
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.seq < b.seq
+}
+
+func (t *Table) insertOrdered(e *Entry) {
+	i := sort.Search(len(t.ordered), func(i int) bool { return !less(t.ordered[i], e) })
+	t.ordered = append(t.ordered, nil)
+	copy(t.ordered[i+1:], t.ordered[i:])
+	t.ordered[i] = e
+}
+
+// Delete removes the entry with the given ID.
+func (t *Table) Delete(id int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d in table %q", ErrNotFound, id, t.name)
+	}
+	delete(t.entries, id)
+	for i, o := range t.ordered {
+		if o == e {
+			t.ordered = append(t.ordered[:i], t.ordered[i+1:]...)
+			break
+		}
+	}
+	t.stats.Deletes++
+	return nil
+}
+
+// UpdateData replaces the action data of an existing entry in place. This
+// models the cheap control-plane write that rewrites an action without
+// touching the match key.
+func (t *Table) UpdateData(id int, data any) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d in table %q", ErrNotFound, id, t.name)
+	}
+	e.Data = data
+	t.stats.Updates++
+	return nil
+}
+
+// Clear removes all entries. Each removed entry counts as one delete, since
+// the control plane pays per-entry to invalidate TCAM rows.
+func (t *Table) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Deletes += uint64(len(t.entries))
+	t.entries = make(map[int]*Entry)
+	t.ordered = t.ordered[:0]
+}
+
+// Lookup matches the key fields against the table and returns the winning
+// entry under LPM resolution.
+func (t *Table) Lookup(keys ...uint64) (*Entry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Lookups++
+	if len(keys) != len(t.fieldWidths) {
+		t.stats.Misses++
+		return nil, false
+	}
+	for _, e := range t.ordered {
+		if matchAll(e.Fields, keys) {
+			t.stats.Hits++
+			return e, true
+		}
+	}
+	t.stats.Misses++
+	return nil, false
+}
+
+// LookupAll returns every matching entry in resolution order. Used by tests
+// to validate LPM resolution against a reference scan.
+func (t *Table) LookupAll(keys ...uint64) []*Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(keys) != len(t.fieldWidths) {
+		return nil
+	}
+	var out []*Entry
+	for _, e := range t.ordered {
+		if matchAll(e.Fields, keys) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func matchAll(fields []Field, keys []uint64) bool {
+	for i, f := range fields {
+		if !f.Matches(keys[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Entries returns a snapshot of all entries in resolution order.
+func (t *Table) Entries() []*Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Entry, len(t.ordered))
+	copy(out, t.ordered)
+	return out
+}
+
+// ReplaceAll atomically swaps the table contents for the given rows,
+// returning the number of TCAM writes performed (deletes of stale rows plus
+// inserts of new rows). This is the bulk operation the ADA controller issues
+// at the end of every control round.
+func (t *Table) ReplaceAll(rows []Row) (writes int, err error) {
+	for _, r := range rows {
+		if err := t.validateFields(r.Fields); err != nil {
+			return 0, err
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.capacity > 0 && len(rows) > t.capacity {
+		return 0, fmt.Errorf("%w: %d rows into table %q of capacity %d",
+			ErrCapacity, len(rows), t.name, t.capacity)
+	}
+	writes = len(t.entries) + len(rows)
+	t.stats.Deletes += uint64(len(t.entries))
+	t.entries = make(map[int]*Entry, len(rows))
+	t.ordered = t.ordered[:0]
+	for _, r := range rows {
+		fs := make([]Field, len(r.Fields))
+		copy(fs, r.Fields)
+		sig := 0
+		for _, f := range fs {
+			sig += f.SigBits()
+		}
+		t.nextID++
+		t.nextSeq++
+		e := &Entry{ID: t.nextID, Fields: fs, Priority: r.Priority, Data: r.Data, sig: sig, seq: t.nextSeq}
+		t.entries[e.ID] = e
+		t.insertOrdered(e)
+		t.stats.Inserts++
+	}
+	return writes, nil
+}
+
+// ApplyRows reconciles the table contents toward the given rows with the
+// minimum number of TCAM writes: rows whose match key and action data are
+// already installed cost nothing, rows whose key exists but whose data
+// changed cost one action rewrite, and only genuinely new/stale rows cost
+// an insert/delete. This models a real switch driver, which diffs against
+// its shadow copy instead of re-flashing the table (and is what keeps the
+// paper's Table II write counts low).
+//
+// The end state is identical to ReplaceAll(rows); only the write accounting
+// differs.
+func (t *Table) ApplyRows(rows []Row) (writes int, err error) {
+	for _, r := range rows {
+		if err := t.validateFields(r.Fields); err != nil {
+			return 0, err
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.capacity > 0 && len(rows) > t.capacity {
+		return 0, fmt.Errorf("%w: %d rows into table %q of capacity %d",
+			ErrCapacity, len(rows), t.name, t.capacity)
+	}
+	// Index current entries by match key.
+	current := make(map[string][]*Entry, len(t.entries))
+	for _, e := range t.ordered {
+		k := matchKey(e.Fields, e.Priority)
+		current[k] = append(current[k], e)
+	}
+	var toInsert []Row
+	for _, r := range rows {
+		k := matchKey(r.Fields, r.Priority)
+		list := current[k]
+		if len(list) == 0 {
+			toInsert = append(toInsert, r)
+			continue
+		}
+		e := list[0]
+		current[k] = list[1:]
+		if !dataEqual(e.Data, r.Data) {
+			e.Data = r.Data
+			t.stats.Updates++
+			writes++
+		}
+	}
+	// Remove stale entries.
+	for _, list := range current {
+		for _, e := range list {
+			delete(t.entries, e.ID)
+			for i, o := range t.ordered {
+				if o == e {
+					t.ordered = append(t.ordered[:i], t.ordered[i+1:]...)
+					break
+				}
+			}
+			t.stats.Deletes++
+			writes++
+		}
+	}
+	// Install new entries.
+	for _, r := range toInsert {
+		fs := make([]Field, len(r.Fields))
+		copy(fs, r.Fields)
+		sig := 0
+		for _, f := range fs {
+			sig += f.SigBits()
+		}
+		t.nextID++
+		t.nextSeq++
+		e := &Entry{ID: t.nextID, Fields: fs, Priority: r.Priority, Data: r.Data, sig: sig, seq: t.nextSeq}
+		t.entries[e.ID] = e
+		t.insertOrdered(e)
+		t.stats.Inserts++
+		writes++
+	}
+	return writes, nil
+}
+
+// matchKey serialises an entry's match fields and priority for diffing.
+func matchKey(fields []Field, priority int) string {
+	var b strings.Builder
+	b.Grow(len(fields)*34 + 12)
+	for _, f := range fields {
+		b.WriteString(strconv.FormatUint(f.Value, 16))
+		b.WriteByte('/')
+		b.WriteString(strconv.FormatUint(f.Mask, 16))
+		b.WriteByte(';')
+	}
+	b.WriteString(strconv.Itoa(priority))
+	return b.String()
+}
+
+// dataEqual compares action data without panicking on non-comparable types.
+func dataEqual(a, b any) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+// Row is the insert-time description of an entry, used by ReplaceAll and
+// ApplyRows.
+type Row struct {
+	Fields   []Field
+	Priority int
+	Data     any
+}
+
+// RowFromPrefix builds a single-field Row from a prefix.
+func RowFromPrefix(p bitstr.Prefix, data any) Row {
+	return Row{Fields: []Field{FieldFromPrefix(p)}, Data: data}
+}
+
+// String renders a short human-readable summary.
+func (t *Table) String() string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "tcam %q: %d", t.name, len(t.entries))
+	if t.capacity > 0 {
+		fmt.Fprintf(&b, "/%d", t.capacity)
+	}
+	b.WriteString(" entries")
+	return b.String()
+}

@@ -1,0 +1,411 @@
+package trie
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/ada-repro/ada/internal/bitstr"
+	"github.com/ada-repro/ada/internal/dist"
+)
+
+func TestNewInitialPaperExample(t *testing.T) {
+	// Paper §III-A2: four entries over 3-bit operands → 00x, 01x, 10x, 11x.
+	tr, err := NewInitial(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := tr.Leaves()
+	want := []string{"00x", "01x", "10x", "11x"}
+	if len(bins) != len(want) {
+		t.Fatalf("got %d bins, want %d", len(bins), len(want))
+	}
+	for i, b := range bins {
+		if b.Prefix.String() != want[i] {
+			t.Errorf("bin %d = %q, want %q", i, b.Prefix, want[i])
+		}
+	}
+	if tr.Depth() != 2 {
+		t.Errorf("Depth = %d, want 2", tr.Depth())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewInitialBudgets(t *testing.T) {
+	tests := []struct {
+		m, width   int
+		wantLeaves int
+	}{
+		{1, 8, 1},   // b = 0
+		{2, 8, 2},   // b = 1
+		{3, 8, 2},   // floor(log2 3) = 1
+		{7, 8, 4},   // floor(log2 7) = 2
+		{8, 8, 8},   // b = 3
+		{128, 3, 8}, // b capped at width
+	}
+	for _, tt := range tests {
+		tr, err := NewInitial(tt.m, tt.width)
+		if err != nil {
+			t.Fatalf("NewInitial(%d, %d): %v", tt.m, tt.width, err)
+		}
+		if tr.NumLeaves() != tt.wantLeaves {
+			t.Errorf("NewInitial(%d, %d) leaves = %d, want %d",
+				tt.m, tt.width, tr.NumLeaves(), tt.wantLeaves)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("NewInitial(%d, %d): %v", tt.m, tt.width, err)
+		}
+	}
+}
+
+func TestNewInitialErrors(t *testing.T) {
+	if _, err := NewInitial(0, 8); !errors.Is(err, ErrBudget) {
+		t.Errorf("budget 0 error = %v, want ErrBudget", err)
+	}
+	if _, err := NewInitial(4, 0); !errors.Is(err, ErrWidth) {
+		t.Errorf("width 0 error = %v, want ErrWidth", err)
+	}
+	if _, err := NewInitial(4, 65); !errors.Is(err, ErrWidth) {
+		t.Errorf("width 65 error = %v, want ErrWidth", err)
+	}
+}
+
+func TestRecord(t *testing.T) {
+	tr, _ := NewInitial(4, 3)
+	for v := uint64(0); v < 8; v++ {
+		tr.Record(v)
+	}
+	tr.Record(2) // extra hit in 01x
+	bins := tr.Leaves()
+	wantHits := []uint64{2, 3, 2, 2}
+	for i, b := range bins {
+		if b.Hits != wantHits[i] {
+			t.Errorf("bin %s hits = %d, want %d", b.Prefix, b.Hits, wantHits[i])
+		}
+	}
+	if tr.TotalHits() != 9 {
+		t.Errorf("TotalHits = %d, want 9", tr.TotalHits())
+	}
+}
+
+func TestRecordMasksWidth(t *testing.T) {
+	tr, _ := NewInitial(4, 3)
+	tr.Record(0xFF) // masked to 0b111
+	if got := tr.Leaves()[3].Hits; got != 1 {
+		t.Errorf("masked record landed wrong: %v", tr)
+	}
+}
+
+func TestRebalancePaperTransition(t *testing.T) {
+	// Figure 4a → 4b: from uniform bins with hits favouring 01x, one
+	// rebalance splits 01x and merges 10x+11x into 1xx.
+	tr, _ := NewInitial(4, 3)
+	// Hits from Figure 4a: 00x:5, 01x:14, 10x:2, 11x:1 (01x dominant,
+	// 10x/11x cold).
+	if err := tr.SetLeafHits([]uint64{5, 14, 2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	changed := tr.Rebalance(0.20)
+	if !changed {
+		t.Fatal("Rebalance must fire at this imbalance")
+	}
+	bins := tr.Leaves()
+	want := []string{"00x", "010", "011", "1xx"}
+	if len(bins) != 4 {
+		t.Fatalf("leaf count changed: %d", len(bins))
+	}
+	for i, b := range bins {
+		if b.Prefix.String() != want[i] {
+			t.Errorf("bin %d = %q, want %q (trie: %v)", i, b.Prefix, want[i], tr)
+		}
+	}
+	if tr.TotalHits() != 22 {
+		t.Errorf("hits not conserved: %d, want 22", tr.TotalHits())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRebalanceBelowThreshold(t *testing.T) {
+	tr, _ := NewInitial(4, 3)
+	if err := tr.SetLeafHits([]uint64{10, 10, 9, 10}); err != nil {
+		t.Fatal(err)
+	}
+	// Imbalance = 1/10 < 0.20 → no change.
+	if tr.Rebalance(0.20) {
+		t.Error("Rebalance fired below threshold")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	tr, _ := NewInitial(4, 3)
+	if tr.Imbalance() != 0 {
+		t.Error("zero-hit imbalance must be 0")
+	}
+	if err := tr.SetLeafHits([]uint64{10, 5, 10, 10}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Imbalance(); got != 0.5 {
+		t.Errorf("Imbalance = %g, want 0.5", got)
+	}
+}
+
+func TestRebalanceDoesNotMergeSplitTarget(t *testing.T) {
+	// Two leaves only: the hot leaf's sibling pair is the only mergeable
+	// parent, and merging it would destroy the split target. Rebalance must
+	// decline rather than corrupt the trie.
+	tr, _ := NewInitial(2, 3)
+	if err := tr.SetLeafHits([]uint64{100, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Rebalance(0.20) {
+		t.Error("Rebalance must not merge the node it is about to split")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRebalanceAtFullDepth(t *testing.T) {
+	// Width-1 operands: leaves 0 and 1 are fully specified; nothing can
+	// split.
+	tr, _ := NewInitial(2, 1)
+	if err := tr.SetLeafHits([]uint64{100, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Rebalance(0.20) {
+		t.Error("Rebalance at full depth must be a no-op")
+	}
+}
+
+func TestExpand(t *testing.T) {
+	tr, _ := NewInitial(2, 4) // two bins
+	if err := tr.SetLeafHits([]uint64{9, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Expand() {
+		t.Fatal("Expand must split the hot leaf")
+	}
+	if tr.NumLeaves() != 3 {
+		t.Errorf("leaves = %d, want 3", tr.NumLeaves())
+	}
+	if tr.TotalHits() != 10 {
+		t.Errorf("hits not conserved: %d", tr.TotalHits())
+	}
+	bins := tr.Leaves()
+	want := []string{"00xx", "01xx", "1xxx"}
+	for i, b := range bins {
+		if b.Prefix.String() != want[i] {
+			t.Errorf("bin %d = %q, want %q", i, b.Prefix, want[i])
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpandExhausted(t *testing.T) {
+	tr, _ := NewInitial(2, 1)
+	if tr.Expand() {
+		t.Error("Expand with all leaves at full depth must return false")
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	tr, _ := NewInitial(4, 3)
+	if err := tr.SetLeafHits([]uint64{1, 2}); !errors.Is(err, ErrLeafCount) {
+		t.Errorf("short snapshot error = %v, want ErrLeafCount", err)
+	}
+	if err := tr.AddLeafHits(make([]uint64, 9)); !errors.Is(err, ErrLeafCount) {
+		t.Errorf("long snapshot error = %v, want ErrLeafCount", err)
+	}
+}
+
+func TestAddAndResetAndDecay(t *testing.T) {
+	tr, _ := NewInitial(2, 3)
+	if err := tr.SetLeafHits([]uint64{4, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddLeafHits([]uint64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalHits() != 14 {
+		t.Errorf("after add: %d, want 14", tr.TotalHits())
+	}
+	tr.DecayHits()
+	if tr.TotalHits() != 6 { // 5/2 + 9/2 = 2 + 4
+		t.Errorf("after decay: %d, want 6", tr.TotalHits())
+	}
+	tr.ResetHits()
+	if tr.TotalHits() != 0 {
+		t.Error("ResetHits left hits")
+	}
+}
+
+func TestAggregateHits(t *testing.T) {
+	tr, _ := NewInitial(4, 3)
+	if err := tr.SetLeafHits([]uint64{5, 7, 7, 3}); err != nil {
+		t.Fatal(err)
+	}
+	total := tr.AggregateHits()
+	if total != 22 {
+		t.Errorf("AggregateHits = %d, want 22", total)
+	}
+	root := tr.Root()
+	if root.Hits() != 22 {
+		t.Errorf("root aggregated hits = %d, want 22", root.Hits())
+	}
+	if root.Left().Hits() != 12 || root.Right().Hits() != 10 {
+		t.Errorf("children aggregates = %d, %d; want 12, 10",
+			root.Left().Hits(), root.Right().Hits())
+	}
+}
+
+func TestMaxMinLeaf(t *testing.T) {
+	tr, _ := NewInitial(4, 3)
+	if err := tr.SetLeafHits([]uint64{5, 14, 2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.MaxLeaf(); got.Prefix.String() != "01x" || got.Hits != 14 {
+		t.Errorf("MaxLeaf = %v", got)
+	}
+	if got := tr.MinLeaf(); got.Prefix.String() != "11x" || got.Hits != 1 {
+		t.Errorf("MinLeaf = %v", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	tr, _ := NewInitial(4, 3)
+	if err := tr.SetLeafHits([]uint64{5, 14, 2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	cp := tr.Clone()
+	tr.Rebalance(0.2)
+	tr.Record(7)
+	if cp.String() != "00x:5 01x:14 10x:2 11x:1" {
+		t.Errorf("clone mutated: %v", cp)
+	}
+}
+
+func TestConvergenceToSkewedDistribution(t *testing.T) {
+	// Drive Algorithm 2 with a tight Gaussian and check the bins zoom into
+	// the dense region: after convergence, the bin containing the mean must
+	// be much narrower than the initial uniform bin.
+	const width = 20 // domain [0, 1M)
+	tr, err := NewInitial(8, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initialSize := tr.Leaves()[0].Prefix.Size()
+	sampler := dist.NewIntSampler(
+		dist.Truncated{D: dist.Gaussian{Mu: 300000, Sigma: 2000}, Lo: 0, Hi: 1 << width},
+		1<<width-1, 99)
+	for round := 0; round < 80; round++ {
+		// Control-plane loop: fresh register snapshot per round, a bounded
+		// number of Algorithm 2 iterations, then reset.
+		tr.ResetHits()
+		tr.RecordAll(sampler.Draw(2000))
+		for i := 0; i < 4 && tr.Rebalance(0.20); i++ {
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	var meanBin Bin
+	for _, b := range tr.Leaves() {
+		if b.Prefix.Contains(300000) {
+			meanBin = b
+		}
+	}
+	if meanBin.Prefix.Size() > initialSize/16 {
+		t.Errorf("bin at mean did not shrink: size %d (initial %d); trie: %v",
+			meanBin.Prefix.Size(), initialSize, tr)
+	}
+}
+
+// Property: Rebalance and Expand always preserve the partition invariant,
+// leaf count semantics, and hit conservation.
+func TestQuickMutationsPreserveInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		width := 2 + rng.Intn(14)
+		m := 1 + rng.Intn(32)
+		tr, err := NewInitial(m, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 30; step++ {
+			n := 1 + rng.Intn(200)
+			for i := 0; i < n; i++ {
+				tr.Record(rng.Uint64())
+			}
+			before := tr.TotalHits()
+			leavesBefore := tr.NumLeaves()
+			switch rng.Intn(3) {
+			case 0:
+				changed := tr.Rebalance(rng.Float64() * 0.5)
+				if changed && tr.NumLeaves() != leavesBefore {
+					t.Fatalf("Rebalance changed leaf count %d → %d", leavesBefore, tr.NumLeaves())
+				}
+			case 1:
+				changed := tr.Expand()
+				if changed && tr.NumLeaves() != leavesBefore+1 {
+					t.Fatalf("Expand leaf count %d → %d", leavesBefore, tr.NumLeaves())
+				}
+			default:
+				tr.AggregateHits() // must not corrupt leaves
+			}
+			if tr.TotalHits() != before {
+				t.Fatalf("hits not conserved: %d → %d", before, tr.TotalHits())
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+		}
+	}
+}
+
+// Property: every recorded value lands in exactly one bin whose prefix
+// contains it.
+func TestQuickRecordLandsInContainingBin(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr, _ := NewInitial(16, 12)
+	for i := 0; i < 200; i++ {
+		v := rng.Uint64() & 0xFFF
+		before := make(map[string]uint64)
+		for _, b := range tr.Leaves() {
+			before[b.Prefix.String()] = b.Hits
+		}
+		tr.Record(v)
+		bumped := 0
+		for _, b := range tr.Leaves() {
+			if b.Hits != before[b.Prefix.String()] {
+				bumped++
+				if !b.Prefix.Contains(v) {
+					t.Fatalf("value %d bumped non-containing bin %v", v, b.Prefix)
+				}
+			}
+		}
+		if bumped != 1 {
+			t.Fatalf("value %d bumped %d bins", v, bumped)
+		}
+		if i%20 == 0 {
+			tr.Rebalance(0.1)
+		}
+	}
+}
+
+func TestSplitInternalNodeError(t *testing.T) {
+	tr, _ := NewInitial(4, 3)
+	if err := tr.split(tr.root); err == nil {
+		t.Error("splitting internal node: want error")
+	}
+	if err := tr.merge(tr.root.left.left); err == nil {
+		t.Error("merging a leaf: want error")
+	}
+}
+
+var _ = bitstr.Prefix{} // keep the import for helper use in future tests
