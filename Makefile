@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short vet bench experiments examples cover clean
+.PHONY: all build test test-short vet bench chaos experiments examples cover clean
 
 all: build vet test
 
@@ -15,6 +15,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Fault-injected Fig 8 soak: reconvergence and transactional-round
+# invariants under the default and outage chaos profiles, repeated.
+chaos:
+	$(GO) test -run TestChaos -count=3 -v ./internal/experiments
 
 # One benchmark per paper table/figure plus the design-choice ablations.
 bench:

@@ -5,10 +5,17 @@
 // the chosen operation — exactly what the gRPC controller pushes to the
 // switch.
 //
+// With -faults the trace is instead replayed through the full closed-loop
+// system (monitor → controller → calculation TCAM) with the switch driver
+// wrapped in a deterministic fault injector, printing per-round retry and
+// degradation behaviour — a command-line replay of the chaos experiments.
+//
 // Usage:
 //
 //	adactl -op square -width 16 -monitor 12 -calc 64 < trace.txt
 //	adactl -op double -values 94,94,94,47,47
+//	adactl -op square -faults default < trace.txt
+//	adactl -op square -faults "seed=7,write=0.2,stale=0.05" -values 9,9,9,200
 package main
 
 import (
@@ -21,6 +28,9 @@ import (
 	"strings"
 
 	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/controlplane"
+	"github.com/ada-repro/ada/internal/core"
+	"github.com/ada-repro/ada/internal/faults"
 	"github.com/ada-repro/ada/internal/population"
 	"github.com/ada-repro/ada/internal/stats"
 	"github.com/ada-repro/ada/internal/trie"
@@ -43,6 +53,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		rounds    = fs.Int("rounds", 8, "control rounds over the trace")
 		thBalance = fs.Float64("th-balance", 0.20, "Algorithm 2 rebalance threshold")
 		values    = fs.String("values", "", "comma-separated operand values (default: read stdin)")
+		faultSpec = fs.String("faults", "", `replay through a fault-injected driver: "default", "outages", or "seed=7,write=0.05,stale=0.01,..."`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +74,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if len(trace) == 0 {
 		return fmt.Errorf("empty trace")
+	}
+
+	if *faultSpec != "" {
+		return runFaulty(stdout, op, *width, *monitorN, *calcN, *rounds, *thBalance, *faultSpec, trace)
 	}
 
 	tr, err := trie.NewInitial(*monitorN, *width)
@@ -103,6 +118,80 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		calc.AddF(e.P.String(), fmt.Sprintf("[%d, %d]", e.P.Lo(), e.P.Hi()), e.Result)
 	}
 	fmt.Fprintln(stdout, calc.String())
+	return nil
+}
+
+// runFaulty replays the trace through the closed-loop system with the
+// switch driver wrapped in a seeded fault injector: chunked observe+sync
+// rounds, per-round degradation reporting, and the final monitoring shape.
+func runFaulty(stdout io.Writer, op arith.UnaryOp, width, monitorN, calcN, rounds int,
+	thBalance float64, spec string, trace []uint64) error {
+	prof, err := faults.ParseProfile(spec)
+	if err != nil {
+		return err
+	}
+	inj, err := faults.New(prof)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig(width)
+	cfg.MonitorEntries = monitorN
+	cfg.CalcEntries = calcN
+	cfg.ThBalance = thBalance
+	cfg.WrapDriver = inj.Wrap
+	sys, err := core.NewUnary(cfg, op)
+	if err != nil {
+		return err
+	}
+	inj.AttachTable(sys.Engine().Table())
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("Fault-injected replay for %v (profile %s, %d samples, %d rounds)",
+			op, prof, len(trace), rounds),
+		"round", "samples", "delay", "status", "retries", "driver errors")
+	chunk := (len(trace) + rounds - 1) / rounds
+	degraded := 0
+	for start, round := 0, 1; start < len(trace); start, round = start+chunk, round+1 {
+		end := start + chunk
+		if end > len(trace) {
+			end = len(trace)
+		}
+		for _, v := range trace[start:end] {
+			sys.Observe(v)
+		}
+		rep, err := sys.Sync()
+		if err != nil {
+			return err
+		}
+		status := "committed"
+		if rep.Degraded {
+			degraded++
+			status = "degraded: " + string(rep.DegradedReason)
+		}
+		if rep.Health == controlplane.Unhealthy {
+			status += " (unhealthy)"
+		}
+		tbl.AddF(round, end-start, rep.Delay, status, rep.Retries, rep.DriverErrors)
+	}
+	fmt.Fprintln(stdout, tbl.String())
+
+	st := inj.Stats()
+	fmt.Fprintf(stdout,
+		"injected: %d write failures, %d row failures, %d dropped / %d stale snapshots, %d outage ops, %v latency\n",
+		st.WriteFailures, st.RowFailures, st.SnapshotDrops, st.StaleSnapshots, st.OutageOps, st.Injected)
+	fmt.Fprintf(stdout, "degraded rounds: %d (last good population kept serving)\n\n", degraded)
+
+	tr := sys.Controller().Trie()
+	mon := stats.NewTable(
+		fmt.Sprintf("Final monitoring TCAM (%d bins, health %v)",
+			tr.NumLeaves(), sys.Controller().Health()),
+		"entry", "range", "hits")
+	for _, b := range tr.Leaves() {
+		mon.AddF(b.Prefix.String(), fmt.Sprintf("[%d, %d]", b.Prefix.Lo(), b.Prefix.Hi()), b.Hits)
+	}
+	fmt.Fprintln(stdout, mon.String())
+	fmt.Fprintf(stdout, "calculation TCAM: %d entries installed (generation %d)\n",
+		sys.Engine().Table().Len(), sys.Engine().Table().Generation())
 	return nil
 }
 

@@ -67,3 +67,37 @@ func TestReadTraceWhitespace(t *testing.T) {
 		t.Fatalf("inline vals = %v", vals)
 	}
 }
+
+func TestRunWithFaultProfile(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-op", "square", "-width", "12", "-monitor", "8", "-calc", "32", "-rounds", "6",
+		"-faults", "seed=7,write=0.5,stale=0.2",
+		"-values", "900,900,900,900,900,900,900,12,12,3000,3000,3000",
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Fault-injected replay", "injected:", "degraded rounds:", "Final monitoring TCAM", "calculation TCAM:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in output:\n%s", want, s)
+		}
+	}
+	// Equal seeds replay identically.
+	var out2 strings.Builder
+	if err := run([]string{
+		"-op", "square", "-width", "12", "-monitor", "8", "-calc", "32", "-rounds", "6",
+		"-faults", "seed=7,write=0.5,stale=0.2",
+		"-values", "900,900,900,900,900,900,900,12,12,3000,3000,3000",
+	}, strings.NewReader(""), &out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.String() != s {
+		t.Error("seeded fault replay not deterministic")
+	}
+
+	if err := run([]string{"-faults", "bogus=1", "-values", "1"}, strings.NewReader(""), &out); err == nil {
+		t.Error("bad fault spec: want error")
+	}
+}

@@ -43,6 +43,26 @@ func (t *rateMulTarget) Populate(tr *trie.Trie, budget int) (int, int, error) {
 	return writes, len(entries), err
 }
 
+// RateMulOption tunes an ADARateMultiplier beyond the required parameters.
+type RateMulOption func(*controlplane.Config)
+
+// WithWrapDriver wraps the controller's switch driver — the seam for
+// internal/faults injection in the chaos experiments.
+func WithWrapDriver(wrap func(controlplane.Driver) controlplane.Driver) RateMulOption {
+	return func(cfg *controlplane.Config) { cfg.WrapDriver = wrap }
+}
+
+// WithRetryPolicy overrides the controller's driver retry policy.
+func WithRetryPolicy(p controlplane.RetryPolicy) RateMulOption {
+	return func(cfg *controlplane.Config) { cfg.Retry = p }
+}
+
+// WithUnhealthyAfter sets the consecutive failed rounds before degraded
+// mode (negative = never).
+func WithUnhealthyAfter(n int) RateMulOption {
+	return func(cfg *controlplane.Config) { cfg.UnhealthyAfter = n }
+}
+
 // NewADARateMultiplier builds the ADA(R) multiplier.
 //
 //   - widthR, widthT: operand widths of the rate and ΔT keys.
@@ -51,7 +71,7 @@ func (t *rateMulTarget) Populate(tr *trie.Trie, budget int) (int, int, error) {
 //     paper uses 12).
 //   - dtSigBits: significant bits of the static ΔT marginal; relative error
 //     is about ±2^-(dtSigBits+1) per lookup.
-func NewADARateMultiplier(widthR, widthT, rateBudget, monitorEntries, dtSigBits int) (*ADARateMultiplier, error) {
+func NewADARateMultiplier(widthR, widthT, rateBudget, monitorEntries, dtSigBits int, opts ...RateMulOption) (*ADARateMultiplier, error) {
 	dtPrefixes, err := population.SigBitsPrefixes(widthT, dtSigBits)
 	if err != nil {
 		return nil, fmt.Errorf("apps: dt marginal: %w", err)
@@ -67,6 +87,9 @@ func NewADARateMultiplier(widthR, widthT, rateBudget, monitorEntries, dtSigBits 
 	target := &rateMulTarget{engine: engine, dtPrefixes: dtPrefixes, rep: population.Midpoint}
 	cfg := controlplane.DefaultConfig(monitorEntries, rateBudget)
 	cfg.MaxMonitorEntries = 4 * monitorEntries
+	for _, o := range opts {
+		o(&cfg)
+	}
 	ctl, err := controlplane.New(cfg, mon, target)
 	if err != nil {
 		return nil, err

@@ -175,12 +175,16 @@ func NewUnaryEngine(name string, width, capacity int, entries []population.Unary
 // the TCAM write count (the quantity the control-plane delay model charges
 // for). Entries already installed with the same result cost nothing — the
 // driver diffs against its shadow copy, as real switch drivers do.
+//
+// Reload is transactional: if any row write fails (e.g. injected driver
+// faults) the previous population remains installed in full, so a lookup
+// never observes a partially reloaded table.
 func (e *UnaryEngine) Reload(entries []population.UnaryEntry) (int, error) {
 	rows := make([]tcam.Row, len(entries))
 	for i, en := range entries {
 		rows[i] = tcam.RowFromPrefix(en.P, en.Result)
 	}
-	return e.table.ApplyRows(rows)
+	return e.table.ApplyRowsAtomic(rows)
 }
 
 // Eval looks the operand up and returns the precomputed result.
@@ -234,7 +238,8 @@ func NewBinaryEngineWidths(name string, widthX, widthY, capacity int, entries []
 }
 
 // Reload reconciles the table contents toward the given entries, returning
-// the write count (unchanged rows cost nothing).
+// the write count (unchanged rows cost nothing). Like the unary Reload it
+// is transactional: a failed reload leaves the previous population intact.
 func (e *BinaryEngine) Reload(entries []population.BinaryEntry) (int, error) {
 	rows := make([]tcam.Row, len(entries))
 	for i, en := range entries {
@@ -243,7 +248,7 @@ func (e *BinaryEngine) Reload(entries []population.BinaryEntry) (int, error) {
 			Data:   en.Result,
 		}
 	}
-	return e.table.ApplyRows(rows)
+	return e.table.ApplyRowsAtomic(rows)
 }
 
 // Eval looks the operand pair up and returns the precomputed result.

@@ -1,0 +1,196 @@
+package controlplane
+
+import (
+	"time"
+
+	"github.com/ada-repro/ada/internal/bitstr"
+	"github.com/ada-repro/ada/internal/monitor"
+	"github.com/ada-repro/ada/internal/trie"
+)
+
+// Driver is the switch-driver boundary: the seam where the paper's gRPC wire
+// sits between the controller and the Tofino driver. Every data-plane
+// touch the controller makes — register reads/resets, monitoring-table
+// installs, calculation-table population — goes through this interface, so a
+// fault-injecting wrapper (internal/faults) can make any of them fail, stall,
+// or return stale state exactly where a real driver would.
+//
+// All operations may fail transiently; the controller retries them under its
+// RetryPolicy and degrades to serving the last good population when they
+// keep failing.
+type Driver interface {
+	// Width returns the operand width of the monitored variable in bits.
+	Width() int
+	// MonitorCapacity returns the monitoring TCAM capacity (0 = unbounded).
+	MonitorCapacity() int
+	// NumBins returns the currently installed monitoring bin count.
+	NumBins() int
+	// ReadRegisters snapshots the per-bin hit counters (one register read
+	// per bin).
+	ReadRegisters() ([]uint64, error)
+	// ResetRegisters zeroes the hit counters and returns the register
+	// writes performed.
+	ResetRegisters() (int, error)
+	// InstallMonitoring replaces the monitoring bins atomically, returning
+	// the TCAM writes performed. On error the previous bins remain
+	// installed.
+	InstallMonitoring(prefixes []bitstr.Prefix) (int, error)
+	// PopulateCalc rebuilds the calculation population from the trie into a
+	// shadow generation and commits it atomically, returning TCAM writes
+	// and entries computed. On error the previous population remains
+	// installed in full.
+	PopulateCalc(tr *trie.Trie, budget int) (writes, computed int, err error)
+}
+
+// LatencyReporter is implemented by drivers that model per-op latency beyond
+// the CostModel's calibrated operation costs (e.g. injected latency spikes).
+// The controller drains it after each driver call and charges the result
+// into the round's Delay and deadline budget.
+type LatencyReporter interface {
+	// TakeInjectedLatency returns the extra latency accumulated since the
+	// last call and resets the accumulator.
+	TakeInjectedLatency() time.Duration
+}
+
+// DirectDriver is the in-process implementation of Driver: it talks straight
+// to the tcam/monitor model with no wire in between, and never fails unless
+// the underlying tables do (capacity, validation). This is the seed
+// behaviour every pre-Driver caller had.
+type DirectDriver struct {
+	mon    *monitor.Monitor
+	target Target
+}
+
+// NewDirectDriver wraps the in-process monitor and calculation target.
+// target may be nil for monitoring-only variables.
+func NewDirectDriver(mon *monitor.Monitor, target Target) *DirectDriver {
+	return &DirectDriver{mon: mon, target: target}
+}
+
+// Width implements Driver.
+func (d *DirectDriver) Width() int { return d.mon.Width() }
+
+// MonitorCapacity implements Driver.
+func (d *DirectDriver) MonitorCapacity() int { return d.mon.Table().Capacity() }
+
+// NumBins implements Driver.
+func (d *DirectDriver) NumBins() int { return d.mon.NumBins() }
+
+// ReadRegisters implements Driver.
+func (d *DirectDriver) ReadRegisters() ([]uint64, error) { return d.mon.Snapshot(), nil }
+
+// ResetRegisters implements Driver.
+func (d *DirectDriver) ResetRegisters() (int, error) {
+	d.mon.Reset()
+	return d.mon.NumBins(), nil
+}
+
+// InstallMonitoring implements Driver.
+func (d *DirectDriver) InstallMonitoring(prefixes []bitstr.Prefix) (int, error) {
+	return d.mon.Install(prefixes)
+}
+
+// PopulateCalc implements Driver.
+func (d *DirectDriver) PopulateCalc(tr *trie.Trie, budget int) (int, int, error) {
+	if d.target == nil {
+		return 0, 0, nil
+	}
+	return d.target.Populate(tr, budget)
+}
+
+// Monitor exposes the wrapped monitor.
+func (d *DirectDriver) Monitor() *monitor.Monitor { return d.mon }
+
+// RetryPolicy bounds the controller's retries against a flaky driver. Retry
+// backoff is charged through the CostModel into the round's Delay, so the
+// Fig 9 convergence accounting stays honest under faults.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempts per driver operation (minimum 1).
+	MaxAttempts int
+	// BaseBackoff is the delay charged before the first retry; it doubles
+	// per retry up to MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+	// RoundDeadline bounds the modelled delay of one round (op costs +
+	// backoff + injected latency); once exceeded the round aborts as
+	// degraded rather than blowing the convergence budget. 0 = none.
+	RoundDeadline time.Duration
+}
+
+// DefaultRetryPolicy returns the defaults: 3 attempts, 50µs base backoff
+// capped at 800µs, no round deadline.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: 50 * time.Microsecond,
+		MaxBackoff:  800 * time.Microsecond,
+	}
+}
+
+func (p RetryPolicy) normalise() RetryPolicy {
+	def := DefaultRetryPolicy()
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = def.MaxAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = def.BaseBackoff
+	}
+	if p.MaxBackoff < p.BaseBackoff {
+		p.MaxBackoff = def.MaxBackoff
+		if p.MaxBackoff < p.BaseBackoff {
+			p.MaxBackoff = p.BaseBackoff
+		}
+	}
+	return p
+}
+
+// Health is the controller's view of the driver.
+type Health int
+
+// Health states.
+const (
+	// Healthy: rounds run normally.
+	Healthy Health = iota
+	// Unhealthy: too many consecutive rounds failed; the controller serves
+	// the last good population and only probes the driver each round.
+	Unhealthy
+)
+
+// String implements fmt.Stringer.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Unhealthy:
+		return "unhealthy"
+	default:
+		return "unknown"
+	}
+}
+
+// DegradeReason names why a round aborted without committing.
+type DegradeReason string
+
+// Degrade reasons surfaced in RoundReport.
+const (
+	// ReasonNone: the round committed.
+	ReasonNone DegradeReason = ""
+	// ReasonSnapshot: the register snapshot could not be read.
+	ReasonSnapshot DegradeReason = "snapshot-read"
+	// ReasonStaleSnapshot: the snapshot did not match the installed bins
+	// (stale or corrupt driver state).
+	ReasonStaleSnapshot DegradeReason = "stale-snapshot"
+	// ReasonResync: reinstalling the bins after a detected driver/controller
+	// divergence failed.
+	ReasonResync DegradeReason = "bin-resync"
+	// ReasonInstall: pushing the reshaped monitoring bins failed.
+	ReasonInstall DegradeReason = "monitoring-install"
+	// ReasonPopulate: committing the calculation population failed.
+	ReasonPopulate DegradeReason = "calc-populate"
+	// ReasonDeadline: the round exceeded its modelled delay budget.
+	ReasonDeadline DegradeReason = "round-deadline"
+	// ReasonUnhealthy: the controller is in degraded mode and only probed
+	// the driver.
+	ReasonUnhealthy DegradeReason = "driver-unhealthy"
+)

@@ -49,6 +49,15 @@ type Config struct {
 	Representative population.Representative
 	// Cost is the control-plane delay model.
 	Cost controlplane.CostModel
+	// Retry bounds the controller's retries against a flaky driver; the
+	// zero value selects controlplane.DefaultRetryPolicy.
+	Retry controlplane.RetryPolicy
+	// UnhealthyAfter is the consecutive failed rounds before the controller
+	// enters degraded mode (0 = default 3, negative = never).
+	UnhealthyAfter int
+	// WrapDriver, when set, wraps each controller's switch driver — the
+	// hook internal/faults uses to inject failures at the wire boundary.
+	WrapDriver func(controlplane.Driver) controlplane.Driver
 }
 
 // DefaultConfig returns the paper's parameters for width-bit operands.
@@ -95,6 +104,9 @@ func (c Config) controllerConfig() controlplane.Config {
 		CalcBudget:        c.CalcEntries,
 		MaxRebalances:     4,
 		Cost:              c.Cost,
+		Retry:             c.Retry,
+		UnhealthyAfter:    c.UnhealthyAfter,
+		WrapDriver:        c.WrapDriver,
 	}
 }
 
@@ -110,6 +122,16 @@ type SyncReport struct {
 	Rebalances int
 	// Expanded reports whether any monitoring TCAM grew.
 	Expanded bool
+	// Degraded reports that the round aborted on driver failure and the
+	// last good population is still serving; DegradedReason says why.
+	Degraded       bool
+	DegradedReason controlplane.DegradeReason
+	// Retries and DriverErrors count this round's retry activity.
+	Retries      int
+	DriverErrors int
+	// Health is the controller's driver-health verdict after the round (for
+	// a binary system, the worse of the two variables).
+	Health controlplane.Health
 }
 
 // unaryTarget adapts the calculation engine to the controller.
@@ -173,18 +195,25 @@ func (s *UnarySystem) Lookup(x uint64) (uint64, error) {
 	return s.engine.Eval(x)
 }
 
-// Sync runs one control-plane round.
+// Sync runs one control-plane round. Driver failures do not surface as
+// errors: the report comes back Degraded with the last good population
+// still serving (see the controlplane package's failure model).
 func (s *UnarySystem) Sync() (SyncReport, error) {
 	rep, err := s.ctl.Round()
 	if err != nil {
 		return SyncReport{}, err
 	}
 	return SyncReport{
-		Delay:      rep.Delay,
-		Reads:      rep.Reads,
-		Writes:     rep.RegisterWrites + rep.TCAMWrites,
-		Rebalances: rep.Rebalances,
-		Expanded:   rep.Expanded,
+		Delay:          rep.Delay,
+		Reads:          rep.Reads,
+		Writes:         rep.RegisterWrites + rep.TCAMWrites,
+		Rebalances:     rep.Rebalances,
+		Expanded:       rep.Expanded,
+		Degraded:       rep.Degraded,
+		DegradedReason: rep.DegradedReason,
+		Retries:        rep.Retries,
+		DriverErrors:   rep.DriverErrors,
+		Health:         rep.Health,
 	}, nil
 }
 
@@ -278,7 +307,11 @@ func (s *BinarySystem) Lookup(x, y uint64) (uint64, error) {
 }
 
 // Sync runs one control round across both variables and repopulates the
-// joint calculation table.
+// joint calculation table. When either variable's round degrades, its trie
+// did not move, so the joint population is skipped — the last good table
+// keeps serving and the report says why. A failed joint reload likewise
+// degrades the round (the engine's reload is transactional) rather than
+// returning an error; errors are reserved for programming faults.
 func (s *BinarySystem) Sync() (SyncReport, error) {
 	repX, err := s.ctlX.Round()
 	if err != nil {
@@ -288,18 +321,39 @@ func (s *BinarySystem) Sync() (SyncReport, error) {
 	if err != nil {
 		return SyncReport{}, fmt.Errorf("variable y: %w", err)
 	}
+	out := SyncReport{
+		Reads:          repX.Reads + repY.Reads,
+		Writes:         repX.RegisterWrites + repX.TCAMWrites + repY.RegisterWrites + repY.TCAMWrites,
+		Rebalances:     repX.Rebalances + repY.Rebalances,
+		Expanded:       repX.Expanded || repY.Expanded,
+		Degraded:       repX.Degraded || repY.Degraded,
+		Retries:        repX.Retries + repY.Retries,
+		DriverErrors:   repX.DriverErrors + repY.DriverErrors,
+		DegradedReason: repX.DegradedReason,
+		Health:         repX.Health,
+	}
+	if out.DegradedReason == controlplane.ReasonNone {
+		out.DegradedReason = repY.DegradedReason
+	}
+	if repY.Health == controlplane.Unhealthy {
+		out.Health = controlplane.Unhealthy
+	}
+	out.Delay = repX.Delay + repY.Delay
+	if out.Degraded {
+		return out, nil
+	}
 	calcWrites, err := s.populate()
 	if err != nil {
-		return SyncReport{}, fmt.Errorf("joint population: %w", err)
+		if errors.Is(err, population.ErrBudget) || errors.Is(err, population.ErrWidth) ||
+			errors.Is(err, population.ErrRange) {
+			return SyncReport{}, fmt.Errorf("joint population: %w", err)
+		}
+		out.Degraded = true
+		out.DegradedReason = controlplane.ReasonPopulate
+		return out, nil
 	}
-	out := SyncReport{
-		Reads:      repX.Reads + repY.Reads,
-		Writes:     repX.RegisterWrites + repX.TCAMWrites + repY.RegisterWrites + repY.TCAMWrites + calcWrites,
-		Rebalances: repX.Rebalances + repY.Rebalances,
-		Expanded:   repX.Expanded || repY.Expanded,
-	}
-	out.Delay = repX.Delay + repY.Delay +
-		time.Duration(calcWrites)*s.cfg.Cost.PerTCAMWrite
+	out.Writes += calcWrites
+	out.Delay += time.Duration(calcWrites) * s.cfg.Cost.PerTCAMWrite
 	return out, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/controlplane"
 	"github.com/ada-repro/ada/internal/dist"
 )
 
@@ -282,5 +283,106 @@ func TestUnaryAllOpsEndToEnd(t *testing.T) {
 				t.Errorf("avg error %.4f > 5%%", s.Avg)
 			}
 		})
+	}
+}
+
+// readFailDriver wraps a driver failing the next N register reads; the
+// minimal scripted fault for exercising core's degraded-round surface.
+type readFailDriver struct {
+	controlplane.Driver
+	fails *int
+}
+
+func (d *readFailDriver) ReadRegisters() ([]uint64, error) {
+	if *d.fails > 0 {
+		*d.fails--
+		return nil, errors.New("injected read failure")
+	}
+	return d.Driver.ReadRegisters()
+}
+
+func TestUnarySyncSurfacesDegradedRounds(t *testing.T) {
+	fails := 0
+	cfg := DefaultConfig(16)
+	cfg.CalcEntries = 32
+	cfg.WrapDriver = func(d controlplane.Driver) controlplane.Driver {
+		return &readFailDriver{Driver: d, fails: &fails}
+	}
+	s, err := NewUnary(cfg, arith.OpSquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Observe(1234)
+	fails = 2 * controlplane.DefaultRetryPolicy().MaxAttempts // exceed the retry budget
+	rep, err := s.Sync()
+	if err != nil {
+		t.Fatalf("driver failure must degrade, not error: %v", err)
+	}
+	if !rep.Degraded || rep.DegradedReason != controlplane.ReasonSnapshot {
+		t.Fatalf("report = %+v, want degraded snapshot-read", rep)
+	}
+	if rep.DriverErrors == 0 {
+		t.Error("DriverErrors not surfaced")
+	}
+	// Lookups keep serving the last good population.
+	if _, err := s.Lookup(1234); err != nil {
+		t.Errorf("lookup during degraded round: %v", err)
+	}
+	// Healthy again: a clean round commits.
+	fails = 0
+	rep, err = s.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded {
+		t.Fatalf("recovered round still degraded: %+v", rep)
+	}
+	if rep.Health != controlplane.Healthy {
+		t.Errorf("Health = %v", rep.Health)
+	}
+}
+
+func TestBinarySyncSkipsJointPopulateWhenDegraded(t *testing.T) {
+	fails := 0
+	cfg := DefaultConfig(10)
+	cfg.CalcEntries = 64
+	cfg.MonitorEntries = 4
+	cfg.WrapDriver = func(d controlplane.Driver) controlplane.Driver {
+		return &readFailDriver{Driver: d, fails: &fails}
+	}
+	s, err := NewBinary(cfg, arith.OpMul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := dist.NewIntSampler(dist.Truncated{D: dist.Gaussian{Mu: 300, Sigma: 40}, Lo: 0, Hi: 1 << 10}, 1<<10-1, 7)
+	for _, v := range sampler.Draw(2000) {
+		s.Observe(v, v/2)
+	}
+	fp := s.Engine().Table().Fingerprint()
+	fails = 4 * controlplane.DefaultRetryPolicy().MaxAttempts // exceed both controllers' budgets
+	rep, err := s.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded {
+		t.Fatalf("report = %+v, want degraded", rep)
+	}
+	if got := s.Engine().Table().Fingerprint(); got != fp {
+		t.Error("joint table repopulated during a degraded round")
+	}
+	// Recovery repopulates.
+	fails = 0
+	for _, v := range sampler.Draw(2000) {
+		s.Observe(v, v/2)
+	}
+	rep, err = s.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded {
+		t.Fatalf("recovered round degraded: %+v", rep)
+	}
+	if _, err := s.Lookup(300, 150); err != nil {
+		t.Errorf("lookup after recovery: %v", err)
 	}
 }

@@ -103,7 +103,13 @@ func New(name string, width, capacity int, opts ...Option) (*Monitor, error) {
 
 // Install replaces the monitoring bins. The prefixes must tile the operand
 // domain (the trie's leaves always do). It returns the number of TCAM
-// writes performed. Registers are re-allocated and zeroed.
+// writes performed — diff-reconciled against the installed bins, so a
+// reshape that keeps most bins only pays for the rows that moved.
+// Registers are re-allocated and zeroed.
+//
+// Install is transactional: on any error (validation, capacity, or a
+// row-write failure injected at the driver boundary) the previously
+// installed bins and their registers remain fully intact.
 func (m *Monitor) Install(prefixes []bitstr.Prefix) (int, error) {
 	if len(prefixes) == 0 {
 		return 0, ErrNoBins
@@ -117,7 +123,7 @@ func (m *Monitor) Install(prefixes []bitstr.Prefix) (int, error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	writes, err := m.table.ReplaceAll(rows)
+	writes, err := m.table.ApplyRowsAtomic(rows)
 	if err != nil {
 		return 0, err
 	}
@@ -170,6 +176,23 @@ func (m *Monitor) Snapshot() []uint64 {
 	out := make([]uint64, len(m.regs))
 	copy(out, m.regs)
 	m.stats.RegisterReads += uint64(len(m.regs))
+	return out
+}
+
+// SnapshotAndReset reads and zeroes the registers in one critical section —
+// the read-and-clear register access real switch drivers use so that no
+// sample landing between a separate read and reset is lost. It charges one
+// register read and one register write per bin.
+func (m *Monitor) SnapshotAndReset() []uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]uint64, len(m.regs))
+	copy(out, m.regs)
+	for i := range m.regs {
+		m.regs[i] = 0
+	}
+	m.stats.RegisterReads += uint64(len(m.regs))
+	m.stats.RegisterWrites += uint64(len(m.regs))
 	return out
 }
 

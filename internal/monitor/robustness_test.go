@@ -1,0 +1,194 @@
+package monitor
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/ada-repro/ada/internal/tcam"
+)
+
+// TestSaturationAcrossReset: registers clamp at 2^bits − 1 per bin, the
+// lost increments are counted, and a reset restores normal counting while
+// the saturation count (a lifetime statistic) is preserved.
+func TestSaturationAcrossReset(t *testing.T) {
+	m, err := New("mon", 3, 8, WithRegisterBits(4)) // max 15
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Install(parseAll(t, "0xx", "1xx")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		m.Observe(1) // bin 0
+	}
+	m.Observe(5) // bin 1, far from saturation
+	snap := m.Snapshot()
+	if snap[0] != 15 {
+		t.Errorf("saturated register = %d, want 15", snap[0])
+	}
+	if snap[1] != 1 {
+		t.Errorf("register 1 = %d, want 1", snap[1])
+	}
+	st := m.Stats()
+	if st.Saturations != 25 {
+		t.Errorf("Saturations = %d, want 25", st.Saturations)
+	}
+	if st.Matched != 41 || st.Observations != 41 {
+		t.Errorf("Matched/Observations = %d/%d, want 41/41", st.Matched, st.Observations)
+	}
+
+	// Reset clears the registers; counting resumes from zero.
+	m.Reset()
+	m.Observe(0)
+	if snap := m.Snapshot(); snap[0] != 1 {
+		t.Errorf("post-reset register = %d, want 1", snap[0])
+	}
+	if got := m.Stats().Saturations; got != 25 {
+		t.Errorf("Saturations moved across reset: %d", got)
+	}
+}
+
+// TestResetDuringObservation: the control plane snapshots and resets while
+// the data plane keeps observing. Under -race this doubles as a locking
+// audit; the accounting invariant is that no observation is lost — every
+// matched sample lands either in a harvested snapshot or in the final
+// registers.
+func TestResetDuringObservation(t *testing.T) {
+	m, err := New("mon", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Install(parseAll(t, "0xx", "1xx")); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		observers = 4
+		perWorker = 5000
+		rounds    = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < observers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				m.Observe(seed + uint64(i)) // masked to width inside Observe
+			}
+		}(uint64(w) * 13)
+	}
+
+	// Control loop: harvest with the atomic read-and-clear. A separate
+	// Snapshot followed by Reset would wipe any sample landing in between;
+	// SnapshotAndReset closes that window.
+	var harvested uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := 0; r < rounds; r++ {
+			for _, c := range m.SnapshotAndReset() {
+				harvested += c
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	for _, c := range m.Snapshot() {
+		harvested += c
+	}
+	st := m.Stats()
+	if st.Matched != uint64(observers*perWorker) {
+		t.Fatalf("Matched = %d, want %d", st.Matched, observers*perWorker)
+	}
+	if harvested != st.Matched {
+		t.Errorf("harvested %d observations, matched %d: samples lost or double-counted",
+			harvested, st.Matched)
+	}
+}
+
+// TestInstallFailureLeavesMonitorUnchanged: a row write failing mid-install
+// (as the fault injector does at the driver boundary) must leave the old
+// bins, registers, and stats fully intact — the transactional contract the
+// control plane's rollback depends on.
+func TestInstallFailureLeavesMonitorUnchanged(t *testing.T) {
+	m, err := New("mon", 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Install(parseAll(t, "0xx", "1xx")); err != nil {
+		t.Fatal(err)
+	}
+	m.ObserveAll([]uint64{1, 5, 6})
+	before := m.Snapshot()
+	fp := m.Table().Fingerprint()
+	statsBefore := m.Stats()
+
+	errInjected := errors.New("injected row failure")
+	calls := 0
+	m.Table().SetWriteHook(func(op tcam.WriteOp) error {
+		calls++
+		if calls >= 3 {
+			return errInjected
+		}
+		return nil
+	})
+	if _, err := m.Install(parseAll(t, "00x", "01x", "10x", "11x")); !errors.Is(err, errInjected) {
+		t.Fatalf("install error = %v, want injected", err)
+	}
+	m.Table().SetWriteHook(nil)
+
+	if m.NumBins() != 2 {
+		t.Errorf("NumBins = %d after failed install, want 2", m.NumBins())
+	}
+	if m.Table().Fingerprint() != fp {
+		t.Error("monitoring TCAM mutated by failed install")
+	}
+	after := m.Snapshot()
+	for i := range before {
+		if after[i] != before[i] {
+			t.Errorf("register %d changed on failed install: %d -> %d", i, before[i], after[i])
+		}
+	}
+	if got := m.Stats().TCAMWrites; got != statsBefore.TCAMWrites {
+		t.Errorf("TCAMWrites charged for failed install: %d -> %d", statsBefore.TCAMWrites, got)
+	}
+
+	// The monitor still works and a clean retry succeeds.
+	if !m.Observe(2) {
+		t.Error("Observe missed after failed install")
+	}
+	if _, err := m.Install(parseAll(t, "00x", "01x", "10x", "11x")); err != nil {
+		t.Fatalf("retry install: %v", err)
+	}
+	if m.NumBins() != 4 {
+		t.Errorf("NumBins = %d after retry", m.NumBins())
+	}
+}
+
+// TestInstallDiffWrites: reinstalling overlapping bins pays only for the
+// rows that moved, not a full table replacement.
+func TestInstallDiffWrites(t *testing.T) {
+	m, err := New("mon", 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Install(parseAll(t, "00x", "01x", "1xx")); err != nil {
+		t.Fatal(err)
+	}
+	// Split "1xx" into "10x"/"11x": "00x" and "01x" keep their rows (their
+	// bin indices are unchanged), so the diff is one delete + two inserts.
+	writes, err := m.Install(parseAll(t, "00x", "01x", "10x", "11x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if writes != 3 {
+		t.Errorf("diff install writes = %d, want 3 (1 delete + 2 inserts)", writes)
+	}
+	for v := uint64(0); v < 8; v++ {
+		if !m.Observe(v) {
+			t.Errorf("Observe(%d) missed after diff install", v)
+		}
+	}
+}

@@ -38,6 +38,39 @@ var (
 	ErrFieldWidth = errors.New("tcam: field exceeds declared width")
 )
 
+// WriteOp identifies one physical row operation presented to a write hook.
+type WriteOp int
+
+// Write operations, in the order a driver would issue them.
+const (
+	// WriteInsert is a new row install.
+	WriteInsert WriteOp = iota
+	// WriteDelete is a row invalidate.
+	WriteDelete
+	// WriteUpdate is an in-place action-data rewrite.
+	WriteUpdate
+)
+
+// String implements fmt.Stringer.
+func (op WriteOp) String() string {
+	switch op {
+	case WriteInsert:
+		return "insert"
+	case WriteDelete:
+		return "delete"
+	case WriteUpdate:
+		return "update"
+	default:
+		return fmt.Sprintf("WriteOp(%d)", int(op))
+	}
+}
+
+// WriteHook is consulted before every physical row write. Returning an error
+// aborts that write; whether earlier writes of the same bulk operation remain
+// applied depends on the operation (see ApplyRows vs ApplyRowsAtomic). The
+// hook runs with the table lock held and must not call back into the table.
+type WriteHook func(WriteOp) error
+
 // Field is one ternary key field of an entry: the key bits selected by Mask
 // must equal Value.
 type Field struct {
@@ -98,6 +131,8 @@ type Table struct {
 	ordered     []*Entry // resolution order: sig desc, priority desc, seq asc
 	nextID      int
 	nextSeq     int
+	generation  uint64
+	hook        WriteHook
 	stats       Stats
 }
 
@@ -176,6 +211,48 @@ func (t *Table) ResetStats() {
 	t.stats = Stats{}
 }
 
+// SetWriteHook installs h as the per-row write interceptor (nil clears it).
+// Fault injectors use this to make individual TCAM row writes fail the way a
+// real switch driver's do.
+func (t *Table) SetWriteHook(h WriteHook) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hook = h
+}
+
+// Generation returns the bulk-commit generation: it advances by one each
+// time ReplaceAll, ApplyRows, or ApplyRowsAtomic completes successfully, and
+// never on a failed or rolled-back commit. Invariant checks use it to assert
+// a table is either fully old-generation or fully new-generation.
+func (t *Table) Generation() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.generation
+}
+
+// Fingerprint digests the installed rows (match key, priority, action data)
+// independent of entry IDs and install order: two tables holding the same
+// logical population fingerprint equal. Used with Generation by the chaos
+// invariant checks.
+func (t *Table) Fingerprint() string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	keys := make([]string, 0, len(t.ordered))
+	for _, e := range t.ordered {
+		keys = append(keys, matchKey(e.Fields, e.Priority)+"="+fmt.Sprint(e.Data))
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}
+
+// writeLocked consults the write hook for one physical row operation.
+func (t *Table) writeLocked(op WriteOp) error {
+	if t.hook == nil {
+		return nil
+	}
+	return t.hook(op)
+}
+
 func (t *Table) validateFields(fields []Field) error {
 	if len(fields) != len(t.fieldWidths) {
 		return fmt.Errorf("%w: got %d fields, table %q has %d",
@@ -209,6 +286,9 @@ func (t *Table) Insert(fields []Field, priority int, data any) (int, error) {
 	defer t.mu.Unlock()
 	if t.capacity > 0 && len(t.entries) >= t.capacity {
 		return 0, fmt.Errorf("%w: table %q at %d entries", ErrCapacity, t.name, t.capacity)
+	}
+	if err := t.writeLocked(WriteInsert); err != nil {
+		return 0, err
 	}
 	fs := make([]Field, len(fields))
 	copy(fs, fields)
@@ -257,6 +337,9 @@ func (t *Table) Delete(id int) error {
 	if !ok {
 		return fmt.Errorf("%w: id %d in table %q", ErrNotFound, id, t.name)
 	}
+	if err := t.writeLocked(WriteDelete); err != nil {
+		return err
+	}
 	delete(t.entries, id)
 	for i, o := range t.ordered {
 		if o == e {
@@ -277,6 +360,9 @@ func (t *Table) UpdateData(id int, data any) error {
 	e, ok := t.entries[id]
 	if !ok {
 		return fmt.Errorf("%w: id %d in table %q", ErrNotFound, id, t.name)
+	}
+	if err := t.writeLocked(WriteUpdate); err != nil {
+		return err
 	}
 	e.Data = data
 	t.stats.Updates++
@@ -364,6 +450,19 @@ func (t *Table) ReplaceAll(rows []Row) (writes int, err error) {
 		return 0, fmt.Errorf("%w: %d rows into table %q of capacity %d",
 			ErrCapacity, len(rows), t.name, t.capacity)
 	}
+	// Pre-flight every row write so the advertised atomicity holds even
+	// under an injected per-row failure: either all writes are admitted or
+	// none are applied.
+	for range t.entries {
+		if err := t.writeLocked(WriteDelete); err != nil {
+			return 0, err
+		}
+	}
+	for range rows {
+		if err := t.writeLocked(WriteInsert); err != nil {
+			return 0, err
+		}
+	}
 	writes = len(t.entries) + len(rows)
 	t.stats.Deletes += uint64(len(t.entries))
 	t.entries = make(map[int]*Entry, len(rows))
@@ -382,6 +481,7 @@ func (t *Table) ReplaceAll(rows []Row) (writes int, err error) {
 		t.insertOrdered(e)
 		t.stats.Inserts++
 	}
+	t.generation++
 	return writes, nil
 }
 
@@ -393,8 +493,14 @@ func (t *Table) ReplaceAll(rows []Row) (writes int, err error) {
 // its shadow copy instead of re-flashing the table (and is what keeps the
 // paper's Table II write counts low).
 //
-// The end state is identical to ReplaceAll(rows); only the write accounting
-// differs.
+// Partial-failure contract: row writes are issued in update, delete, insert
+// order, and when one fails (a write hook error) ApplyRows stops and returns
+// the error with every earlier write still applied — exactly how a
+// non-transactional driver leaves a table. Callers that need all-or-nothing
+// semantics must use ApplyRowsAtomic.
+//
+// The end state on success is identical to ReplaceAll(rows); only the write
+// accounting differs.
 func (t *Table) ApplyRows(rows []Row) (writes int, err error) {
 	for _, r := range rows {
 		if err := t.validateFields(r.Fields); err != nil {
@@ -403,6 +509,40 @@ func (t *Table) ApplyRows(rows []Row) (writes int, err error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	writes, err = t.applyRowsLocked(rows)
+	if err == nil {
+		t.generation++
+	}
+	return writes, err
+}
+
+// ApplyRowsAtomic is ApplyRows with transactional semantics: the
+// reconciliation is staged against a shadow snapshot of the table, and on
+// any row-write failure the table (entries, counters, generation) is
+// restored to its pre-call state. This models rebuilding the calculation
+// population into a shadow generation and committing it atomically, so a
+// data-plane lookup never observes a partially populated table.
+func (t *Table) ApplyRowsAtomic(rows []Row) (writes int, err error) {
+	for _, r := range rows {
+		if err := t.validateFields(r.Fields); err != nil {
+			return 0, err
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := t.snapshotLocked()
+	writes, err = t.applyRowsLocked(rows)
+	if err != nil {
+		t.restoreLocked(snap)
+		return 0, err
+	}
+	t.generation++
+	return writes, nil
+}
+
+// applyRowsLocked is the shared reconciliation. On a row-write failure it
+// returns immediately with earlier writes applied; t.mu must be held.
+func (t *Table) applyRowsLocked(rows []Row) (writes int, err error) {
 	if t.capacity > 0 && len(rows) > t.capacity {
 		return 0, fmt.Errorf("%w: %d rows into table %q of capacity %d",
 			ErrCapacity, len(rows), t.name, t.capacity)
@@ -424,6 +564,9 @@ func (t *Table) ApplyRows(rows []Row) (writes int, err error) {
 		e := list[0]
 		current[k] = list[1:]
 		if !dataEqual(e.Data, r.Data) {
+			if err := t.writeLocked(WriteUpdate); err != nil {
+				return writes, err
+			}
 			e.Data = r.Data
 			t.stats.Updates++
 			writes++
@@ -432,6 +575,9 @@ func (t *Table) ApplyRows(rows []Row) (writes int, err error) {
 	// Remove stale entries.
 	for _, list := range current {
 		for _, e := range list {
+			if err := t.writeLocked(WriteDelete); err != nil {
+				return writes, err
+			}
 			delete(t.entries, e.ID)
 			for i, o := range t.ordered {
 				if o == e {
@@ -445,6 +591,9 @@ func (t *Table) ApplyRows(rows []Row) (writes int, err error) {
 	}
 	// Install new entries.
 	for _, r := range toInsert {
+		if err := t.writeLocked(WriteInsert); err != nil {
+			return writes, err
+		}
 		fs := make([]Field, len(r.Fields))
 		copy(fs, r.Fields)
 		sig := 0
@@ -460,6 +609,42 @@ func (t *Table) ApplyRows(rows []Row) (writes int, err error) {
 		writes++
 	}
 	return writes, nil
+}
+
+// tableSnapshot captures the mutable table state for rollback.
+type tableSnapshot struct {
+	entries map[int]*Entry
+	ordered []*Entry
+	nextID  int
+	nextSeq int
+	stats   Stats
+}
+
+// snapshotLocked deep-copies the entries (Field slices are immutable and
+// shared; Data is copied by value at the Entry level, which is enough
+// because updates replace Data rather than mutating through it).
+func (t *Table) snapshotLocked() tableSnapshot {
+	snap := tableSnapshot{
+		entries: make(map[int]*Entry, len(t.entries)),
+		ordered: make([]*Entry, len(t.ordered)),
+		nextID:  t.nextID,
+		nextSeq: t.nextSeq,
+		stats:   t.stats,
+	}
+	for i, e := range t.ordered {
+		c := *e
+		snap.ordered[i] = &c
+		snap.entries[c.ID] = &c
+	}
+	return snap
+}
+
+func (t *Table) restoreLocked(snap tableSnapshot) {
+	t.entries = snap.entries
+	t.ordered = snap.ordered
+	t.nextID = snap.nextID
+	t.nextSeq = snap.nextSeq
+	t.stats = snap.stats
 }
 
 // matchKey serialises an entry's match fields and priority for diffing.
