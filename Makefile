@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short vet bench chaos experiments examples cover clean
+.PHONY: all build test test-short vet bench bench-lookup chaos experiments examples cover clean
 
 all: build vet test
 
@@ -24,6 +24,12 @@ chaos:
 # One benchmark per paper table/figure plus the design-choice ablations.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' .
+
+# Lookup fast-path benchmarks (compiled index vs linear scan) plus the
+# committed BENCH_lookup.json baseline.
+bench-lookup:
+	$(GO) test -bench 'Lookup' -benchmem -run '^$$' ./internal/tcam
+	$(GO) run ./cmd/adabench -lookup-out BENCH_lookup.json lookup
 
 # Regenerate every evaluation table/figure as text.
 experiments:

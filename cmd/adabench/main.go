@@ -2,11 +2,19 @@
 //
 // Usage:
 //
-//	adabench [experiment...]
+//	adabench [-parallel N] [-lookup-out FILE] [experiment...]
 //
 // Experiments: fig1a fig1b fig1c fig5 fig6 fig7a fig7b fig7c fig8 fig9
-// fig10 table2 all (default: all). Each prints the same rows/series the
-// paper reports; see EXPERIMENTS.md for the paper-vs-measured record.
+// fig10 lookup table2 xcp all (default: all). Each prints the same
+// rows/series the paper reports; see EXPERIMENTS.md for the
+// paper-vs-measured record.
+//
+// -parallel sets the replay worker count for the experiments that feed
+// operand streams through the monitoring path (fig7c, fig9); 0 uses all
+// cores, 1 restores the sequential replay. Results are worker-count
+// independent — register increments are commutative. -lookup-out writes the
+// lookup microbenchmark rows as JSON (the committed BENCH_lookup.json
+// baseline) in addition to printing the table.
 package main
 
 import (
@@ -17,6 +25,11 @@ import (
 	"time"
 
 	"github.com/ada-repro/ada/internal/experiments"
+)
+
+var (
+	parallel  = flag.Int("parallel", 0, "replay workers for fig7c/fig9/lookup (0 = all cores)")
+	lookupOut = flag.String("lookup-out", "", "write lookup benchmark rows as JSON to this file")
 )
 
 var runners = map[string]func() (string, error){
@@ -62,7 +75,9 @@ var runners = map[string]func() (string, error){
 		return experiments.RenderFig7b(experiments.RunFig7b([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})), nil
 	},
 	"fig7c": func() (string, error) {
-		rows, err := experiments.RunFig7c(experiments.DefaultFig7cConfig())
+		cfg := experiments.DefaultFig7cConfig()
+		cfg.Workers = *parallel
+		rows, err := experiments.RunFig7c(cfg)
 		if err != nil {
 			return "", err
 		}
@@ -76,7 +91,9 @@ var runners = map[string]func() (string, error){
 		return experiments.RenderFig8(rows), nil
 	},
 	"fig9": func() (string, error) {
-		rows, err := experiments.RunFig9(experiments.DefaultFig9Config())
+		cfg := experiments.DefaultFig9Config()
+		cfg.Workers = *parallel
+		rows, err := experiments.RunFig9(cfg)
 		if err != nil {
 			return "", err
 		}
@@ -95,6 +112,22 @@ var runners = map[string]func() (string, error){
 			return "", err
 		}
 		return experiments.RenderExtXCP(rows), nil
+	},
+	"lookup": func() (string, error) {
+		cfg := experiments.DefaultLookupBenchConfig()
+		if *parallel > 0 {
+			cfg.Workers = []int{1, *parallel}
+		}
+		rows, err := experiments.RunLookupBench(cfg)
+		if err != nil {
+			return "", err
+		}
+		if *lookupOut != "" {
+			if err := experiments.WriteLookupBenchJSON(*lookupOut, rows); err != nil {
+				return "", err
+			}
+		}
+		return experiments.RenderLookupBench(rows), nil
 	},
 	"table2": func() (string, error) {
 		rows, err := experiments.RunTable2(experiments.DefaultTable2Config())

@@ -200,6 +200,27 @@ func (e *UnaryEngine) Eval(x uint64) (uint64, error) {
 	return r, nil
 }
 
+// EvalBatch resolves a whole operand batch against one compiled table
+// snapshot — the parallel-replay path. Results are positional; an operand
+// that misses (or hits a corrupt entry) leaves 0 at its position and is
+// counted in misses. All results come from the same committed population.
+func (e *UnaryEngine) EvalBatch(xs []uint64) (results []uint64, misses int) {
+	results = make([]uint64, len(xs))
+	for i, en := range e.table.LookupSingleBatch(xs, nil) {
+		if en == nil {
+			misses++
+			continue
+		}
+		r, ok := en.Data.(uint64)
+		if !ok {
+			misses++
+			continue
+		}
+		results[i] = r
+	}
+	return results, misses
+}
+
 // Table exposes the underlying table for resource accounting.
 func (e *UnaryEngine) Table() *tcam.Table { return e.table }
 
@@ -262,6 +283,37 @@ func (e *BinaryEngine) Eval(x, y uint64) (uint64, error) {
 		return 0, fmt.Errorf("%w: %T", ErrResultType, en.Data)
 	}
 	return r, nil
+}
+
+// EvalBatch is the two-operand batch evaluation: pairs (xs[i], ys[i]) are
+// resolved against one compiled snapshot. Mismatched slice lengths evaluate
+// the common prefix.
+func (e *BinaryEngine) EvalBatch(xs, ys []uint64) (results []uint64, misses int) {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	keys := make([][]uint64, n)
+	buf := make([]uint64, 2*n)
+	for i := 0; i < n; i++ {
+		k := buf[2*i : 2*i+2 : 2*i+2]
+		k[0], k[1] = xs[i], ys[i]
+		keys[i] = k
+	}
+	results = make([]uint64, n)
+	for i, en := range e.table.LookupBatch(keys) {
+		if en == nil {
+			misses++
+			continue
+		}
+		r, ok := en.Data.(uint64)
+		if !ok {
+			misses++
+			continue
+		}
+		results[i] = r
+	}
+	return results, misses
 }
 
 // Table exposes the underlying table for resource accounting.

@@ -391,3 +391,77 @@ func TestADAEngineBeatsNaiveEndToEnd(t *testing.T) {
 		t.Errorf("ADA avg error %.4f not well below naive %.4f", adaS.Avg, naiveS.Avg)
 	}
 }
+
+func TestUnaryEvalBatchMatchesEval(t *testing.T) {
+	entries, err := population.NaiveUnaryRange(OpSquare.Func(), 8, 8, 0, 63, population.Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewUnaryEngine("sq", 8, 8, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]uint64, 256)
+	for i := range xs {
+		xs[i] = uint64(i)
+	}
+	results, misses := e.EvalBatch(xs)
+	if len(results) != len(xs) {
+		t.Fatalf("batch results len = %d, want %d", len(results), len(xs))
+	}
+	wantMisses := 0
+	for i, x := range xs {
+		got, err := e.Eval(x)
+		if err != nil {
+			wantMisses++
+			if results[i] != 0 {
+				t.Errorf("EvalBatch(%d) = %d on a miss, want 0", x, results[i])
+			}
+			continue
+		}
+		if results[i] != got {
+			t.Errorf("EvalBatch(%d) = %d, Eval = %d", x, results[i], got)
+		}
+	}
+	if misses != wantMisses {
+		t.Errorf("batch misses = %d, want %d", misses, wantMisses)
+	}
+	if misses == 0 {
+		t.Error("expected out-of-range misses in half-populated domain")
+	}
+}
+
+func TestBinaryEvalBatchMatchesEval(t *testing.T) {
+	entries, err := population.NaiveBinary(OpMul.Func(), 6, 64, population.Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewBinaryEngine("mul", 6, 64, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]uint64, 400)
+	ys := make([]uint64, 400)
+	for i := range xs {
+		xs[i], ys[i] = uint64(rng.Intn(64)), uint64(rng.Intn(64))
+	}
+	results, misses := e.EvalBatch(xs, ys)
+	if misses != 0 {
+		t.Fatalf("%d batch misses on fully covered domain", misses)
+	}
+	for i := range xs {
+		got, err := e.Eval(xs[i], ys[i])
+		if err != nil {
+			t.Fatalf("Eval(%d, %d): %v", xs[i], ys[i], err)
+		}
+		if results[i] != got {
+			t.Errorf("EvalBatch(%d, %d) = %d, Eval = %d", xs[i], ys[i], results[i], got)
+		}
+	}
+	// Mismatched lengths evaluate the common prefix.
+	short, _ := e.EvalBatch(xs[:10], ys[:5])
+	if len(short) != 5 {
+		t.Errorf("mismatched-length batch returned %d results, want 5", len(short))
+	}
+}

@@ -188,6 +188,12 @@ func NewUnary(cfg Config, op arith.UnaryOp) (*UnarySystem, error) {
 // calculation lookup.
 func (s *UnarySystem) Observe(x uint64) { s.ctl.Monitor().Observe(x) }
 
+// ObserveAll feeds a batch of operand values to the monitoring pipeline,
+// resolving all of them against one compiled TCAM snapshot. It is the
+// entry point the parallel replay path (internal/netsim.ReplayOperands)
+// drives; safe for concurrent use.
+func (s *UnarySystem) ObserveAll(xs []uint64) { s.ctl.Monitor().ObserveAll(xs) }
+
 // Lookup is the per-packet data-plane path: monitor the operand, then fetch
 // the approximate result from the calculation TCAM.
 func (s *UnarySystem) Lookup(x uint64) (uint64, error) {
@@ -298,6 +304,14 @@ func (s *BinarySystem) populate() (int, error) {
 func (s *BinarySystem) Observe(x, y uint64) {
 	s.ctlX.Monitor().Observe(x)
 	s.ctlY.Monitor().Observe(y)
+}
+
+// ObserveAll feeds batches of operand pairs to both monitors, one compiled
+// snapshot per variable. Slices of unequal length observe independently —
+// each monitor counts its own variable's samples.
+func (s *BinarySystem) ObserveAll(xs, ys []uint64) {
+	s.ctlX.Monitor().ObserveAll(xs)
+	s.ctlY.Monitor().ObserveAll(ys)
 }
 
 // Lookup is the per-packet path: monitor both operands and fetch the result.

@@ -7,6 +7,7 @@ import (
 	"github.com/ada-repro/ada/internal/arith"
 	"github.com/ada-repro/ada/internal/core"
 	"github.com/ada-repro/ada/internal/dist"
+	"github.com/ada-repro/ada/internal/netsim"
 	"github.com/ada-repro/ada/internal/population"
 	"github.com/ada-repro/ada/internal/stats"
 )
@@ -162,6 +163,11 @@ type Fig7cConfig struct {
 	AdaptRounds int
 	// Seed drives sampling.
 	Seed int64
+	// Workers parallelises the trajectory replay across starting seeds
+	// (0 = GOMAXPROCS). Each trajectory stays sequential — iterate i+1
+	// depends on iterate i — and register counts are commutative, so the
+	// monitor state after each round is worker-count independent.
+	Workers int
 }
 
 // DefaultFig7cConfig returns the paper's setup.
@@ -240,16 +246,21 @@ func RunFig7c(cfg Fig7cConfig) ([]Fig7cRow, error) {
 			return nil, err
 		}
 		for round := 0; round < cfg.AdaptRounds; round++ {
-			for _, x0 := range seeds {
-				x := x0
-				for i := 0; i < cfg.Iterations; i++ {
-					sys.Observe(x)
-					x = op.Exact(x)
-					if x > domainMax {
-						x = domainMax
+			netsim.Replay(cfg.Workers, len(seeds), func(lo, hi int) {
+				traj := make([]uint64, 0, cfg.Iterations)
+				for _, x0 := range seeds[lo:hi] {
+					x := x0
+					traj = traj[:0]
+					for i := 0; i < cfg.Iterations; i++ {
+						traj = append(traj, x)
+						x = op.Exact(x)
+						if x > domainMax {
+							x = domainMax
+						}
 					}
+					sys.ObserveAll(traj)
 				}
-			}
+			})
 			if _, err := sys.Sync(); err != nil {
 				return nil, err
 			}

@@ -6,6 +6,7 @@ import (
 	"github.com/ada-repro/ada/internal/arith"
 	"github.com/ada-repro/ada/internal/core"
 	"github.com/ada-repro/ada/internal/dist"
+	"github.com/ada-repro/ada/internal/netsim"
 	"github.com/ada-repro/ada/internal/stats"
 )
 
@@ -23,6 +24,10 @@ type Fig9Config struct {
 	Width int
 	// Seed drives sampling.
 	Seed int64
+	// Workers is the replay parallelism for feeding samples into the
+	// monitor (0 = GOMAXPROCS). Register counts are commutative, so the
+	// result is worker-count independent.
+	Workers int
 }
 
 // DefaultFig9Config returns the paper's sweep (16 to 128, step 16).
@@ -67,9 +72,7 @@ func RunFig9(cfg Fig9Config) ([]Fig9Row, error) {
 			s := dist.NewIntSampler(
 				dist.Truncated{D: dist.Gaussian{Mu: rate, Sigma: 2}, Lo: 0, Hi: float64(uint64(1) << cfg.Width)},
 				uint64(1)<<cfg.Width-1, cfg.Seed+int64(round))
-			for _, v := range s.Draw(cfg.SamplesPerRound) {
-				sys.Observe(v)
-			}
+			netsim.ReplayOperands(cfg.Workers, s.Draw(cfg.SamplesPerRound), sys.ObserveAll)
 			rep, err := sys.Sync()
 			if err != nil {
 				return nil, err

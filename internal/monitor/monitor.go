@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/ada-repro/ada/internal/bitstr"
 	"github.com/ada-repro/ada/internal/tcam"
@@ -49,19 +50,33 @@ type Stats struct {
 	Saturations uint64
 }
 
+// monStats is the live, atomically-updated form of Stats, so the observe
+// path never takes an exclusive lock just to count.
+type monStats struct {
+	observations   atomic.Uint64
+	matched        atomic.Uint64
+	registerReads  atomic.Uint64
+	registerWrites atomic.Uint64
+	tcamWrites     atomic.Uint64
+	saturations    atomic.Uint64
+}
+
 // Monitor is the data-plane monitoring unit for one variable. It is safe
-// for concurrent use: many packets may observe while the control plane
-// snapshots.
+// for concurrent use, and observation scales across goroutines: observers
+// hold the lock in shared mode (the bin lookup itself is lock-free inside
+// the tcam package) and bump registers with atomic compare-and-swap, so
+// many packets observe in parallel while only control-plane operations —
+// Install, Snapshot, Reset — exclude them.
 type Monitor struct {
-	mu sync.Mutex
+	mu sync.RWMutex // RLock: observers; Lock: install/snapshot/reset
 
 	table       *tcam.Table
-	regs        []uint64
+	regs        []uint64 // elements accessed atomically
 	prefixes    []bitstr.Prefix
 	width       int
 	registerMax uint64
 	capacity    int
-	stats       Stats
+	stats       monStats
 }
 
 // Option configures a Monitor.
@@ -130,20 +145,38 @@ func (m *Monitor) Install(prefixes []bitstr.Prefix) (int, error) {
 	m.prefixes = make([]bitstr.Prefix, len(prefixes))
 	copy(m.prefixes, prefixes)
 	m.regs = make([]uint64, len(prefixes))
-	m.stats.TCAMWrites += uint64(writes)
+	m.stats.tcamWrites.Add(uint64(writes))
 	return writes, nil
+}
+
+// bump increments register idx, saturating at the register width; called
+// with at least the read lock held so Install cannot swap the slice away
+// mid-increment.
+func (m *Monitor) bump(idx int) {
+	for {
+		cur := atomic.LoadUint64(&m.regs[idx])
+		if cur >= m.registerMax {
+			m.stats.saturations.Add(1)
+			return
+		}
+		if atomic.CompareAndSwapUint64(&m.regs[idx], cur, cur+1) {
+			return
+		}
+	}
 }
 
 // Observe records one data-plane sample: match the monitoring TCAM,
 // increment the winning bin's register. It reports whether the sample
-// matched a bin.
+// matched a bin. The critical section is shared (read-locked) and the bin
+// lookup is lock-free, so concurrent observers do not serialize; only the
+// register/stat update is synchronized, via per-register atomics.
 func (m *Monitor) Observe(v uint64) bool {
 	if m.width < 64 {
 		v &= uint64(1)<<uint(m.width) - 1
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats.Observations++
+	m.stats.observations.Add(1)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	e, ok := m.table.Lookup(v)
 	if !ok {
 		return false
@@ -152,20 +185,43 @@ func (m *Monitor) Observe(v uint64) bool {
 	if !ok || idx < 0 || idx >= len(m.regs) {
 		return false
 	}
-	if m.regs[idx] >= m.registerMax {
-		m.stats.Saturations++
-	} else {
-		m.regs[idx]++
-	}
-	m.stats.Matched++
+	m.bump(idx)
+	m.stats.matched.Add(1)
 	return true
 }
 
-// ObserveAll records a batch of samples.
+// ObserveAll records a batch of samples, resolving all of them against one
+// compiled TCAM snapshot (tcam.LookupSingleBatch) instead of paying the
+// per-sample lookup dispatch.
 func (m *Monitor) ObserveAll(vs []uint64) {
-	for _, v := range vs {
-		m.Observe(v)
+	if len(vs) == 0 {
+		return
 	}
+	mask := ^uint64(0)
+	if m.width < 64 {
+		mask = uint64(1)<<uint(m.width) - 1
+	}
+	m.stats.observations.Add(uint64(len(vs)))
+	keys := make([]uint64, len(vs))
+	for i, v := range vs {
+		keys[i] = v & mask
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	entries := m.table.LookupSingleBatch(keys, nil)
+	var matched uint64
+	for _, e := range entries {
+		if e == nil {
+			continue
+		}
+		idx, ok := e.Data.(int)
+		if !ok || idx < 0 || idx >= len(m.regs) {
+			continue
+		}
+		m.bump(idx)
+		matched++
+	}
+	m.stats.matched.Add(matched)
 }
 
 // Snapshot returns the per-bin hit counts in bin (value) order and charges
@@ -174,8 +230,10 @@ func (m *Monitor) Snapshot() []uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]uint64, len(m.regs))
-	copy(out, m.regs)
-	m.stats.RegisterReads += uint64(len(m.regs))
+	for i := range m.regs {
+		out[i] = atomic.LoadUint64(&m.regs[i])
+	}
+	m.stats.registerReads.Add(uint64(len(m.regs)))
 	return out
 }
 
@@ -187,12 +245,11 @@ func (m *Monitor) SnapshotAndReset() []uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]uint64, len(m.regs))
-	copy(out, m.regs)
 	for i := range m.regs {
-		m.regs[i] = 0
+		out[i] = atomic.SwapUint64(&m.regs[i], 0)
 	}
-	m.stats.RegisterReads += uint64(len(m.regs))
-	m.stats.RegisterWrites += uint64(len(m.regs))
+	m.stats.registerReads.Add(uint64(len(m.regs)))
+	m.stats.registerWrites.Add(uint64(len(m.regs)))
 	return out
 }
 
@@ -201,22 +258,22 @@ func (m *Monitor) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for i := range m.regs {
-		m.regs[i] = 0
+		atomic.StoreUint64(&m.regs[i], 0)
 	}
-	m.stats.RegisterWrites += uint64(len(m.regs))
+	m.stats.registerWrites.Add(uint64(len(m.regs)))
 }
 
 // NumBins returns the installed bin count.
 func (m *Monitor) NumBins() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return len(m.prefixes)
 }
 
 // Prefixes returns a copy of the installed bins in value order.
 func (m *Monitor) Prefixes() []bitstr.Prefix {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]bitstr.Prefix, len(m.prefixes))
 	copy(out, m.prefixes)
 	return out
@@ -230,7 +287,12 @@ func (m *Monitor) Table() *tcam.Table { return m.table }
 
 // Stats returns a snapshot of the operation counters.
 func (m *Monitor) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Observations:   m.stats.observations.Load(),
+		Matched:        m.stats.matched.Load(),
+		RegisterReads:  m.stats.registerReads.Load(),
+		RegisterWrites: m.stats.registerWrites.Load(),
+		TCAMWrites:     m.stats.tcamWrites.Load(),
+		Saturations:    m.stats.saturations.Load(),
+	}
 }

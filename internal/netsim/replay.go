@@ -1,0 +1,56 @@
+package netsim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Replay runs fn over the index range [0, n) split into one contiguous
+// shard per worker. It is the packet-replay harness for feeding observed
+// operand streams into the ADA monitoring path from several goroutines at
+// once — the event-driven simulator itself stays single-threaded; only the
+// replay of already-generated samples parallelises.
+//
+// workers <= 0 selects GOMAXPROCS. Shards are contiguous and cover [0, n)
+// exactly once, so any per-index work is done exactly once regardless of
+// the worker count; fn must be safe to call concurrently.
+func Replay(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ReplayOperands shards an operand stream across workers and hands each
+// shard to observe as one batch (e.g. core.UnarySystem.ObserveAll), so each
+// worker resolves its whole shard against one compiled TCAM snapshot.
+// Register increments are commutative, so the resulting monitor state is
+// identical to a sequential replay regardless of the worker count.
+func ReplayOperands(workers int, vs []uint64, observe func([]uint64)) {
+	Replay(workers, len(vs), func(lo, hi int) {
+		observe(vs[lo:hi])
+	})
+}

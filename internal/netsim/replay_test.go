@@ -1,0 +1,57 @@
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestReplayCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 3, 4, 7, 100} {
+		for _, n := range []int{0, 1, 5, 64, 1000} {
+			var mu sync.Mutex
+			seen := make([]int, n)
+			Replay(workers, n, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("workers=%d n=%d: bad shard [%d, %d)", workers, n, lo, hi)
+					return
+				}
+				mu.Lock()
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+				mu.Unlock()
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestReplayOperandsShardsEverySample(t *testing.T) {
+	vs := make([]uint64, 1237)
+	for i := range vs {
+		vs[i] = uint64(i)
+	}
+	var total, batches atomic.Uint64
+	ReplayOperands(4, vs, func(shard []uint64) {
+		batches.Add(1)
+		var sum uint64
+		for _, v := range shard {
+			sum += v
+		}
+		total.Add(sum)
+	})
+	want := uint64(len(vs)) * uint64(len(vs)-1) / 2
+	if total.Load() != want {
+		t.Errorf("shard sum = %d, want %d", total.Load(), want)
+	}
+	if b := batches.Load(); b != 4 {
+		t.Errorf("batches = %d, want 4", b)
+	}
+	// Empty stream: observe must not be called.
+	ReplayOperands(4, nil, func([]uint64) { t.Error("observe called for empty stream") })
+}

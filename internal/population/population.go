@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/ada-repro/ada/internal/bitstr"
 	"github.com/ada-repro/ada/internal/trie"
@@ -174,19 +175,19 @@ func fillUnary(f UnaryFunc, base []bitstr.Prefix, budget int, rep Representative
 }
 
 // apportion splits budget across weights (each ≥ 1 share) using the
-// largest-remainder method. weights must be non-negative with total > 0; a
-// zero total falls back to equal shares.
+// largest-remainder method. weights must be non-negative; a zero (or
+// negative) total falls back to equal shares. The weights slice is never
+// mutated — callers hand in live slices they keep using.
 func apportion(weights []float64, total float64, budget int) []int {
 	n := len(weights)
 	out := make([]int, n)
 	if n == 0 {
 		return out
 	}
+	weightOf := func(i int) float64 { return weights[i] }
 	if total <= 0 {
 		total = float64(n)
-		for i := range weights {
-			weights[i] = 1
-		}
+		weightOf = func(int) float64 { return 1 }
 	}
 	// Reserve one entry per bucket so coverage never has holes.
 	remaining := budget - n
@@ -199,25 +200,22 @@ func apportion(weights []float64, total float64, budget int) []int {
 	}
 	fracs := make([]frac, n)
 	used := 0
-	for i, w := range weights {
-		share := float64(remaining) * w / total
+	for i := range weights {
+		share := float64(remaining) * weightOf(i) / total
 		fl := int(math.Floor(share))
 		out[i] = 1 + fl
 		used += fl
 		fracs[i] = frac{i: i, f: share - float64(fl)}
 	}
-	// Hand out the leftovers to the largest remainders.
+	// Hand out the leftovers to the largest remainders: one sort instead of
+	// a max-scan per leftover. Ties break on the lower index, matching the
+	// repeated-max-scan order, so allocations stay byte-identical.
 	left := remaining - used
-	for left > 0 {
-		best := 0
-		for j := 1; j < n; j++ {
-			if fracs[j].f > fracs[best].f {
-				best = j
-			}
+	if left > 0 {
+		sort.SliceStable(fracs, func(a, b int) bool { return fracs[a].f > fracs[b].f })
+		for j := 0; j < left && j < n; j++ {
+			out[fracs[j].i]++
 		}
-		out[fracs[best].i]++
-		fracs[best].f = -1
-		left--
 	}
 	return out
 }

@@ -158,6 +158,83 @@ func TestApportion(t *testing.T) {
 	}
 }
 
+// TestApportionDoesNotMutateWeights pins the aliasing fix: the zero-total
+// fallback must not rewrite the caller's weights slice in place.
+func TestApportionDoesNotMutateWeights(t *testing.T) {
+	weights := []float64{0, 0, 0}
+	apportion(weights, 0, 6)
+	for i, w := range weights {
+		if w != 0 {
+			t.Fatalf("weights[%d] mutated to %v; apportion must not alias its input", i, w)
+		}
+	}
+}
+
+// TestApportionLeftoverDeterminism: the sorted largest-remainder handout
+// must match the reference repeated-max-scan, including its lower-index tie
+// break, so populations stay reproducible across the refactor.
+func TestApportionLeftoverDeterminism(t *testing.T) {
+	referenceApportion := func(weights []float64, total float64, budget int) []int {
+		n := len(weights)
+		out := make([]int, n)
+		remaining := budget - n
+		if remaining < 0 {
+			remaining = 0
+		}
+		fracs := make([]float64, n)
+		used := 0
+		for i, w := range weights {
+			share := float64(remaining) * w / total
+			fl := int(math.Floor(share))
+			out[i] = 1 + fl
+			used += fl
+			fracs[i] = share - float64(fl)
+		}
+		for left := remaining - used; left > 0; left-- {
+			best := 0
+			for j := 1; j < n; j++ {
+				if fracs[j] > fracs[best] {
+					best = j
+				}
+			}
+			out[best]++
+			fracs[best] = -1
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		weights := make([]float64, n)
+		total := 0.0
+		for i := range weights {
+			// Quantized weights force remainder ties to exercise the
+			// tie-break path.
+			weights[i] = float64(rng.Intn(5))
+			total += weights[i]
+		}
+		if total == 0 {
+			continue
+		}
+		budget := n + rng.Intn(3*n)
+		got := apportion(weights, total, budget)
+		want := referenceApportion(weights, total, budget)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: apportion(%v, %v, %d) = %v, reference %v",
+					trial, weights, total, budget, got, want)
+			}
+		}
+		sum := 0
+		for _, g := range got {
+			sum += g
+		}
+		if sum != budget {
+			t.Fatalf("trial %d: allocated %d of budget %d", trial, sum, budget)
+		}
+	}
+}
+
 func TestADAUnaryProportionality(t *testing.T) {
 	// Build a trie where bin 01x is overwhelmingly hot; ADA must assign it
 	// far more entries than the cold bins.

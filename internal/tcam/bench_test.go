@@ -24,30 +24,83 @@ func benchTable(b *testing.B, entries int) *Table {
 	return tb
 }
 
-func BenchmarkLookup128(b *testing.B) {
-	tb := benchTable(b, 128)
+func benchKeys(n int) []uint64 {
 	rng := rand.New(rand.NewSource(2))
-	keys := make([]uint64, 1024)
+	keys := make([]uint64, n)
 	for i := range keys {
 		keys[i] = rng.Uint64() & 0xFFFFFFFF
 	}
+	return keys
+}
+
+// scanLookup replicates the pre-index serialized read path: a full linear
+// scan over the resolution-ordered entries under the table's write lock.
+// The indexed benchmarks below are measured against this baseline.
+func scanLookup(tb *Table, keys ...uint64) (*Entry, bool) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	for _, e := range tb.ordered {
+		if matchAll(e.Fields, keys) {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+func benchmarkLookup(b *testing.B, entries int) {
+	tb := benchTable(b, entries)
+	keys := benchKeys(1024)
+	tb.Lookup(keys[0]) // compile the index outside the timed region
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tb.Lookup(keys[i%len(keys)])
 	}
 }
 
-func BenchmarkLookup1024(b *testing.B) {
-	tb := benchTable(b, 1024)
-	rng := rand.New(rand.NewSource(2))
-	keys := make([]uint64, 1024)
-	for i := range keys {
-		keys[i] = rng.Uint64() & 0xFFFFFFFF
-	}
+func benchmarkLookupScan(b *testing.B, entries int) {
+	tb := benchTable(b, entries)
+	keys := benchKeys(1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tb.Lookup(keys[i%len(keys)])
+		scanLookup(tb, keys[i%len(keys)])
 	}
+}
+
+func BenchmarkLookup128(b *testing.B)  { benchmarkLookup(b, 128) }
+func BenchmarkLookup1024(b *testing.B) { benchmarkLookup(b, 1024) }
+func BenchmarkLookup8192(b *testing.B) { benchmarkLookup(b, 8192) }
+
+func BenchmarkLookupScan128(b *testing.B)  { benchmarkLookupScan(b, 128) }
+func BenchmarkLookupScan1024(b *testing.B) { benchmarkLookupScan(b, 1024) }
+func BenchmarkLookupScan8192(b *testing.B) { benchmarkLookupScan(b, 8192) }
+
+// BenchmarkLookupParallel measures concurrent read scaling: the indexed
+// path resolves against a shared immutable snapshot, so throughput should
+// grow near-linearly with GOMAXPROCS (use -cpu 1,2,4 to see the curve).
+func BenchmarkLookupParallel1024(b *testing.B) {
+	tb := benchTable(b, 1024)
+	keys := benchKeys(1024)
+	tb.Lookup(keys[0])
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			tb.Lookup(keys[i%len(keys)])
+			i++
+		}
+	})
+}
+
+func BenchmarkLookupBatch1024(b *testing.B) {
+	tb := benchTable(b, 1024)
+	keys := benchKeys(1024)
+	var dst []*Entry
+	tb.Lookup(keys[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = tb.LookupSingleBatch(keys, dst)
+	}
+	_ = dst
 }
 
 func BenchmarkApplyRowsNoChange(b *testing.B) {

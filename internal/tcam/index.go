@@ -1,0 +1,164 @@
+// Compiled read path: a per-version match index swapped in via
+// atomic.Pointer so Lookup never takes the table lock.
+//
+// The hardware TCAM resolves every key in O(1); the software model used to
+// pay an O(entries) scan under an exclusive lock per lookup. The index
+// compiles the installed entries into a nested binary trie — one trie level
+// per key field, walked MSB-first along the key bits — so a lookup costs
+// O(total key width) node visits regardless of table size, and any number of
+// goroutines can resolve concurrently against the same immutable snapshot.
+//
+// Resolution is unchanged: every entry whose field prefixes contain the key
+// lies on the walked paths, and candidates are compared with the same
+// (sig desc, priority desc, seq asc) order the reference scan uses, so the
+// index returns bit-identical winners (the differential tests in
+// index_test.go pin this against LookupAll).
+//
+// Entries with a non-prefix ternary mask (wildcard bits above significant
+// bits) cannot be trie-indexed; such tables compile to an immutable
+// resolution-ordered snapshot that is linearly scanned — still lock-free,
+// same cost as the old path. Every population scheme in this repo emits
+// prefix masks, so the fallback exists only for API completeness.
+package tcam
+
+import "math/bits"
+
+// idxNode is one trie node. For the last key field, entry holds the best
+// (resolution-order first) entry terminating at this node; for earlier
+// fields, next roots the trie over the following field for entries whose
+// current-field prefix ends here.
+type idxNode struct {
+	child [2]*idxNode
+	next  *idxNode
+	entry *Entry
+}
+
+// index is an immutable compiled snapshot of the table at one version.
+// A snapshot is built entirely under the table's read lock, so it is always
+// a committed generation — never a torn intermediate state.
+type index struct {
+	version uint64
+	widths  []int
+	root    *idxNode // nil when linear is set
+	linear  []*Entry // resolution-ordered fallback for non-prefix masks
+}
+
+// lowMask returns a mask with the low n bits set, handling n >= 64.
+func lowMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(n) - 1
+}
+
+// maskIsPrefix reports whether mask selects a contiguous run of the top
+// bits of a width-bit field (the LPM shape the trie can index).
+func maskIsPrefix(mask uint64, width int) bool {
+	sig := bits.OnesCount64(mask)
+	return mask == lowMask(width)&^lowMask(width-sig)
+}
+
+// buildIndex compiles a resolution-ordered entry list. Entries are copied
+// into the snapshot so later UpdateData/ApplyRows mutations of the live
+// entries can never race with a reader holding an old snapshot.
+func buildIndex(version uint64, widths []int, ordered []*Entry) *index {
+	ix := &index{version: version, widths: widths}
+	trieable := true
+	for _, e := range ordered {
+		for f, fd := range e.Fields {
+			if !maskIsPrefix(fd.Mask, widths[f]) {
+				trieable = false
+				break
+			}
+		}
+		if !trieable {
+			break
+		}
+	}
+	if !trieable {
+		ix.linear = make([]*Entry, len(ordered))
+		for i, e := range ordered {
+			c := *e
+			ix.linear[i] = &c
+		}
+		return ix
+	}
+	ix.root = &idxNode{}
+	for _, e := range ordered {
+		c := *e
+		ix.insert(&c)
+	}
+	return ix
+}
+
+// insert threads one entry through the nested trie. ordered iteration means
+// the first entry reaching a terminal node is the best one for that exact
+// match key, so later arrivals (same fields, lower resolution rank) are
+// dropped here and never visited at lookup time.
+func (ix *index) insert(e *Entry) {
+	n := ix.root
+	last := len(e.Fields) - 1
+	for f, fd := range e.Fields {
+		w := ix.widths[f]
+		sig := bits.OnesCount64(fd.Mask)
+		for i := 0; i < sig; i++ {
+			b := (fd.Value >> uint(w-1-i)) & 1
+			if n.child[b] == nil {
+				n.child[b] = &idxNode{}
+			}
+			n = n.child[b]
+		}
+		if f == last {
+			break
+		}
+		if n.next == nil {
+			n.next = &idxNode{}
+		}
+		n = n.next
+	}
+	if n.entry == nil {
+		n.entry = e
+	}
+}
+
+// lookup resolves keys (already arity-checked by the caller) to the winning
+// entry, or nil on a miss.
+func (ix *index) lookup(keys []uint64) *Entry {
+	if ix.linear != nil || ix.root == nil {
+		for _, e := range ix.linear {
+			if matchAll(e.Fields, keys) {
+				return e
+			}
+		}
+		return nil
+	}
+	return ix.walk(ix.root, 0, keys)
+}
+
+// walk descends field f's trie along the key's bit path. Every node on the
+// path corresponds to one prefix of the key present in the table; terminal
+// candidates are compared with the same order the reference scan uses.
+func (ix *index) walk(n *idxNode, f int, keys []uint64) *Entry {
+	key, w := keys[f], ix.widths[f]
+	lastField := f == len(ix.widths)-1
+	var best *Entry
+	for depth := 0; ; depth++ {
+		if lastField {
+			if n.entry != nil && (best == nil || less(n.entry, best)) {
+				best = n.entry
+			}
+		} else if n.next != nil {
+			if e := ix.walk(n.next, f+1, keys); e != nil && (best == nil || less(e, best)) {
+				best = e
+			}
+		}
+		if depth == w {
+			return best
+		}
+		b := (key >> uint(w-1-depth)) & 1
+		if n.child[b] == nil {
+			return best
+		}
+		n = n.child[b]
+	}
+}

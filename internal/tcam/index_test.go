@@ -1,0 +1,318 @@
+package tcam
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/ada-repro/ada/internal/bitstr"
+)
+
+// randomPrefixTable builds a table with n random prefix entries over the
+// given field widths (one prefix per field), random priorities.
+func randomPrefixTable(t testing.TB, rng *rand.Rand, n int, widths ...int) *Table {
+	t.Helper()
+	tb := MustNew("fuzz", 0, widths...)
+	for i := 0; i < n; i++ {
+		fields := make([]Field, len(widths))
+		for f, w := range widths {
+			p, err := bitstr.New(rng.Uint64()&lowMask(w), rng.Intn(w+1), w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fields[f] = FieldFromPrefix(p)
+		}
+		if _, err := tb.Insert(fields, rng.Intn(4), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+// TestIndexDifferentialSingleField proves the compiled index resolves
+// bit-identically to the reference scan on ≥10k random keys across random
+// single-field tables (the acceptance-criteria differential).
+func TestIndexDifferentialSingleField(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	keysChecked := 0
+	for trial := 0; trial < 40; trial++ {
+		width := 1 + rng.Intn(32)
+		tb := randomPrefixTable(t, rng, 1+rng.Intn(200), width)
+		for probe := 0; probe < 300; probe++ {
+			key := rng.Uint64() & lowMask(width)
+			got, ok := tb.Lookup(key)
+			all := tb.LookupAll(key)
+			if (len(all) > 0) != ok {
+				t.Fatalf("width %d key %#x: indexed ok=%v, reference found %d", width, key, ok, len(all))
+			}
+			if ok && got.ID != all[0].ID {
+				t.Fatalf("width %d key %#x: indexed winner %d, reference winner %d", width, key, got.ID, all[0].ID)
+			}
+			keysChecked++
+		}
+	}
+	if keysChecked < 10000 {
+		t.Fatalf("differential covered only %d keys, want >= 10000", keysChecked)
+	}
+}
+
+// TestIndexDifferentialMultiField runs the same differential over two- and
+// three-field tables, where LPM winners combine per-field significant bits.
+func TestIndexDifferentialMultiField(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 30; trial++ {
+		nf := 2 + rng.Intn(2)
+		widths := make([]int, nf)
+		for i := range widths {
+			widths[i] = 1 + rng.Intn(12)
+		}
+		tb := randomPrefixTable(t, rng, 1+rng.Intn(150), widths...)
+		for probe := 0; probe < 400; probe++ {
+			keys := make([]uint64, nf)
+			for i, w := range widths {
+				keys[i] = rng.Uint64() & lowMask(w)
+			}
+			got, ok := tb.Lookup(keys...)
+			all := tb.LookupAll(keys...)
+			if (len(all) > 0) != ok {
+				t.Fatalf("widths %v keys %v: indexed ok=%v, reference found %d", widths, keys, ok, len(all))
+			}
+			if ok && got.ID != all[0].ID {
+				t.Fatalf("widths %v keys %v: indexed winner %d, reference winner %d", widths, keys, got.ID, all[0].ID)
+			}
+		}
+	}
+}
+
+// TestIndexFallbackNonPrefixMask: entries with non-contiguous ternary masks
+// cannot be trie-compiled; the index must fall back to the resolution-order
+// scan and still agree with LookupAll.
+func TestIndexFallbackNonPrefixMask(t *testing.T) {
+	tb := MustNew("ternary", 0, 8)
+	// Match any key whose bit 2 is set, regardless of other bits.
+	if _, err := tb.Insert([]Field{{Value: 0b100, Mask: 0b100}}, 0, "bit2"); err != nil {
+		t.Fatal(err)
+	}
+	// And a proper prefix entry that outranks it on significant bits.
+	p := bitstr.MustNew(0b10000000, 4, 8)
+	if _, err := tb.InsertPrefix(p, 0, "prefix"); err != nil {
+		t.Fatal(err)
+	}
+	for key := uint64(0); key < 256; key++ {
+		got, ok := tb.Lookup(key)
+		all := tb.LookupAll(key)
+		if (len(all) > 0) != ok {
+			t.Fatalf("key %#x: ok=%v, reference %d", key, ok, len(all))
+		}
+		if ok && got.ID != all[0].ID {
+			t.Fatalf("key %#x: indexed %d, reference %d", key, got.ID, all[0].ID)
+		}
+	}
+}
+
+// TestIndexSeesMutations: single-row mutations (insert, update, delete)
+// must invalidate the compiled index even though they do not advance the
+// bulk-commit generation.
+func TestIndexSeesMutations(t *testing.T) {
+	tb := MustNew("mut", 0, 4)
+	p := bitstr.MustNew(0b0100, 2, 4)
+	id, err := tb.InsertPrefix(p, 0, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := tb.Lookup(5); !ok || e.Data.(string) != "a" {
+		t.Fatalf("after insert: %v", e)
+	}
+	if err := tb.UpdateData(id, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := tb.Lookup(5); !ok || e.Data.(string) != "b" {
+		t.Fatalf("after update: %v", e)
+	}
+	if err := tb.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tb.Lookup(5); ok {
+		t.Fatal("lookup hit after delete")
+	}
+	tb.Clear()
+	if _, err := tb.InsertPrefix(p, 0, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := tb.Lookup(5); !ok || e.Data.(string) != "c" {
+		t.Fatalf("after clear+insert: %v", e)
+	}
+}
+
+// generationRows builds a full 2-bit-domain population whose every entry
+// carries the tag, so any lookup reveals which generation served it.
+func generationRows(t *testing.T, tag int) []Row {
+	t.Helper()
+	var rows []Row
+	// Alternate the population shape per tag parity so commits genuinely
+	// reshape the table rather than only rewriting action data.
+	if tag%2 == 0 {
+		for v := uint64(0); v < 4; v++ {
+			p, err := bitstr.New(v<<2, 2, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows = append(rows, RowFromPrefix(p, tag))
+		}
+	} else {
+		for v := uint64(0); v < 2; v++ {
+			p, err := bitstr.New(v<<3, 1, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows = append(rows, RowFromPrefix(p, tag))
+		}
+	}
+	return rows
+}
+
+// TestIndexNoTornGeneration hammers lock-free Lookup/LookupBatch against
+// ApplyRowsAtomic/ReplaceAll commits. Every committed population tags all
+// of its rows with one generation number; a batch resolved against a single
+// snapshot must never mix tags, and no lookup may miss (every population
+// covers the domain). Run under -race this also proves the read path is
+// data-race free against the commit path.
+func TestIndexNoTornGeneration(t *testing.T) {
+	tb := MustNew("torn", 0, 4)
+	if _, err := tb.ApplyRowsAtomic(generationRows(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		readers = 4
+		rounds  = 400
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan string, readers)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			keys := make([][]uint64, 8)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range keys {
+					keys[i] = []uint64{rng.Uint64() & 0xF}
+				}
+				got := tb.LookupBatch(keys)
+				tag := -1
+				for i, e := range got {
+					if e == nil {
+						select {
+						case errs <- "lookup miss mid-commit (torn or empty generation)":
+						default:
+						}
+						return
+					}
+					if i == 0 {
+						tag = e.Data.(int)
+					} else if e.Data.(int) != tag {
+						select {
+						case errs <- "one batch served two generations":
+						default:
+						}
+						return
+					}
+				}
+				if e, ok := tb.Lookup(rng.Uint64() & 0xF); !ok || e == nil {
+					select {
+					case errs <- "single lookup missed a fully covered domain":
+					default:
+					}
+					return
+				}
+			}
+		}(int64(r))
+	}
+
+	for tag := 1; tag <= rounds; tag++ {
+		rows := generationRows(t, tag)
+		var err error
+		if tag%2 == 0 {
+			_, err = tb.ApplyRowsAtomic(rows)
+		} else {
+			_, err = tb.ReplaceAll(rows)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestLookupBatchStats: batch lookups account hits and misses like the
+// scalar path.
+func TestLookupBatchStats(t *testing.T) {
+	tb := MustNew("stats", 0, 4)
+	p := bitstr.MustNew(0b1000, 1, 4) // covers 8..15
+	if _, err := tb.InsertPrefix(p, 0, "hi"); err != nil {
+		t.Fatal(err)
+	}
+	tb.ResetStats()
+	got := tb.LookupBatch([][]uint64{{9}, {1}, {12}})
+	if got[0] == nil || got[1] != nil || got[2] == nil {
+		t.Fatalf("batch results = %v", got)
+	}
+	s := tb.Stats()
+	if s.Lookups != 3 || s.Hits != 2 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 3 lookups / 2 hits / 1 miss", s)
+	}
+
+	tb.ResetStats()
+	single := tb.LookupSingleBatch([]uint64{9, 1, 12}, nil)
+	if single[0] == nil || single[1] != nil || single[2] == nil {
+		t.Fatalf("single batch results = %v", single)
+	}
+	s = tb.Stats()
+	if s.Lookups != 3 || s.Hits != 2 || s.Misses != 1 {
+		t.Errorf("single-batch stats = %+v, want 3 lookups / 2 hits / 1 miss", s)
+	}
+
+	// Arity mismatch: every key misses, nothing panics.
+	if out := tb.LookupBatch([][]uint64{{1, 2}}); out[0] != nil {
+		t.Error("wrong-arity batch key must miss")
+	}
+}
+
+// TestLookupSnapshotStableAcrossUpdate: an entry returned by Lookup belongs
+// to an immutable snapshot — a subsequent UpdateData must not mutate it
+// under the caller.
+func TestLookupSnapshotStableAcrossUpdate(t *testing.T) {
+	tb := MustNew("snap", 0, 4)
+	p := bitstr.MustNew(0b0100, 2, 4)
+	id, err := tb.InsertPrefix(p, 0, "old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := tb.Lookup(5)
+	if !ok {
+		t.Fatal("miss")
+	}
+	if err := tb.UpdateData(id, "new"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Data.(string) != "old" {
+		t.Error("held snapshot entry mutated by UpdateData")
+	}
+	if e2, _ := tb.Lookup(5); e2.Data.(string) != "new" {
+		t.Error("fresh lookup does not see the update")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/ada-repro/ada/internal/bitstr"
 )
@@ -119,8 +120,20 @@ type Stats struct {
 	Updates uint64
 }
 
+// counters is the live, atomically-updated form of Stats. Lookup counters
+// are incremented off-lock so the read path never needs the table mutex.
+type counters struct {
+	lookups atomic.Uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	inserts atomic.Uint64
+	deletes atomic.Uint64
+	updates atomic.Uint64
+}
+
 // Table is a ternary match table with bounded capacity. It is safe for
-// concurrent use.
+// concurrent use; Lookup and LookupBatch are lock-free against a compiled
+// index snapshot (see index.go) and scale across goroutines.
 type Table struct {
 	mu sync.RWMutex
 
@@ -133,7 +146,13 @@ type Table struct {
 	nextSeq     int
 	generation  uint64
 	hook        WriteHook
-	stats       Stats
+	stats       counters
+
+	// version counts every content mutation (unlike generation, which only
+	// counts bulk commits); the compiled index is keyed by it.
+	version atomic.Uint64
+	idx     atomic.Pointer[index]
+	idxMu   sync.Mutex // serialises index rebuilds
 }
 
 // New creates a ternary table. capacity <= 0 means unbounded (used to model
@@ -197,18 +216,61 @@ func (t *Table) FieldWidths() []int {
 	return out
 }
 
-// Stats returns a snapshot of the operation counters.
+// Stats returns a snapshot of the operation counters. The counters are
+// atomics, so the snapshot needs no lock; individual counters are read
+// independently (a concurrent lookup may land between two reads).
 func (t *Table) Stats() Stats {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.stats
+	return Stats{
+		Lookups: t.stats.lookups.Load(),
+		Hits:    t.stats.hits.Load(),
+		Misses:  t.stats.misses.Load(),
+		Inserts: t.stats.inserts.Load(),
+		Deletes: t.stats.deletes.Load(),
+		Updates: t.stats.updates.Load(),
+	}
 }
 
 // ResetStats zeroes the operation counters.
 func (t *Table) ResetStats() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.stats = Stats{}
+	t.stats.lookups.Store(0)
+	t.stats.hits.Store(0)
+	t.stats.misses.Store(0)
+	t.stats.inserts.Store(0)
+	t.stats.deletes.Store(0)
+	t.stats.updates.Store(0)
+}
+
+// dirtyLocked records a content mutation; t.mu must be held exclusively.
+// The next Lookup recompiles the index from the committed state.
+func (t *Table) dirtyLocked() {
+	t.version.Add(1)
+}
+
+// loadIndex returns the compiled index for the current table version,
+// rebuilding it if a mutation invalidated the cached one.
+func (t *Table) loadIndex() *index {
+	if ix := t.idx.Load(); ix != nil && ix.version == t.version.Load() {
+		return ix
+	}
+	return t.rebuildIndex()
+}
+
+// rebuildIndex compiles a fresh snapshot under the read lock (so it always
+// observes a fully committed state, never a torn mid-commit one) and
+// publishes it. idxMu keeps a rebuild herd from compiling the same version
+// many times; a writer committing mid-build simply leaves the published
+// index stale, and the next lookup rebuilds again.
+func (t *Table) rebuildIndex() *index {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	if ix := t.idx.Load(); ix != nil && ix.version == t.version.Load() {
+		return ix
+	}
+	t.mu.RLock()
+	ix := buildIndex(t.version.Load(), t.fieldWidths, t.ordered)
+	t.mu.RUnlock()
+	t.idx.Store(ix)
+	return ix
 }
 
 // SetWriteHook installs h as the per-row write interceptor (nil clears it).
@@ -301,7 +363,8 @@ func (t *Table) Insert(fields []Field, priority int, data any) (int, error) {
 	e := &Entry{ID: t.nextID, Fields: fs, Priority: priority, Data: data, sig: sig, seq: t.nextSeq}
 	t.entries[e.ID] = e
 	t.insertOrdered(e)
-	t.stats.Inserts++
+	t.stats.inserts.Add(1)
+	t.dirtyLocked()
 	return e.ID, nil
 }
 
@@ -347,7 +410,8 @@ func (t *Table) Delete(id int) error {
 			break
 		}
 	}
-	t.stats.Deletes++
+	t.stats.deletes.Add(1)
+	t.dirtyLocked()
 	return nil
 }
 
@@ -365,7 +429,8 @@ func (t *Table) UpdateData(id int, data any) error {
 		return err
 	}
 	e.Data = data
-	t.stats.Updates++
+	t.stats.updates.Add(1)
+	t.dirtyLocked()
 	return nil
 }
 
@@ -374,33 +439,96 @@ func (t *Table) UpdateData(id int, data any) error {
 func (t *Table) Clear() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.stats.Deletes += uint64(len(t.entries))
+	t.stats.deletes.Add(uint64(len(t.entries)))
 	t.entries = make(map[int]*Entry)
 	t.ordered = t.ordered[:0]
+	t.dirtyLocked()
 }
 
 // Lookup matches the key fields against the table and returns the winning
-// entry under LPM resolution.
+// entry under LPM resolution. The match runs lock-free against the compiled
+// index (O(total key width), not O(entries)); the returned entry is part of
+// an immutable snapshot, so holding it across later table mutations is safe.
 func (t *Table) Lookup(keys ...uint64) (*Entry, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.stats.Lookups++
+	t.stats.lookups.Add(1)
 	if len(keys) != len(t.fieldWidths) {
-		t.stats.Misses++
+		t.stats.misses.Add(1)
 		return nil, false
 	}
-	for _, e := range t.ordered {
-		if matchAll(e.Fields, keys) {
-			t.stats.Hits++
-			return e, true
-		}
+	e := t.loadIndex().lookup(keys)
+	if e == nil {
+		t.stats.misses.Add(1)
+		return nil, false
 	}
-	t.stats.Misses++
-	return nil, false
+	t.stats.hits.Add(1)
+	return e, true
 }
 
-// LookupAll returns every matching entry in resolution order. Used by tests
-// to validate LPM resolution against a reference scan.
+// LookupBatch resolves many multi-field keys against one compiled snapshot
+// and returns the winners positionally (nil = miss). All results come from
+// the same committed generation — a bulk commit racing with the batch is
+// observed either entirely or not at all.
+func (t *Table) LookupBatch(keys [][]uint64) []*Entry {
+	out := make([]*Entry, len(keys))
+	if len(keys) == 0 {
+		return out
+	}
+	ix := t.loadIndex()
+	var hits uint64
+	for i, ks := range keys {
+		if len(ks) != len(t.fieldWidths) {
+			continue
+		}
+		if e := ix.lookup(ks); e != nil {
+			out[i] = e
+			hits++
+		}
+	}
+	t.stats.lookups.Add(uint64(len(keys)))
+	t.stats.hits.Add(hits)
+	t.stats.misses.Add(uint64(len(keys)) - hits)
+	return out
+}
+
+// LookupSingleBatch is LookupBatch for single-field tables, avoiding the
+// per-key slice allocations of the general form. dst is reused when it has
+// the capacity. On a multi-field table every key misses.
+func (t *Table) LookupSingleBatch(keys []uint64, dst []*Entry) []*Entry {
+	if cap(dst) >= len(keys) {
+		dst = dst[:len(keys)]
+		for i := range dst {
+			dst[i] = nil
+		}
+	} else {
+		dst = make([]*Entry, len(keys))
+	}
+	if len(keys) == 0 {
+		return dst
+	}
+	if len(t.fieldWidths) != 1 {
+		t.stats.lookups.Add(uint64(len(keys)))
+		t.stats.misses.Add(uint64(len(keys)))
+		return dst
+	}
+	ix := t.loadIndex()
+	var hits uint64
+	kbuf := make([]uint64, 1)
+	for i, k := range keys {
+		kbuf[0] = k
+		if e := ix.lookup(kbuf); e != nil {
+			dst[i] = e
+			hits++
+		}
+	}
+	t.stats.lookups.Add(uint64(len(keys)))
+	t.stats.hits.Add(hits)
+	t.stats.misses.Add(uint64(len(keys)) - hits)
+	return dst
+}
+
+// LookupAll returns every matching entry in resolution order. This is the
+// reference linear scan the compiled index is differentially tested against;
+// it deliberately bypasses the index.
 func (t *Table) LookupAll(keys ...uint64) []*Entry {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -464,7 +592,7 @@ func (t *Table) ReplaceAll(rows []Row) (writes int, err error) {
 		}
 	}
 	writes = len(t.entries) + len(rows)
-	t.stats.Deletes += uint64(len(t.entries))
+	t.stats.deletes.Add(uint64(len(t.entries)))
 	t.entries = make(map[int]*Entry, len(rows))
 	t.ordered = t.ordered[:0]
 	for _, r := range rows {
@@ -479,9 +607,10 @@ func (t *Table) ReplaceAll(rows []Row) (writes int, err error) {
 		e := &Entry{ID: t.nextID, Fields: fs, Priority: r.Priority, Data: r.Data, sig: sig, seq: t.nextSeq}
 		t.entries[e.ID] = e
 		t.insertOrdered(e)
-		t.stats.Inserts++
+		t.stats.inserts.Add(1)
 	}
 	t.generation++
+	t.dirtyLocked()
 	return writes, nil
 }
 
@@ -513,6 +642,9 @@ func (t *Table) ApplyRows(rows []Row) (writes int, err error) {
 	if err == nil {
 		t.generation++
 	}
+	// A partial failure still mutated the table, so the index must be
+	// recompiled either way.
+	t.dirtyLocked()
 	return writes, err
 }
 
@@ -537,6 +669,7 @@ func (t *Table) ApplyRowsAtomic(rows []Row) (writes int, err error) {
 		return 0, err
 	}
 	t.generation++
+	t.dirtyLocked()
 	return writes, nil
 }
 
@@ -568,7 +701,7 @@ func (t *Table) applyRowsLocked(rows []Row) (writes int, err error) {
 				return writes, err
 			}
 			e.Data = r.Data
-			t.stats.Updates++
+			t.stats.updates.Add(1)
 			writes++
 		}
 	}
@@ -585,7 +718,7 @@ func (t *Table) applyRowsLocked(rows []Row) (writes int, err error) {
 					break
 				}
 			}
-			t.stats.Deletes++
+			t.stats.deletes.Add(1)
 			writes++
 		}
 	}
@@ -605,19 +738,23 @@ func (t *Table) applyRowsLocked(rows []Row) (writes int, err error) {
 		e := &Entry{ID: t.nextID, Fields: fs, Priority: r.Priority, Data: r.Data, sig: sig, seq: t.nextSeq}
 		t.entries[e.ID] = e
 		t.insertOrdered(e)
-		t.stats.Inserts++
+		t.stats.inserts.Add(1)
 		writes++
 	}
 	return writes, nil
 }
 
-// tableSnapshot captures the mutable table state for rollback.
+// tableSnapshot captures the mutable table state for rollback. Only the
+// mutator counters are captured: lookup counters advance lock-free while a
+// commit is staged, so restoring them would erase concurrent lookups.
 type tableSnapshot struct {
 	entries map[int]*Entry
 	ordered []*Entry
 	nextID  int
 	nextSeq int
-	stats   Stats
+	inserts uint64
+	deletes uint64
+	updates uint64
 }
 
 // snapshotLocked deep-copies the entries (Field slices are immutable and
@@ -629,7 +766,9 @@ func (t *Table) snapshotLocked() tableSnapshot {
 		ordered: make([]*Entry, len(t.ordered)),
 		nextID:  t.nextID,
 		nextSeq: t.nextSeq,
-		stats:   t.stats,
+		inserts: t.stats.inserts.Load(),
+		deletes: t.stats.deletes.Load(),
+		updates: t.stats.updates.Load(),
 	}
 	for i, e := range t.ordered {
 		c := *e
@@ -644,7 +783,10 @@ func (t *Table) restoreLocked(snap tableSnapshot) {
 	t.ordered = snap.ordered
 	t.nextID = snap.nextID
 	t.nextSeq = snap.nextSeq
-	t.stats = snap.stats
+	t.stats.inserts.Store(snap.inserts)
+	t.stats.deletes.Store(snap.deletes)
+	t.stats.updates.Store(snap.updates)
+	t.dirtyLocked()
 }
 
 // matchKey serialises an entry's match fields and priority for diffing.
