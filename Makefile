@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short vet bench bench-lookup chaos experiments examples cover clean
+.PHONY: all build test test-short vet bench bench-lookup bench-round chaos experiments examples cover clean
 
 all: build vet test
 
@@ -30,6 +30,12 @@ bench:
 bench-lookup:
 	$(GO) test -bench 'Lookup' -benchmem -run '^$$' ./internal/tcam
 	$(GO) run ./cmd/adabench -lookup-out BENCH_lookup.json lookup
+
+# Control-round benchmarks (incremental vs full repopulation) plus the
+# committed BENCH_round.json baseline.
+bench-round:
+	$(GO) test -bench 'Round' -benchmem -run '^$$' ./internal/experiments
+	$(GO) run ./cmd/adabench -round-out BENCH_round.json roundbench
 
 # Regenerate every evaluation table/figure as text.
 experiments:

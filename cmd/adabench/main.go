@@ -2,11 +2,11 @@
 //
 // Usage:
 //
-//	adabench [-parallel N] [-lookup-out FILE] [experiment...]
+//	adabench [-parallel N] [-lookup-out FILE] [-round-out FILE] [experiment...]
 //
 // Experiments: fig1a fig1b fig1c fig5 fig6 fig7a fig7b fig7c fig8 fig9
-// fig10 lookup table2 xcp all (default: all). Each prints the same
-// rows/series the paper reports; see EXPERIMENTS.md for the
+// fig10 lookup roundbench table2 xcp all (default: all). Each prints the
+// same rows/series the paper reports; see EXPERIMENTS.md for the
 // paper-vs-measured record.
 //
 // -parallel sets the replay worker count for the experiments that feed
@@ -14,7 +14,8 @@
 // cores, 1 restores the sequential replay. Results are worker-count
 // independent — register increments are commutative. -lookup-out writes the
 // lookup microbenchmark rows as JSON (the committed BENCH_lookup.json
-// baseline) in addition to printing the table.
+// baseline) in addition to printing the table; -round-out does the same for
+// the control-round benchmark (BENCH_round.json).
 package main
 
 import (
@@ -30,6 +31,7 @@ import (
 var (
 	parallel  = flag.Int("parallel", 0, "replay workers for fig7c/fig9/lookup (0 = all cores)")
 	lookupOut = flag.String("lookup-out", "", "write lookup benchmark rows as JSON to this file")
+	roundOut  = flag.String("round-out", "", "write control-round benchmark rows as JSON to this file")
 )
 
 var runners = map[string]func() (string, error){
@@ -128,6 +130,18 @@ var runners = map[string]func() (string, error){
 			}
 		}
 		return experiments.RenderLookupBench(rows), nil
+	},
+	"roundbench": func() (string, error) {
+		rows, err := experiments.RunRoundBench(experiments.DefaultRoundBenchConfig())
+		if err != nil {
+			return "", err
+		}
+		if *roundOut != "" {
+			if err := experiments.WriteRoundBenchJSON(*roundOut, rows); err != nil {
+				return "", err
+			}
+		}
+		return experiments.RenderRoundBench(rows), nil
 	},
 	"table2": func() (string, error) {
 		rows, err := experiments.RunTable2(experiments.DefaultTable2Config())

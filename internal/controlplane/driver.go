@@ -42,6 +42,18 @@ type Driver interface {
 	PopulateCalc(tr *trie.Trie, budget int) (writes, computed int, err error)
 }
 
+// DeltaPopulator is the optional incremental extension of Driver: a driver
+// that can reconcile the calculation population against its shadow copy,
+// emitting only the changed rows. The controller prefers this path when the
+// driver implements it; drivers that do not fall back to the full
+// PopulateCalc. reused counts entries served from the driver's memo instead
+// of recomputed — the quantity CostModel.PerEntryReused prices. The end
+// state must be identical to PopulateCalc's, and on error the previous
+// population must remain fully installed.
+type DeltaPopulator interface {
+	PopulateCalcDelta(tr *trie.Trie, budget int) (writes, computed, reused int, err error)
+}
+
 // LatencyReporter is implemented by drivers that model per-op latency beyond
 // the CostModel's calibrated operation costs (e.g. injected latency spikes).
 // The controller drains it after each driver call and charges the result
@@ -59,6 +71,9 @@ type LatencyReporter interface {
 type DirectDriver struct {
 	mon    *monitor.Monitor
 	target Target
+	// snap is the register-snapshot scratch buffer, reused across rounds so
+	// a converged control loop stops allocating one slice per snapshot.
+	snap []uint64
 }
 
 // NewDirectDriver wraps the in-process monitor and calculation target.
@@ -76,8 +91,13 @@ func (d *DirectDriver) MonitorCapacity() int { return d.mon.Table().Capacity() }
 // NumBins implements Driver.
 func (d *DirectDriver) NumBins() int { return d.mon.NumBins() }
 
-// ReadRegisters implements Driver.
-func (d *DirectDriver) ReadRegisters() ([]uint64, error) { return d.mon.Snapshot(), nil }
+// ReadRegisters implements Driver. The returned slice is valid until the
+// next ReadRegisters call on this driver: it is a reused scratch buffer, and
+// the controller consumes each snapshot within its round.
+func (d *DirectDriver) ReadRegisters() ([]uint64, error) {
+	d.snap = d.mon.SnapshotInto(d.snap)
+	return d.snap, nil
+}
 
 // ResetRegisters implements Driver.
 func (d *DirectDriver) ResetRegisters() (int, error) {
@@ -96,6 +116,20 @@ func (d *DirectDriver) PopulateCalc(tr *trie.Trie, budget int) (int, int, error)
 		return 0, 0, nil
 	}
 	return d.target.Populate(tr, budget)
+}
+
+// PopulateCalcDelta implements DeltaPopulator: it forwards to the target's
+// incremental path when the target supports one and falls back to the full
+// repopulation (with zero reuse) otherwise.
+func (d *DirectDriver) PopulateCalcDelta(tr *trie.Trie, budget int) (int, int, int, error) {
+	if d.target == nil {
+		return 0, 0, 0, nil
+	}
+	if dt, ok := d.target.(DeltaTarget); ok {
+		return dt.PopulateDelta(tr, budget)
+	}
+	writes, computed, err := d.target.Populate(tr, budget)
+	return writes, computed, 0, err
 }
 
 // Monitor exposes the wrapped monitor.

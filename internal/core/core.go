@@ -15,13 +15,16 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/bitstr"
 	"github.com/ada-repro/ada/internal/controlplane"
 	"github.com/ada-repro/ada/internal/monitor"
 	"github.com/ada-repro/ada/internal/pisa"
 	"github.com/ada-repro/ada/internal/population"
+	"github.com/ada-repro/ada/internal/tcam"
 	"github.com/ada-repro/ada/internal/trie"
 )
 
@@ -58,6 +61,15 @@ type Config struct {
 	// WrapDriver, when set, wraps each controller's switch driver — the
 	// hook internal/faults uses to inject failures at the wire boundary.
 	WrapDriver func(controlplane.Driver) controlplane.Driver
+	// DisableIncremental forces full repopulation every round: the
+	// calculation target hides its incremental path, so the controller falls
+	// back to PopulateCalc and Algorithm 3 runs from scratch. The end state
+	// is identical either way (the differential tests prove it); this exists
+	// for A/B benchmarking and as an escape hatch.
+	DisableIncremental bool
+	// EWMADecay selects the exponential hit-decay ablation in the
+	// controller (see controlplane.Config.EWMADecay).
+	EWMADecay bool
 }
 
 // DefaultConfig returns the paper's parameters for width-bit operands.
@@ -107,6 +119,7 @@ func (c Config) controllerConfig() controlplane.Config {
 		Retry:             c.Retry,
 		UnhealthyAfter:    c.UnhealthyAfter,
 		WrapDriver:        c.WrapDriver,
+		EWMADecay:         c.EWMADecay,
 	}
 }
 
@@ -120,6 +133,11 @@ type SyncReport struct {
 	Writes int
 	// Rebalances counts Algorithm 2 steps across all monitored variables.
 	Rebalances int
+	// Computed and Reused split the calculation entries of this round into
+	// freshly evaluated versus served from the Algorithm 3 memo; a converged
+	// incremental round reports Computed == 0.
+	Computed int
+	Reused   int
 	// Expanded reports whether any monitoring TCAM grew.
 	Expanded bool
 	// Degraded reports that the round aborted on driver failure and the
@@ -134,11 +152,24 @@ type SyncReport struct {
 	Health controlplane.Health
 }
 
-// unaryTarget adapts the calculation engine to the controller.
+// unaryTarget adapts the calculation engine to the controller. It carries
+// the Algorithm 3 memo and a shadow record of the installed population
+// (prefix → result at a trie change-sequence), which together make
+// PopulateDelta's work proportional to churn instead of budget.
 type unaryTarget struct {
 	engine *arith.UnaryEngine
 	op     arith.UnaryOp
 	rep    population.Representative
+
+	memo population.UnaryMemo
+	// installed mirrors what the calculation table holds: the Results map of
+	// the population build that was last committed, and the trie ChangeSeq it
+	// was built at. lastVersion pins the table version that build produced —
+	// any other writer (or a rollback) bumps it and forces a full reload.
+	installed     map[bitstr.Prefix]uint64
+	installedSeq  uint64
+	haveInstalled bool
+	lastVersion   uint64
 }
 
 func (t *unaryTarget) Populate(tr *trie.Trie, budget int) (int, int, error) {
@@ -149,6 +180,76 @@ func (t *unaryTarget) Populate(tr *trie.Trie, budget int) (int, int, error) {
 	writes, err := t.engine.Reload(entries)
 	return writes, len(entries), err
 }
+
+// PopulateDelta implements controlplane.DeltaTarget: memoized Algorithm 3
+// followed by a delta commit against the installed population. Falls back to
+// a full transactional reload whenever the shadow record cannot be trusted
+// (first build, external table writes, a prior rollback).
+func (t *unaryTarget) PopulateDelta(tr *trie.Trie, budget int) (int, int, int, error) {
+	res, err := population.ADAUnaryMemo(tr, t.op.Func(), budget, t.rep, &t.memo)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if !t.haveInstalled || t.engine.Table().Version() != t.lastVersion {
+		writes, err := t.engine.Reload(res.Entries)
+		if err != nil {
+			return 0, res.Computed, res.Reused, err
+		}
+		t.record(res)
+		return writes, res.Computed, res.Reused, nil
+	}
+	if t.installedSeq == res.Seq {
+		// Converged round: the installed population was built at this exact
+		// trie state, so there is nothing to write.
+		return 0, res.Computed, res.Reused, nil
+	}
+	var add []population.UnaryEntry
+	for _, e := range res.Entries {
+		if old, ok := t.installed[e.P]; !ok || old != e.Result {
+			add = append(add, e)
+		}
+	}
+	var stale []bitstr.Prefix
+	for p := range t.installed {
+		if _, ok := res.Results[p]; !ok {
+			stale = append(stale, p)
+		}
+	}
+	bitstr.SortPrefixes(stale) // deterministic row order across runs
+	remove := make([]population.UnaryEntry, len(stale))
+	for i, p := range stale {
+		remove[i] = population.UnaryEntry{P: p}
+	}
+	writes, err := t.engine.ReloadDelta(add, remove)
+	if errors.Is(err, tcam.ErrDeltaConflict) {
+		// Shadow record diverged from the table (should not happen under the
+		// version guard; defensive). Resync with a full reload.
+		writes, err = t.engine.Reload(res.Entries)
+	}
+	if err != nil {
+		// The table rolled back (and bumped its version), so the next call
+		// takes the full-reload path; the record still describes the table.
+		return writes, res.Computed, res.Reused, err
+	}
+	t.record(res)
+	return writes, res.Computed, res.Reused, nil
+}
+
+// record pins the shadow record to the population build just committed.
+// Aliasing res.Results is safe: the memo rebuilds the map on every
+// recompute instead of mutating it in place.
+func (t *unaryTarget) record(res population.UnaryMemoResult) {
+	t.installed = res.Results
+	t.installedSeq = res.Seq
+	t.haveInstalled = true
+	t.lastVersion = t.engine.Table().Version()
+}
+
+// plainTarget hides a target's incremental path (Config.DisableIncremental):
+// the driver's type assertion fails and every round repopulates in full.
+type plainTarget struct{ controlplane.Target }
+
+var _ controlplane.DeltaTarget = (*unaryTarget)(nil)
 
 // UnarySystem is ADA deployed for a single-operand operation.
 type UnarySystem struct {
@@ -173,7 +274,11 @@ func NewUnary(cfg Config, op arith.UnaryOp) (*UnarySystem, error) {
 		return nil, err
 	}
 	target := &unaryTarget{engine: engine, op: op, rep: cfg.Representative}
-	ctl, err := controlplane.New(cfg.controllerConfig(), mon, target)
+	var ctlTarget controlplane.Target = target
+	if cfg.DisableIncremental {
+		ctlTarget = plainTarget{target}
+	}
+	ctl, err := controlplane.New(cfg.controllerConfig(), mon, ctlTarget)
 	if err != nil {
 		return nil, err
 	}
@@ -214,6 +319,8 @@ func (s *UnarySystem) Sync() (SyncReport, error) {
 		Reads:          rep.Reads,
 		Writes:         rep.RegisterWrites + rep.TCAMWrites,
 		Rebalances:     rep.Rebalances,
+		Computed:       rep.Computed,
+		Reused:         rep.Reused,
 		Expanded:       rep.Expanded,
 		Degraded:       rep.Degraded,
 		DegradedReason: rep.DegradedReason,
@@ -251,6 +358,18 @@ type BinarySystem struct {
 	ctlX   *controlplane.Controller
 	ctlY   *controlplane.Controller
 	rep    population.Representative
+
+	// Incremental-population state, mirroring unaryTarget's: the Algorithm 3
+	// memo plus a shadow record of the installed joint population and the
+	// (SeqX, SeqY) trie states it was built at. The joint populate runs after
+	// both variables' rounds commit, so the memo's wholesale-reuse path is
+	// what makes a converged Sync write nothing.
+	memo          population.BinaryMemo
+	installed     map[population.BinaryPair]uint64
+	installedSeqX uint64
+	installedSeqY uint64
+	haveInstalled bool
+	lastVersion   uint64
 }
 
 // NewBinary builds the system and installs the initial uniform population.
@@ -280,24 +399,82 @@ func NewBinary(cfg Config, op arith.BinaryOp) (*BinarySystem, error) {
 	}
 	s := &BinarySystem{cfg: cfg, op: op, engine: engine, ctlX: ctlX, ctlY: ctlY,
 		rep: cfg.Representative}
-	if _, err := s.populate(); err != nil {
+	if _, _, _, err := s.populate(); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
-// populate regenerates the joint calculation table from both tries.
-func (s *BinarySystem) populate() (int, error) {
-	entries, err := population.ADABinary(s.ctlX.Trie(), s.ctlY.Trie(), s.op.Func(),
-		s.cfg.CalcEntries, s.rep)
-	if err != nil {
-		return 0, err
+// populate reconciles the joint calculation table against both tries,
+// returning TCAM writes plus the computed/reused entry split. With
+// DisableIncremental set it regenerates and reloads in full every time;
+// otherwise it runs memoized Algorithm 3 and commits only the delta.
+func (s *BinarySystem) populate() (int, int, int, error) {
+	tx, ty := s.ctlX.Trie(), s.ctlY.Trie()
+	if s.cfg.DisableIncremental {
+		entries, err := population.ADABinary(tx, ty, s.op.Func(), s.cfg.CalcEntries, s.rep)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		writes, err := s.engine.Reload(entries)
+		return writes, len(entries), 0, err
 	}
-	writes, err := s.engine.Reload(entries)
+	res, err := population.ADABinaryMemo(tx, ty, s.op.Func(), s.cfg.CalcEntries, s.rep, &s.memo)
 	if err != nil {
-		return 0, err
+		return 0, 0, 0, err
 	}
-	return writes + len(entries), nil // writes plus computed entries
+	if !s.haveInstalled || s.engine.Table().Version() != s.lastVersion {
+		writes, err := s.engine.Reload(res.Entries)
+		if err != nil {
+			return 0, res.Computed, res.Reused, err
+		}
+		s.record(res)
+		return writes, res.Computed, res.Reused, nil
+	}
+	if s.installedSeqX == res.SeqX && s.installedSeqY == res.SeqY {
+		return 0, res.Computed, res.Reused, nil
+	}
+	var add []population.BinaryEntry
+	for _, e := range res.Entries {
+		if old, ok := s.installed[population.BinaryPair{X: e.X, Y: e.Y}]; !ok || old != e.Result {
+			add = append(add, e)
+		}
+	}
+	var stale []population.BinaryPair
+	for pr := range s.installed {
+		if _, ok := res.Results[pr]; !ok {
+			stale = append(stale, pr)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { // deterministic row order
+		if c := stale[i].X.Compare(stale[j].X); c != 0 {
+			return c < 0
+		}
+		return stale[i].Y.Compare(stale[j].Y) < 0
+	})
+	remove := make([]population.BinaryEntry, len(stale))
+	for i, pr := range stale {
+		remove[i] = population.BinaryEntry{X: pr.X, Y: pr.Y}
+	}
+	writes, err := s.engine.ReloadDelta(add, remove)
+	if errors.Is(err, tcam.ErrDeltaConflict) {
+		writes, err = s.engine.Reload(res.Entries)
+	}
+	if err != nil {
+		return writes, res.Computed, res.Reused, err
+	}
+	s.record(res)
+	return writes, res.Computed, res.Reused, nil
+}
+
+// record pins the shadow record to the joint build just committed; aliasing
+// res.Results is safe because the memo rebuilds the map on every recompute.
+func (s *BinarySystem) record(res population.BinaryMemoResult) {
+	s.installed = res.Results
+	s.installedSeqX = res.SeqX
+	s.installedSeqY = res.SeqY
+	s.haveInstalled = true
+	s.lastVersion = s.engine.Table().Version()
 }
 
 // Observe feeds one (x, y) operand pair to the monitors.
@@ -339,6 +516,8 @@ func (s *BinarySystem) Sync() (SyncReport, error) {
 		Reads:          repX.Reads + repY.Reads,
 		Writes:         repX.RegisterWrites + repX.TCAMWrites + repY.RegisterWrites + repY.TCAMWrites,
 		Rebalances:     repX.Rebalances + repY.Rebalances,
+		Computed:       repX.Computed + repY.Computed,
+		Reused:         repX.Reused + repY.Reused,
 		Expanded:       repX.Expanded || repY.Expanded,
 		Degraded:       repX.Degraded || repY.Degraded,
 		Retries:        repX.Retries + repY.Retries,
@@ -356,7 +535,7 @@ func (s *BinarySystem) Sync() (SyncReport, error) {
 	if out.Degraded {
 		return out, nil
 	}
-	calcWrites, err := s.populate()
+	calcWrites, computed, reused, err := s.populate()
 	if err != nil {
 		if errors.Is(err, population.ErrBudget) || errors.Is(err, population.ErrWidth) ||
 			errors.Is(err, population.ErrRange) {
@@ -367,7 +546,11 @@ func (s *BinarySystem) Sync() (SyncReport, error) {
 		return out, nil
 	}
 	out.Writes += calcWrites
-	out.Delay += time.Duration(calcWrites) * s.cfg.Cost.PerTCAMWrite
+	out.Computed += computed
+	out.Reused += reused
+	out.Delay += time.Duration(calcWrites)*s.cfg.Cost.PerTCAMWrite +
+		time.Duration(computed)*s.cfg.Cost.PerEntryCompute +
+		time.Duration(reused)*s.cfg.Cost.PerEntryReused
 	return out, nil
 }
 

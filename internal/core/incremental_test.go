@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/faults"
+)
+
+// drawRound generates one round of operand traffic. The distribution centre
+// drifts over a repeating schedule with runs of stable rounds, so the
+// differential covers heavy churn, light churn, and near-converged rounds.
+func drawRound(rng *rand.Rand, round, n int) []uint64 {
+	mu := float64(2000 + (round/4%13)*4800)
+	sigma := 300.0
+	out := make([]uint64, n)
+	for i := range out {
+		v := int64(mu + sigma*rng.NormFloat64())
+		if v < 0 {
+			v = 0
+		}
+		if v > 1<<16-1 {
+			v = 1<<16 - 1
+		}
+		out[i] = uint64(v)
+	}
+	return out
+}
+
+// runUnaryDifferential drives an incremental and a full-repopulation unary
+// system through identical traffic (and, when prof is non-nil, identical
+// injected fault schedules) and requires bit-identical calculation tables
+// after every round.
+func runUnaryDifferential(t *testing.T, rounds int, mutate func(*Config), prof *faults.Profile) {
+	t.Helper()
+	build := func(disable bool) *UnarySystem {
+		cfg := DefaultConfig(16)
+		cfg.MonitorEntries = 8
+		cfg.MaxMonitorEntries = 32
+		cfg.CalcEntries = 64
+		cfg.DisableIncremental = disable
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		if prof != nil {
+			inj := faults.MustNew(*prof)
+			cfg.WrapDriver = inj.Wrap
+		}
+		sys, err := NewUnary(cfg, arith.OpSquare)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	inc, full := build(false), build(true)
+	if inc.Engine().Table().Fingerprint() != full.Engine().Table().Fingerprint() {
+		t.Fatal("initial populations differ")
+	}
+	rng := rand.New(rand.NewSource(1234))
+	var degraded, recovered int
+	var incComputed, fullComputed int
+	prevDegraded := false
+	for round := 0; round < rounds; round++ {
+		vals := drawRound(rng, round, 400)
+		inc.ObserveAll(vals)
+		full.ObserveAll(vals)
+		ri, err := inc.Sync()
+		if err != nil {
+			t.Fatalf("round %d: incremental Sync: %v", round, err)
+		}
+		rf, err := full.Sync()
+		if err != nil {
+			t.Fatalf("round %d: full Sync: %v", round, err)
+		}
+		if ri.Degraded != rf.Degraded {
+			t.Fatalf("round %d: degraded flags diverge: incremental=%v full=%v (%s vs %s)",
+				round, ri.Degraded, rf.Degraded, ri.DegradedReason, rf.DegradedReason)
+		}
+		if ri.Degraded {
+			degraded++
+		} else if prevDegraded {
+			recovered++
+		}
+		prevDegraded = ri.Degraded
+		incComputed += ri.Computed
+		fullComputed += rf.Computed
+		gi := inc.Engine().Table().Fingerprint()
+		gf := full.Engine().Table().Fingerprint()
+		if gi != gf {
+			t.Fatalf("round %d: calculation tables diverge (degraded=%v)", round, ri.Degraded)
+		}
+	}
+	if incComputed > fullComputed {
+		t.Errorf("incremental computed %d entries, full %d: memo never reused",
+			incComputed, fullComputed)
+	}
+	if prof != nil {
+		if degraded == 0 {
+			t.Error("chaos run produced no degraded rounds; fault schedule inert")
+		}
+		if recovered == 0 {
+			t.Error("chaos run never recovered from a degraded round")
+		}
+	}
+	t.Logf("rounds=%d degraded=%d recovered=%d computed incremental=%d full=%d",
+		rounds, degraded, recovered, incComputed, fullComputed)
+}
+
+// TestIncrementalRoundDifferential is the ISSUE 3 acceptance differential:
+// the incremental control round must be observationally identical to full
+// repopulation at every churn level, across ≥1k randomized rounds.
+func TestIncrementalRoundDifferential(t *testing.T) {
+	rounds := 1000
+	if testing.Short() {
+		rounds = 150
+	}
+	runUnaryDifferential(t, rounds, nil, nil)
+}
+
+// TestIncrementalRoundDifferentialChaos layers an injected fault schedule on
+// both systems (same seed, same call sequence → identical schedules) so the
+// differential crosses degraded rounds, recovery resyncs, and rolled-back
+// populates.
+func TestIncrementalRoundDifferentialChaos(t *testing.T) {
+	rounds := 1000
+	if testing.Short() {
+		rounds = 150
+	}
+	prof := faults.Profile{
+		Seed:             5,
+		WriteFailure:     0.10,
+		SnapshotDrop:     0.02,
+		SnapshotStale:    0.05,
+		OutageProb:       0.02,
+		OutageOps:        4,
+		CapacityPressure: 0.03,
+	}
+	runUnaryDifferential(t, rounds, nil, &prof)
+}
+
+// TestIncrementalRoundDifferentialEWMA repeats the differential under the
+// exponential hit-decay ablation, whose DecayHits call dirties every non-zero
+// leaf each round.
+func TestIncrementalRoundDifferentialEWMA(t *testing.T) {
+	rounds := 400
+	if testing.Short() {
+		rounds = 100
+	}
+	runUnaryDifferential(t, rounds, func(c *Config) { c.EWMADecay = true }, nil)
+}
+
+// TestIncrementalBinaryDifferential runs the same equivalence proof for the
+// joint two-operand population, whose memo must survive the post-commit
+// populate ordering (the tries commit before the joint build runs).
+func TestIncrementalBinaryDifferential(t *testing.T) {
+	rounds := 300
+	if testing.Short() {
+		rounds = 60
+	}
+	build := func(disable bool) *BinarySystem {
+		cfg := DefaultConfig(16)
+		cfg.MonitorEntries = 6
+		cfg.MaxMonitorEntries = 24
+		cfg.CalcEntries = 80
+		cfg.DisableIncremental = disable
+		sys, err := NewBinary(cfg, arith.OpMul)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	inc, full := build(false), build(true)
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < rounds; round++ {
+		xs := drawRound(rng, round, 250)
+		ys := drawRound(rng, round+7, 250)
+		inc.ObserveAll(xs, ys)
+		full.ObserveAll(xs, ys)
+		if _, err := inc.Sync(); err != nil {
+			t.Fatalf("round %d: incremental Sync: %v", round, err)
+		}
+		if _, err := full.Sync(); err != nil {
+			t.Fatalf("round %d: full Sync: %v", round, err)
+		}
+		if inc.Engine().Table().Fingerprint() != full.Engine().Table().Fingerprint() {
+			t.Fatalf("round %d: joint calculation tables diverge", round)
+		}
+	}
+}

@@ -323,6 +323,7 @@ type Driver struct {
 
 var _ controlplane.Driver = (*Driver)(nil)
 var _ controlplane.LatencyReporter = (*Driver)(nil)
+var _ controlplane.DeltaPopulator = (*Driver)(nil)
 
 // Unwrap exposes the wrapped driver (controlplane uses this to find the
 // in-process monitor behind the fault layer).
@@ -418,6 +419,30 @@ func (d *Driver) PopulateCalc(tr *trie.Trie, budget int) (int, int, error) {
 		return 0, 0, ErrPressure
 	}
 	return d.inner.PopulateCalc(tr, budget)
+}
+
+// PopulateCalcDelta implements controlplane.DeltaPopulator with the same
+// fault rolls as PopulateCalc — an injected failure fires before the inner
+// driver either way, so the delta path degrades exactly like the full one.
+// When the wrapped driver has no incremental path, the fall back is the full
+// PopulateCalc with zero reuse.
+func (d *Driver) PopulateCalcDelta(tr *trie.Trie, budget int) (int, int, int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.in.opStart(d); err != nil {
+		return 0, 0, 0, err
+	}
+	if d.in.roll(d.in.prof.WriteFailure, &d.in.stats.WriteFailures) {
+		return 0, 0, 0, fmt.Errorf("%w: calc populate", ErrInjected)
+	}
+	if d.in.roll(d.in.prof.CapacityPressure, &d.in.stats.PressureFailures) {
+		return 0, 0, 0, ErrPressure
+	}
+	if dp, ok := d.inner.(controlplane.DeltaPopulator); ok {
+		return dp.PopulateCalcDelta(tr, budget)
+	}
+	writes, computed, err := d.inner.PopulateCalc(tr, budget)
+	return writes, computed, 0, err
 }
 
 // ParseProfile parses a compact comma-separated key=value fault spec, e.g.

@@ -227,14 +227,21 @@ func (m *Monitor) ObserveAll(vs []uint64) {
 // Snapshot returns the per-bin hit counts in bin (value) order and charges
 // one register read per bin.
 func (m *Monitor) Snapshot() []uint64 {
+	return m.SnapshotInto(nil)
+}
+
+// SnapshotInto is Snapshot writing into dst when it has the capacity,
+// allocating only when it does not. The control plane reuses one scratch
+// buffer across rounds instead of allocating a fresh slice per snapshot.
+func (m *Monitor) SnapshotInto(dst []uint64) []uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([]uint64, len(m.regs))
+	dst = sizeFor(dst, len(m.regs))
 	for i := range m.regs {
-		out[i] = atomic.LoadUint64(&m.regs[i])
+		dst[i] = atomic.LoadUint64(&m.regs[i])
 	}
 	m.stats.registerReads.Add(uint64(len(m.regs)))
-	return out
+	return dst
 }
 
 // SnapshotAndReset reads and zeroes the registers in one critical section —
@@ -242,15 +249,30 @@ func (m *Monitor) Snapshot() []uint64 {
 // sample landing between a separate read and reset is lost. It charges one
 // register read and one register write per bin.
 func (m *Monitor) SnapshotAndReset() []uint64 {
+	return m.SnapshotAndResetInto(nil)
+}
+
+// SnapshotAndResetInto is SnapshotAndReset writing into dst when it has the
+// capacity, allocating only when it does not.
+func (m *Monitor) SnapshotAndResetInto(dst []uint64) []uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([]uint64, len(m.regs))
+	dst = sizeFor(dst, len(m.regs))
 	for i := range m.regs {
-		out[i] = atomic.SwapUint64(&m.regs[i], 0)
+		dst[i] = atomic.SwapUint64(&m.regs[i], 0)
 	}
 	m.stats.registerReads.Add(uint64(len(m.regs)))
 	m.stats.registerWrites.Add(uint64(len(m.regs)))
-	return out
+	return dst
+}
+
+// sizeFor returns dst resized to n elements, reusing its backing array when
+// the capacity allows.
+func sizeFor(dst []uint64, n int) []uint64 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]uint64, n)
 }
 
 // Reset zeroes the registers and charges one register write per bin.

@@ -16,6 +16,7 @@
 package population
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -305,6 +306,14 @@ func ADAAllocate(t *trie.Trie, budget int) ([]bitstr.Prefix, error) {
 	if budget < 1 {
 		return nil, fmt.Errorf("%w: got %d", ErrBudget, budget)
 	}
+	return adaAllocate(t, budget, massWithin)
+}
+
+// adaAllocate is the Algorithm 3 core with a pluggable mass oracle. The
+// incremental mode (AllocCache) substitutes a memoizing oracle; the oracle
+// must return exactly what massWithin would, bit for bit, so both modes
+// produce identical allocations.
+func adaAllocate(t *trie.Trie, budget int, mass func([]trie.Bin, bitstr.Prefix) float64) ([]bitstr.Prefix, error) {
 	width := t.Width()
 	root, err := bitstr.Root(width)
 	if err != nil {
@@ -366,67 +375,96 @@ func ADAAllocate(t *trie.Trie, budget int) ([]bitstr.Prefix, error) {
 	}
 	refineBudget := budget - len(backstop)
 
-	// 2. Greedy mass-proportional refinement within the range.
-	type region struct {
-		p    bitstr.Prefix
-		mass float64
-	}
-	regions := make([]region, len(cover))
-	for i, p := range cover {
-		regions[i] = region{p: p, mass: massWithin(leaves, p)}
-	}
-	for len(regions) < refineBudget {
-		best := -1
-		for i, r := range regions {
-			if r.p.WildBits() == 0 {
-				continue
-			}
-			if best < 0 {
-				best = i
-				continue
-			}
-			b := regions[best]
-			switch {
-			case r.mass > b.mass:
-				best = i
-			case r.mass == b.mass && r.p.WildBits() > b.p.WildBits():
-				best = i
-			case r.mass == b.mass && r.p.WildBits() == b.p.WildBits() && r.p.Lo() < b.p.Lo():
-				best = i
-			}
+	// 2. Greedy mass-proportional refinement within the range. Splittable
+	// regions live in a max-heap ordered by (mass, wild bits, low bound) —
+	// a strict total order, so the heap pops regions in exactly the
+	// sequence the original linear max-scan selected them, at
+	// O(budget·log budget) instead of O(budget²). Fully specified regions
+	// can never be split again and are parked in done.
+	var done []bitstr.Prefix
+	h := regionHeap{rs: make([]region, 0, len(cover))}
+	push := func(p bitstr.Prefix) {
+		if p.WildBits() == 0 {
+			done = append(done, p)
+			return
 		}
-		if best < 0 {
-			break // range fully specified
-		}
-		lp, err := regions[best].p.Left()
+		heap.Push(&h, region{p: p, mass: mass(leaves, p)})
+	}
+	for _, p := range cover {
+		push(p)
+	}
+	for len(done)+h.Len() < refineBudget && h.Len() > 0 {
+		best := heap.Pop(&h).(region)
+		lp, err := best.p.Left()
 		if err != nil {
 			return nil, err
 		}
-		rp, err := regions[best].p.Right()
+		rp, err := best.p.Right()
 		if err != nil {
 			return nil, err
 		}
-		regions[best] = region{p: lp, mass: massWithin(leaves, lp)}
-		regions = append(regions, region{p: rp, mass: massWithin(leaves, rp)})
+		push(lp)
+		push(rp)
 	}
 
 	// 3. Combine the backstop and the refined range.
-	out := make([]bitstr.Prefix, 0, len(backstop)+len(regions))
-	seen := make(map[bitstr.Prefix]bool, len(backstop)+len(regions))
-	for _, p := range backstop {
+	out := make([]bitstr.Prefix, 0, len(backstop)+len(done)+h.Len())
+	seen := make(map[bitstr.Prefix]bool, cap(out))
+	add := func(p bitstr.Prefix) {
 		if !seen[p] {
 			seen[p] = true
 			out = append(out, p)
 		}
 	}
-	for _, r := range regions {
-		if !seen[r.p] {
-			seen[r.p] = true
-			out = append(out, r.p)
-		}
+	for _, p := range backstop {
+		add(p)
+	}
+	for _, p := range done {
+		add(p)
+	}
+	for _, r := range h.rs {
+		add(r.p)
 	}
 	bitstr.SortPrefixes(out)
 	return out, nil
+}
+
+// region is one candidate prefix in Algorithm 3's refinement loop.
+type region struct {
+	p    bitstr.Prefix
+	mass float64
+}
+
+// regionHeap is a max-heap over (mass, wild bits, low bound) — the exact
+// selection order of Algorithm 3's refinement: hottest first, coarser first
+// on mass ties, lower range first as the final tiebreak. The order is total
+// (low bounds are unique within a partition), so heap extraction is
+// deterministic and matches a linear max-scan step for step.
+type regionHeap struct{ rs []region }
+
+func (h *regionHeap) Len() int { return len(h.rs) }
+
+func (h *regionHeap) Less(i, j int) bool {
+	a, b := h.rs[i], h.rs[j]
+	switch {
+	case a.mass != b.mass:
+		return a.mass > b.mass
+	case a.p.WildBits() != b.p.WildBits():
+		return a.p.WildBits() > b.p.WildBits()
+	default:
+		return a.p.Lo() < b.p.Lo()
+	}
+}
+
+func (h *regionHeap) Swap(i, j int) { h.rs[i], h.rs[j] = h.rs[j], h.rs[i] }
+
+func (h *regionHeap) Push(x any) { h.rs = append(h.rs, x.(region)) }
+
+func (h *regionHeap) Pop() any {
+	last := len(h.rs) - 1
+	r := h.rs[last]
+	h.rs = h.rs[:last]
+	return r
 }
 
 // massWithin returns the hit mass inside prefix p, spreading each leaf's
@@ -478,6 +516,13 @@ func ADABinary(tx, ty *trie.Trie, f BinaryFunc, budget int, rep Representative) 
 	if budget < 1 {
 		return nil, fmt.Errorf("%w: got %d", ErrBudget, budget)
 	}
+	mx, my := binarySideBudgets(tx, ty, budget)
+	return adaBinarySides(tx, ty, f, mx, my, rep)
+}
+
+// binarySideBudgets factors the joint budget into per-dimension budgets
+// proportional to each operand's effective spread.
+func binarySideBudgets(tx, ty *trie.Trie, budget int) (mx, my int) {
 	sx, sy := EffectiveSupport(tx), EffectiveSupport(ty)
 	ratio := sx / sy
 	if ratio < 1.0/16 {
@@ -486,14 +531,14 @@ func ADABinary(tx, ty *trie.Trie, f BinaryFunc, budget int, rep Representative) 
 	if ratio > 16 {
 		ratio = 16
 	}
-	mx := int(math.Floor(math.Sqrt(float64(budget) * ratio)))
+	mx = int(math.Floor(math.Sqrt(float64(budget) * ratio)))
 	if mx < 1 {
 		mx = 1
 	}
 	if mx > budget {
 		mx = budget
 	}
-	my := budget / mx
+	my = budget / mx
 	if my < 1 {
 		my = 1
 		mx = budget
@@ -513,7 +558,7 @@ func ADABinary(tx, ty *trie.Trie, f BinaryFunc, budget int, rep Representative) 
 			my = budget / mx
 		}
 	}
-	return adaBinarySides(tx, ty, f, mx, my, rep)
+	return mx, my
 }
 
 // ADABinaryFixedSplit is the ablation of ADABinary's spread-proportional

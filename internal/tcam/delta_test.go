@@ -1,0 +1,232 @@
+package tcam
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func row(v, m uint64, prio int, data any) Row {
+	return Row{Fields: []Field{{Value: v, Mask: m}}, Priority: prio, Data: data}
+}
+
+// applyRef mirrors a delta onto a reference table via full reconciliation.
+func refRows(base []Row, upserts, deletes []Row) []Row {
+	type slot struct{ r Row }
+	keyOf := func(r Row) string { return matchKey(r.Fields, r.Priority) }
+	out := make([]Row, 0, len(base)+len(upserts))
+	removed := make(map[string]int)
+	for _, d := range deletes {
+		removed[keyOf(d)]++
+	}
+	upserted := make(map[string]Row, len(upserts))
+	for _, u := range upserts {
+		upserted[keyOf(u)] = u
+	}
+	for _, b := range base {
+		k := keyOf(b)
+		if removed[k] > 0 {
+			removed[k]--
+			continue
+		}
+		if u, ok := upserted[k]; ok {
+			b.Data = u.Data
+			delete(upserted, k)
+		}
+		out = append(out, slot{b}.r)
+	}
+	for _, u := range upserts {
+		k := keyOf(u)
+		if _, pending := upserted[k]; pending {
+			out = append(out, u)
+			delete(upserted, k)
+		}
+	}
+	return out
+}
+
+func TestApplyDeltaMatchesFullReconcile(t *testing.T) {
+	base := []Row{
+		row(0x00, 0xC0, 0, uint64(1)),
+		row(0x40, 0xC0, 0, uint64(2)),
+		row(0x80, 0xC0, 0, uint64(3)),
+		row(0xC0, 0xC0, 0, uint64(4)),
+	}
+	upserts := []Row{
+		row(0x40, 0xC0, 0, uint64(20)), // data rewrite
+		row(0x80, 0xC0, 0, uint64(3)),  // identical: no write
+		row(0xE0, 0xE0, 0, uint64(5)),  // fresh insert
+	}
+	deletes := []Row{row(0xC0, 0xC0, 0, uint64(4))}
+
+	inc := MustNew("inc", 0, 8)
+	if _, err := inc.ApplyRowsAtomic(base); err != nil {
+		t.Fatal(err)
+	}
+	writes, err := inc.ApplyDelta(upserts, deletes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 delete + 1 update + 1 insert.
+	if writes != 3 {
+		t.Fatalf("ApplyDelta writes = %d, want 3", writes)
+	}
+
+	full := MustNew("full", 0, 8)
+	if _, err := full.ApplyRowsAtomic(refRows(base, upserts, deletes)); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Fingerprint() != full.Fingerprint() {
+		t.Fatalf("delta end state diverges:\n inc: %q\nfull: %q", inc.Fingerprint(), full.Fingerprint())
+	}
+}
+
+func TestApplyDeltaConflictRollsBack(t *testing.T) {
+	tab := MustNew("t", 0, 8)
+	if _, err := tab.ApplyRowsAtomic([]Row{row(0x00, 0x80, 0, uint64(1))}); err != nil {
+		t.Fatal(err)
+	}
+	fp := tab.Fingerprint()
+	gen := tab.Generation()
+	st := tab.Stats()
+	_, err := tab.ApplyDelta(
+		[]Row{row(0x80, 0x80, 0, uint64(9))},
+		[]Row{row(0x40, 0xC0, 0, nil)}, // not installed
+	)
+	if !errors.Is(err, ErrDeltaConflict) {
+		t.Fatalf("err = %v, want ErrDeltaConflict", err)
+	}
+	if tab.Fingerprint() != fp {
+		t.Fatal("failed delta mutated the table")
+	}
+	if tab.Generation() != gen {
+		t.Fatal("failed delta advanced the generation")
+	}
+	if got := tab.Stats(); got.Inserts != st.Inserts || got.Deletes != st.Deletes || got.Updates != st.Updates {
+		t.Fatalf("failed delta left counters mutated: %+v vs %+v", got, st)
+	}
+}
+
+func TestApplyDeltaHookFailureRollsBackExactly(t *testing.T) {
+	tab := MustNew("t", 0, 8)
+	base := []Row{
+		row(0x00, 0xC0, 0, uint64(1)),
+		row(0x40, 0xC0, 0, uint64(2)),
+		row(0x80, 0xC0, 0, uint64(3)),
+	}
+	if _, err := tab.ApplyRowsAtomic(base); err != nil {
+		t.Fatal(err)
+	}
+	fp := tab.Fingerprint()
+	boom := errors.New("row write fault")
+	n := 0
+	tab.SetWriteHook(func(WriteOp) error {
+		n++
+		if n == 3 { // fail mid-delta, after a delete and an update landed
+			return boom
+		}
+		return nil
+	})
+	_, err := tab.ApplyDelta(
+		[]Row{row(0x40, 0xC0, 0, uint64(20)), row(0xC0, 0xC0, 0, uint64(4))},
+		[]Row{row(0x00, 0xC0, 0, uint64(1))},
+	)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	tab.SetWriteHook(nil)
+	if tab.Fingerprint() != fp {
+		t.Fatalf("mid-delta fault not fully rolled back:\n got: %q\nwant: %q", tab.Fingerprint(), fp)
+	}
+	// The table must remain fully usable after rollback.
+	if _, err := tab.ApplyDelta([]Row{row(0xC0, 0xC0, 0, uint64(4))}, nil); err != nil {
+		t.Fatalf("delta after rollback: %v", err)
+	}
+	if got := tab.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+}
+
+func TestApplyDeltaCapacityRollsBack(t *testing.T) {
+	tab := MustNew("t", 2, 8)
+	if _, err := tab.ApplyRowsAtomic([]Row{row(0x00, 0x80, 0, uint64(1)), row(0x80, 0x80, 0, uint64(2))}); err != nil {
+		t.Fatal(err)
+	}
+	fp := tab.Fingerprint()
+	_, err := tab.ApplyDelta([]Row{row(0xC0, 0xC0, 0, uint64(3))}, nil)
+	if !errors.Is(err, ErrCapacity) {
+		t.Fatalf("err = %v, want ErrCapacity", err)
+	}
+	if tab.Fingerprint() != fp {
+		t.Fatal("capacity overflow not rolled back")
+	}
+	// Delete + insert within the same delta must fit.
+	if _, err := tab.ApplyDelta(
+		[]Row{row(0xC0, 0xC0, 0, uint64(3))},
+		[]Row{row(0x00, 0x80, 0, uint64(1))},
+	); err != nil {
+		t.Fatalf("freeing delta: %v", err)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+}
+
+// TestApplyDeltaRandomizedDifferential drives random deltas against the
+// incremental table and a full-reconcile reference, asserting fingerprint
+// equality after every step.
+func TestApplyDeltaRandomizedDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inc := MustNew("inc", 0, 8)
+	full := MustNew("full", 0, 8)
+	installed := make([]Row, 0) // shadow copy in install order
+
+	keyOf := func(r Row) string { return matchKey(r.Fields, r.Priority) }
+	for step := 0; step < 400; step++ {
+		have := make(map[string]int, len(installed))
+		for _, r := range installed {
+			have[keyOf(r)]++
+		}
+		var upserts, deletes []Row
+		next := make([]Row, 0, len(installed)+4)
+		// Randomly delete ~1/4 of installed rows.
+		for _, r := range installed {
+			if rng.Intn(4) == 0 {
+				deletes = append(deletes, r)
+				have[keyOf(r)]--
+				continue
+			}
+			next = append(next, r)
+		}
+		// Randomly rewrite or insert a few rows.
+		for i := 0; i < rng.Intn(4); i++ {
+			bits := uint(rng.Intn(4) + 2)
+			mask := uint64((1<<bits)-1) << (8 - bits)
+			val := uint64(rng.Intn(256)) & mask
+			r := row(val, mask, 0, uint64(rng.Intn(100)))
+			if have[keyOf(r)] > 0 {
+				// Rewrite of an installed key.
+				for j := range next {
+					if keyOf(next[j]) == keyOf(r) {
+						next[j] = r
+						break
+					}
+				}
+			} else {
+				have[keyOf(r)]++
+				next = append(next, r)
+			}
+			upserts = append(upserts, r)
+		}
+		if _, err := inc.ApplyDelta(upserts, deletes); err != nil {
+			t.Fatalf("step %d: ApplyDelta: %v", step, err)
+		}
+		if _, err := full.ApplyRowsAtomic(next); err != nil {
+			t.Fatalf("step %d: ApplyRowsAtomic: %v", step, err)
+		}
+		if inc.Fingerprint() != full.Fingerprint() {
+			t.Fatalf("step %d: fingerprints diverged", step)
+		}
+		installed = next
+	}
+}

@@ -37,6 +37,11 @@ var (
 	ErrNotFound = errors.New("tcam: entry not found")
 	// ErrFieldWidth reports a field value or mask outside its declared width.
 	ErrFieldWidth = errors.New("tcam: field exceeds declared width")
+	// ErrDeltaConflict reports an ApplyDelta whose view of the installed
+	// population diverged from the table (e.g. a delete of a row that is not
+	// installed). The caller's shadow copy is stale; it must fall back to a
+	// full reconciliation.
+	ErrDeltaConflict = errors.New("tcam: delta conflicts with installed entries")
 )
 
 // WriteOp identifies one physical row operation presented to a write hook.
@@ -103,12 +108,18 @@ type Entry struct {
 	// register index).
 	Data any
 
-	sig int // cached total significant bits
-	seq int // insertion sequence for deterministic final tie-break
+	sig int    // cached total significant bits
+	seq int    // insertion sequence for deterministic final tie-break
+	key string // match key serialised once at insert; Fields/Priority are immutable
 }
 
 // SigBits returns the total number of significant bits across all fields.
 func (e *Entry) SigBits() int { return e.sig }
+
+// MatchKey returns the entry's serialised match key (fields plus priority),
+// computed once at insert time. Reconciliation and fingerprinting reuse it
+// instead of re-serialising every installed entry per round.
+func (e *Entry) MatchKey() string { return e.key }
 
 // Stats counts table operations since creation (or the last ResetStats).
 type Stats struct {
@@ -283,14 +294,23 @@ func (t *Table) SetWriteHook(h WriteHook) {
 }
 
 // Generation returns the bulk-commit generation: it advances by one each
-// time ReplaceAll, ApplyRows, or ApplyRowsAtomic completes successfully, and
-// never on a failed or rolled-back commit. Invariant checks use it to assert
-// a table is either fully old-generation or fully new-generation.
+// time ReplaceAll, ApplyRows, ApplyRowsAtomic, or ApplyDelta completes
+// successfully, and never on a failed or rolled-back commit. Invariant checks
+// use it to assert a table is either fully old-generation or fully
+// new-generation.
 func (t *Table) Generation() uint64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.generation
 }
+
+// Version returns the content mutation counter. Unlike Generation it advances
+// on every mutation — single-row operations and rollbacks included — so a
+// caller holding a shadow copy of the installed population can use an
+// unchanged Version as proof that no one else touched the table. The counter
+// is conservative: a rolled-back commit bumps it even though the content is
+// unchanged, which at worst forces one unnecessary full reconciliation.
+func (t *Table) Version() uint64 { return t.version.Load() }
 
 // Fingerprint digests the installed rows (match key, priority, action data)
 // independent of entry IDs and install order: two tables holding the same
@@ -301,7 +321,7 @@ func (t *Table) Fingerprint() string {
 	defer t.mu.RUnlock()
 	keys := make([]string, 0, len(t.ordered))
 	for _, e := range t.ordered {
-		keys = append(keys, matchKey(e.Fields, e.Priority)+"="+fmt.Sprint(e.Data))
+		keys = append(keys, e.key+"="+fmt.Sprint(e.Data))
 	}
 	sort.Strings(keys)
 	return strings.Join(keys, "\n")
@@ -352,6 +372,17 @@ func (t *Table) Insert(fields []Field, priority int, data any) (int, error) {
 	if err := t.writeLocked(WriteInsert); err != nil {
 		return 0, err
 	}
+	e := t.newEntryLocked(fields, priority, data)
+	t.entries[e.ID] = e
+	t.insertOrdered(e)
+	t.stats.inserts.Add(1)
+	t.dirtyLocked()
+	return e.ID, nil
+}
+
+// newEntryLocked allocates an entry with a fresh ID/seq and the cached sig
+// bits and match key; t.mu must be held. The fields slice is copied.
+func (t *Table) newEntryLocked(fields []Field, priority int, data any) *Entry {
 	fs := make([]Field, len(fields))
 	copy(fs, fields)
 	sig := 0
@@ -360,12 +391,20 @@ func (t *Table) Insert(fields []Field, priority int, data any) (int, error) {
 	}
 	t.nextID++
 	t.nextSeq++
-	e := &Entry{ID: t.nextID, Fields: fs, Priority: priority, Data: data, sig: sig, seq: t.nextSeq}
-	t.entries[e.ID] = e
-	t.insertOrdered(e)
-	t.stats.inserts.Add(1)
-	t.dirtyLocked()
-	return e.ID, nil
+	return &Entry{
+		ID: t.nextID, Fields: fs, Priority: priority, Data: data,
+		sig: sig, seq: t.nextSeq, key: matchKey(fs, priority),
+	}
+}
+
+// removeOrderedLocked drops e from the resolution order; t.mu must be held.
+func (t *Table) removeOrderedLocked(e *Entry) {
+	for i, o := range t.ordered {
+		if o == e {
+			t.ordered = append(t.ordered[:i], t.ordered[i+1:]...)
+			return
+		}
+	}
 }
 
 // InsertPrefix installs a single-field entry matching the given prefix.
@@ -404,12 +443,7 @@ func (t *Table) Delete(id int) error {
 		return err
 	}
 	delete(t.entries, id)
-	for i, o := range t.ordered {
-		if o == e {
-			t.ordered = append(t.ordered[:i], t.ordered[i+1:]...)
-			break
-		}
-	}
+	t.removeOrderedLocked(e)
 	t.stats.deletes.Add(1)
 	t.dirtyLocked()
 	return nil
@@ -596,15 +630,7 @@ func (t *Table) ReplaceAll(rows []Row) (writes int, err error) {
 	t.entries = make(map[int]*Entry, len(rows))
 	t.ordered = t.ordered[:0]
 	for _, r := range rows {
-		fs := make([]Field, len(r.Fields))
-		copy(fs, r.Fields)
-		sig := 0
-		for _, f := range fs {
-			sig += f.SigBits()
-		}
-		t.nextID++
-		t.nextSeq++
-		e := &Entry{ID: t.nextID, Fields: fs, Priority: r.Priority, Data: r.Data, sig: sig, seq: t.nextSeq}
+		e := t.newEntryLocked(r.Fields, r.Priority, r.Data)
 		t.entries[e.ID] = e
 		t.insertOrdered(e)
 		t.stats.inserts.Add(1)
@@ -680,11 +706,11 @@ func (t *Table) applyRowsLocked(rows []Row) (writes int, err error) {
 		return 0, fmt.Errorf("%w: %d rows into table %q of capacity %d",
 			ErrCapacity, len(rows), t.name, t.capacity)
 	}
-	// Index current entries by match key.
+	// Index current entries by their cached match key (serialised once at
+	// insert, not per reconcile).
 	current := make(map[string][]*Entry, len(t.entries))
 	for _, e := range t.ordered {
-		k := matchKey(e.Fields, e.Priority)
-		current[k] = append(current[k], e)
+		current[e.key] = append(current[e.key], e)
 	}
 	var toInsert []Row
 	for _, r := range rows {
@@ -712,12 +738,7 @@ func (t *Table) applyRowsLocked(rows []Row) (writes int, err error) {
 				return writes, err
 			}
 			delete(t.entries, e.ID)
-			for i, o := range t.ordered {
-				if o == e {
-					t.ordered = append(t.ordered[:i], t.ordered[i+1:]...)
-					break
-				}
-			}
+			t.removeOrderedLocked(e)
 			t.stats.deletes.Add(1)
 			writes++
 		}
@@ -727,20 +748,138 @@ func (t *Table) applyRowsLocked(rows []Row) (writes int, err error) {
 		if err := t.writeLocked(WriteInsert); err != nil {
 			return writes, err
 		}
-		fs := make([]Field, len(r.Fields))
-		copy(fs, r.Fields)
-		sig := 0
-		for _, f := range fs {
-			sig += f.SigBits()
-		}
-		t.nextID++
-		t.nextSeq++
-		e := &Entry{ID: t.nextID, Fields: fs, Priority: r.Priority, Data: r.Data, sig: sig, seq: t.nextSeq}
+		e := t.newEntryLocked(r.Fields, r.Priority, r.Data)
 		t.entries[e.ID] = e
 		t.insertOrdered(e)
 		t.stats.inserts.Add(1)
 		writes++
 	}
+	return writes, nil
+}
+
+// ApplyDelta applies an incremental reconciliation: deletes removes installed
+// rows by match key, upserts installs new rows or rewrites the action data of
+// rows already installed under the same key. Unlike ApplyRows* it never
+// visits unchanged entries, so a converged round costs O(delta), not
+// O(table).
+//
+// The operation is transactional: on any failure — a write-hook error, a
+// capacity overflow, or a delete whose key is not installed (ErrDeltaConflict,
+// meaning the caller's shadow copy is stale and a full reconciliation is
+// required) — every applied row is rolled back and the table is left exactly
+// as before the call. Duplicate keys in deletes consume one installed entry
+// each. On success the end state is identical to the equivalent full
+// ApplyRowsAtomic, generation advances, and writes counts physical row
+// operations (deletes + inserts + data rewrites; an upsert whose data is
+// already installed costs nothing).
+func (t *Table) ApplyDelta(upserts, deletes []Row) (writes int, err error) {
+	for _, r := range upserts {
+		if err := t.validateFields(r.Fields); err != nil {
+			return 0, err
+		}
+	}
+	for _, r := range deletes {
+		if err := t.validateFields(r.Fields); err != nil {
+			return 0, err
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	// Undo log: each applied physical op records how to reverse itself.
+	// Rollback replays it in reverse; re-inserting the original *Entry
+	// restores the exact resolution order because its seq is preserved.
+	type undoOp struct {
+		op      WriteOp
+		e       *Entry
+		oldData any
+	}
+	var undo []undoOp
+	savedID, savedSeq := t.nextID, t.nextSeq
+	savedIns := t.stats.inserts.Load()
+	savedDel := t.stats.deletes.Load()
+	savedUpd := t.stats.updates.Load()
+	rollback := func() {
+		for i := len(undo) - 1; i >= 0; i-- {
+			u := undo[i]
+			switch u.op {
+			case WriteDelete:
+				t.entries[u.e.ID] = u.e
+				t.insertOrdered(u.e)
+			case WriteUpdate:
+				u.e.Data = u.oldData
+			case WriteInsert:
+				delete(t.entries, u.e.ID)
+				t.removeOrderedLocked(u.e)
+			}
+		}
+		t.nextID, t.nextSeq = savedID, savedSeq
+		t.stats.inserts.Store(savedIns)
+		t.stats.deletes.Store(savedDel)
+		t.stats.updates.Store(savedUpd)
+		t.dirtyLocked()
+	}
+
+	current := make(map[string][]*Entry, len(t.entries))
+	for _, e := range t.ordered {
+		current[e.key] = append(current[e.key], e)
+	}
+
+	// Deletes first, freeing capacity for the inserts.
+	for _, r := range deletes {
+		k := matchKey(r.Fields, r.Priority)
+		list := current[k]
+		if len(list) == 0 {
+			rollback()
+			return 0, fmt.Errorf("%w: delete of %q not installed in table %q", ErrDeltaConflict, k, t.name)
+		}
+		e := list[0]
+		current[k] = list[1:]
+		if err := t.writeLocked(WriteDelete); err != nil {
+			rollback()
+			return 0, err
+		}
+		delete(t.entries, e.ID)
+		t.removeOrderedLocked(e)
+		t.stats.deletes.Add(1)
+		writes++
+		undo = append(undo, undoOp{op: WriteDelete, e: e})
+	}
+	for _, r := range upserts {
+		k := matchKey(r.Fields, r.Priority)
+		if list := current[k]; len(list) > 0 {
+			e := list[0]
+			if dataEqual(e.Data, r.Data) {
+				continue
+			}
+			if err := t.writeLocked(WriteUpdate); err != nil {
+				rollback()
+				return 0, err
+			}
+			undo = append(undo, undoOp{op: WriteUpdate, e: e, oldData: e.Data})
+			e.Data = r.Data
+			t.stats.updates.Add(1)
+			writes++
+			continue
+		}
+		if t.capacity > 0 && len(t.entries) >= t.capacity {
+			rollback()
+			return 0, fmt.Errorf("%w: table %q at %d entries", ErrCapacity, t.name, t.capacity)
+		}
+		if err := t.writeLocked(WriteInsert); err != nil {
+			rollback()
+			return 0, err
+		}
+		e := t.newEntryLocked(r.Fields, r.Priority, r.Data)
+		t.entries[e.ID] = e
+		t.insertOrdered(e)
+		t.stats.inserts.Add(1)
+		writes++
+		undo = append(undo, undoOp{op: WriteInsert, e: e})
+		current[k] = append(current[k], e)
+	}
+	t.generation++
+	t.dirtyLocked()
 	return writes, nil
 }
 
