@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short vet bench bench-lookup bench-round chaos experiments examples cover clean
+.PHONY: all build test test-short vet bench bench-lookup bench-round bench-tenant bench-all chaos experiments examples cover clean
 
 all: build vet test
 
@@ -37,6 +37,15 @@ bench-round:
 	$(GO) test -bench 'Round' -benchmem -run '^$$' ./internal/experiments
 	$(GO) run ./cmd/adabench -round-out BENCH_round.json roundbench
 
+# Multi-tenant arbitration: elastic vs static split on one shared table,
+# plus the committed BENCH_tenant.json baseline.
+bench-tenant:
+	$(GO) test -run TenantBench -v ./internal/experiments
+	$(GO) run ./cmd/adabench -tenant-out BENCH_tenant.json tenant
+
+# All committed benchmark baselines in one go.
+bench-all: bench-lookup bench-round bench-tenant
+
 # Regenerate every evaluation table/figure as text.
 experiments:
 	$(GO) run ./cmd/adabench all
@@ -46,6 +55,7 @@ examples:
 	$(GO) run ./examples/ratelimiter
 	$(GO) run ./examples/rcp
 	$(GO) run ./examples/heavyhitter
+	$(GO) run ./examples/multitenant
 
 cover:
 	$(GO) test -cover ./...

@@ -2,11 +2,11 @@
 //
 // Usage:
 //
-//	adabench [-parallel N] [-lookup-out FILE] [-round-out FILE] [experiment...]
+//	adabench [-parallel N] [-lookup-out FILE] [-round-out FILE] [-tenant-out FILE] [experiment...]
 //
 // Experiments: fig1a fig1b fig1c fig5 fig6 fig7a fig7b fig7c fig8 fig9
-// fig10 lookup roundbench table2 xcp all (default: all). Each prints the
-// same rows/series the paper reports; see EXPERIMENTS.md for the
+// fig10 lookup roundbench table2 tenant xcp all (default: all). Each prints
+// the same rows/series the paper reports; see EXPERIMENTS.md for the
 // paper-vs-measured record.
 //
 // -parallel sets the replay worker count for the experiments that feed
@@ -15,7 +15,8 @@
 // independent — register increments are commutative. -lookup-out writes the
 // lookup microbenchmark rows as JSON (the committed BENCH_lookup.json
 // baseline) in addition to printing the table; -round-out does the same for
-// the control-round benchmark (BENCH_round.json).
+// the control-round benchmark (BENCH_round.json), and -tenant-out for the
+// multi-tenant sharing benchmark (BENCH_tenant.json).
 package main
 
 import (
@@ -32,6 +33,7 @@ var (
 	parallel  = flag.Int("parallel", 0, "replay workers for fig7c/fig9/lookup (0 = all cores)")
 	lookupOut = flag.String("lookup-out", "", "write lookup benchmark rows as JSON to this file")
 	roundOut  = flag.String("round-out", "", "write control-round benchmark rows as JSON to this file")
+	tenantOut = flag.String("tenant-out", "", "write multi-tenant sharing benchmark result as JSON to this file")
 )
 
 var runners = map[string]func() (string, error){
@@ -142,6 +144,18 @@ var runners = map[string]func() (string, error){
 			}
 		}
 		return experiments.RenderRoundBench(rows), nil
+	},
+	"tenant": func() (string, error) {
+		res, err := experiments.RunTenantBench(experiments.DefaultTenantBenchConfig())
+		if err != nil {
+			return "", err
+		}
+		if *tenantOut != "" {
+			if err := experiments.WriteTenantBenchJSON(*tenantOut, res); err != nil {
+				return "", err
+			}
+		}
+		return experiments.RenderTenantBench(res), nil
 	},
 	"table2": func() (string, error) {
 		rows, err := experiments.RunTable2(experiments.DefaultTable2Config())

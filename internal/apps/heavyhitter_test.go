@@ -1,0 +1,109 @@
+package apps
+
+import (
+	"testing"
+
+	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/population"
+)
+
+func TestHeavyHitterBasics(t *testing.T) {
+	if _, err := NewHeavyHitter(0, nil); err == nil {
+		t.Error("zero slots: want error")
+	}
+	h, err := NewHeavyHitter(64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One elephant, background mice.
+	for i := 0; i < 5000; i++ {
+		h.Observe(7)
+		if i%10 == 0 {
+			h.Observe(1000 + i)
+		}
+	}
+	flow, count := h.Top()
+	if flow != 7 {
+		t.Errorf("top flow = %d, want 7", flow)
+	}
+	if count < 4000 {
+		t.Errorf("top count = %d, want ≈5000", count)
+	}
+	if h.Count(7) != count {
+		t.Error("Count accessor mismatch")
+	}
+	if h.Count(424242) != 0 {
+		t.Error("untracked flow must count 0")
+	}
+}
+
+func TestHeavyHitterEmptyTop(t *testing.T) {
+	h, err := NewHeavyHitter(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow, count := h.Top(); flow != 0 || count != 0 {
+		t.Errorf("empty detector Top() = (%d, %d), want (0, 0)", flow, count)
+	}
+}
+
+func TestHeavyHitterRecirculation(t *testing.T) {
+	// A single slot forces every colliding flow through the PRECISION
+	// admission coin: recirculations must be counted, and a persistent
+	// challenger must eventually evict a weak incumbent.
+	h, err := NewHeavyHitter(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(1) // incumbent with count 1
+	for i := 0; i < 200 && h.Count(2) == 0; i++ {
+		h.Observe(2)
+	}
+	if h.Recirculations == 0 {
+		t.Error("collisions never recirculated")
+	}
+	if h.Count(2) == 0 {
+		t.Error("challenger never admitted against a count-1 incumbent")
+	}
+}
+
+func TestHeavyHitterMSEWithTCAMSquares(t *testing.T) {
+	entries, err := population.NaiveUnary(arith.OpSquare.Func(), 16, 512, population.Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := arith.NewUnaryEngine("sq", 16, 0, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactH, _ := NewHeavyHitter(32, nil)
+	tcamH, _ := NewHeavyHitter(32, sq)
+	// Skewed counters: one elephant plus uniform mice, so the deviations
+	// are large enough for the 512-entry table's granularity.
+	for i := 0; i < 3000; i++ {
+		exactH.Observe(0)
+		tcamH.Observe(0)
+	}
+	for f := 1; f < 32; f++ {
+		for i := 0; i < 100; i++ {
+			exactH.Observe(f)
+			tcamH.Observe(f)
+		}
+	}
+	e, a := exactH.MSE(), tcamH.MSE()
+	if e == 0 {
+		t.Fatal("degenerate counter distribution")
+	}
+	rel := (a - e) / e
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.5 {
+		t.Errorf("TCAM MSE %.1f deviates %.0f%% from exact %.1f", a, rel*100, e)
+	}
+	var empty HeavyHitter
+	empty.slots = make([]hhSlot, 4)
+	if empty.MSE() != 0 {
+		t.Error("empty MSE must be 0")
+	}
+}

@@ -1,0 +1,127 @@
+package apps
+
+import (
+	"testing"
+
+	"github.com/ada-repro/ada/internal/netsim"
+)
+
+func TestNimbleConfig(t *testing.T) {
+	if _, err := NewNimble(nil, 10, 1000); err == nil {
+		t.Error("nil arith: want error")
+	}
+	if _, err := NewNimble(netsim.IdealArith{}, 0, 1000); err == nil {
+		t.Error("zero rate: want error")
+	}
+	if _, err := NewNimble(netsim.IdealArith{}, 10, 0); err == nil {
+		t.Error("zero limit: want error")
+	}
+}
+
+func TestNimbleEnforcesRateIdeal(t *testing.T) {
+	// Feed packets at 10 Gbps into a 1 Gbps Nimble limit: ~90% must drop,
+	// and the passing rate must approximate 1 Gbps.
+	n, err := NewNimble(netsim.IdealArith{}, 1, 30*1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pktSize = 1500
+	gap := netsim.Time(float64(pktSize*8) / 10e9 * float64(netsim.Second)) // 10 Gbps arrivals
+	now := netsim.Time(0)
+	var passedBytes uint64
+	const nPkts = 100000
+	for i := 0; i < nPkts; i++ {
+		if n.Allow(&netsim.Packet{Size: pktSize}, now) {
+			passedBytes += pktSize
+		}
+		now += gap
+	}
+	elapsed := now.Seconds()
+	gotRate := float64(passedBytes*8) / elapsed
+	if gotRate < 0.8e9 || gotRate > 1.2e9 {
+		t.Errorf("passed rate = %.2g bps, want ≈1 Gbps", gotRate)
+	}
+	if n.Drops == 0 || n.Passed == 0 {
+		t.Errorf("drops=%d passed=%d", n.Drops, n.Passed)
+	}
+}
+
+func TestNimbleMatchesTokenBucket(t *testing.T) {
+	// Same arrival pattern through Nimble (ideal arithmetic) and a token
+	// bucket: admitted byte counts must be within 15%.
+	nim, err := NewNimble(netsim.IdealArith{}, 2, 40*1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := NewTokenBucket(2e9, 40*1500)
+	gap := netsim.Time(float64(1500*8) / 8e9 * float64(netsim.Second))
+	now := netsim.Time(0)
+	var nimBytes, tbBytes float64
+	for i := 0; i < 50000; i++ {
+		p := &netsim.Packet{Size: 1500}
+		if nim.Allow(p, now) {
+			nimBytes += 1500
+		}
+		if tb.Allow(p, now) {
+			tbBytes += 1500
+		}
+		now += gap
+	}
+	ratio := nimBytes / tbBytes
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("nimble/token-bucket admitted ratio = %.3f", ratio)
+	}
+}
+
+func TestNimbleOperandHook(t *testing.T) {
+	n, err := NewNimble(netsim.IdealArith{}, 24, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rates, dts []uint64
+	n.OnOperands = func(r, dt uint64) { rates = append(rates, r); dts = append(dts, dt) }
+	n.Allow(&netsim.Packet{Size: 100}, 0)
+	n.Allow(&netsim.Packet{Size: 100}, 120*netsim.Nanosecond)
+	n.Allow(&netsim.Packet{Size: 100}, 360*netsim.Nanosecond)
+	if len(rates) != 2 || rates[0] != 24 || dts[0] != 120 || dts[1] != 240 {
+		t.Errorf("operand trace: rates=%v dts=%v", rates, dts)
+	}
+	n.SetRateGbps(12)
+	if n.RateGbps() != 12 {
+		t.Error("SetRateGbps")
+	}
+}
+
+func TestNimbleECNMarking(t *testing.T) {
+	// Overdrive a limiter with a marking threshold: packets admitted below
+	// the threshold stay unmarked, sustained overload must mark some, and
+	// the buffer accessor must track admissions.
+	n, err := NewNimble(netsim.IdealArith{}, 1, 100*1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.ECNThresholdBytes = 20 * 1500
+	gap := netsim.Time(float64(1500*8) / 20e9 * float64(netsim.Second)) // 20 Gbps arrivals
+	now := netsim.Time(0)
+	var earlyMarked uint64
+	for i := 0; i < 5000; i++ {
+		p := &netsim.Packet{Size: 1500}
+		n.Allow(p, now)
+		if i == 5 {
+			earlyMarked = n.Marked
+			if n.VirtualBuffer() == 0 {
+				t.Error("virtual buffer empty after admissions")
+			}
+		}
+		now += gap
+	}
+	if earlyMarked != 0 {
+		t.Errorf("marked %d packets below the ECN threshold", earlyMarked)
+	}
+	if n.Marked == 0 {
+		t.Error("sustained overload never ECN-marked")
+	}
+	if n.Marked > n.Passed {
+		t.Errorf("marked %d > passed %d", n.Marked, n.Passed)
+	}
+}

@@ -98,45 +98,3 @@ func TestUniformRCPSites(t *testing.T) {
 		t.Error("uniform sites must share the implementation")
 	}
 }
-
-func TestADAXCPSitesConstruction(t *testing.T) {
-	a, err := NewADAXCPSites(64, 8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := a.Sites()
-	for _, site := range []netsim.Arithmetic{s.SmallMul, s.BigMul, s.PktDiv, s.CtlDiv} {
-		if site == nil {
-			t.Fatal("nil site")
-		}
-	}
-	if a.TotalEntries() == 0 {
-		t.Error("no initial entries")
-	}
-	// Hot-point adaptation: rtt×rtt at the typical cluster.
-	for round := 0; round < 15; round++ {
-		for i := 0; i < 200; i++ {
-			s.SmallMul.Multiply(uint64(48+i%8), uint64(48+i%8))
-		}
-		if err := a.Sync(); err != nil {
-			t.Fatal(err)
-		}
-	}
-	got := s.SmallMul.Multiply(50, 50)
-	if rel := arith.RelError(got, 2500); rel > 0.15 {
-		t.Errorf("SmallMul(50,50) = %d, rel error %.3f", got, rel)
-	}
-}
-
-func TestADAXCPSitesScheduleSync(t *testing.T) {
-	a, err := NewADAXCPSites(32, 8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sim := netsim.NewSimulator()
-	a.ScheduleSync(sim, netsim.Millisecond)
-	sim.Run(3 * netsim.Millisecond)
-	if sim.Processed < 2 {
-		t.Error("scheduled syncs did not run")
-	}
-}

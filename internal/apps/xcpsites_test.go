@@ -1,0 +1,98 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/netsim"
+)
+
+func TestADAXCPSitesConstruction(t *testing.T) {
+	a, err := NewADAXCPSites(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.Sites()
+	for _, site := range []netsim.Arithmetic{s.SmallMul, s.BigMul, s.PktDiv, s.CtlDiv} {
+		if site == nil {
+			t.Fatal("nil site")
+		}
+		if site.Name() == "" {
+			t.Error("empty site name")
+		}
+	}
+	if a.TotalEntries() == 0 {
+		t.Error("no initial entries")
+	}
+	// Hot-point adaptation: rtt×rtt at the typical cluster.
+	for round := 0; round < 15; round++ {
+		for i := 0; i < 200; i++ {
+			s.SmallMul.Multiply(uint64(48+i%8), uint64(48+i%8))
+		}
+		if err := a.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.SmallMul.Multiply(50, 50)
+	if rel := arith.RelError(got, 2500); rel > 0.15 {
+		t.Errorf("SmallMul(50,50) = %d, rel error %.3f", got, rel)
+	}
+}
+
+func TestADAXCPSitesZeroGuards(t *testing.T) {
+	a, err := NewADAXCPSites(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.Sites()
+	if s.SmallMul.Multiply(0, 7) != 0 || s.BigMul.Multiply(7, 0) != 0 {
+		t.Error("multiply zero guard")
+	}
+	if s.PktDiv.Divide(0, 9) != 0 {
+		t.Error("divide zero dividend")
+	}
+	if s.CtlDiv.Divide(9, 0) != math.MaxUint64 {
+		t.Error("divide by zero must saturate")
+	}
+}
+
+func TestADAXCPSitesDivAdaptation(t *testing.T) {
+	// The per-packet basis division sees dividends clustered near φ·2^16;
+	// after adaptation the hot quotient must be close.
+	a, err := NewADAXCPSites(256, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.Sites()
+	before := arith.RelError(s.PktDiv.Divide(4_100_000, 41), 4_100_000/41)
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 200; i++ {
+			s.PktDiv.Divide(uint64(4_000_000+i*1000), 41)
+		}
+		if err := a.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.PktDiv.Divide(4_100_000, 41)
+	after := arith.RelError(got, 4_100_000/41)
+	if after > 0.15 {
+		t.Errorf("PktDiv(4.1e6, 41) = %d, rel error %.3f", got, after)
+	}
+	if after >= before && before > 0.15 {
+		t.Errorf("adaptation did not improve the hot point: before %.3f, after %.3f", before, after)
+	}
+}
+
+func TestADAXCPSitesScheduleSync(t *testing.T) {
+	a, err := NewADAXCPSites(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := netsim.NewSimulator()
+	a.ScheduleSync(sim, netsim.Millisecond)
+	sim.Run(3 * netsim.Millisecond)
+	if sim.Processed < 2 {
+		t.Error("scheduled syncs did not run")
+	}
+}

@@ -151,20 +151,33 @@ func (op BinaryOp) String() string {
 }
 
 // UnaryEngine evaluates a single-operand operation through a calculation
-// TCAM.
+// TCAM. The backing store is either a private physical table or a tenant
+// slice of a shared one.
 type UnaryEngine struct {
-	table *tcam.Table
+	store tcam.Store
 	width int
 }
 
-// NewUnaryEngine builds an engine over a fresh table with the given capacity
-// (0 = unbounded, the paper's ideal baseline) and installs the entries.
+// NewUnaryEngine builds an engine over a fresh private table with the given
+// capacity (0 = unbounded, the paper's ideal baseline) and installs the
+// entries.
 func NewUnaryEngine(name string, width, capacity int, entries []population.UnaryEntry) (*UnaryEngine, error) {
 	t, err := tcam.New(name, capacity, width)
 	if err != nil {
 		return nil, err
 	}
-	e := &UnaryEngine{table: t, width: width}
+	return NewUnaryEngineOn(t, entries)
+}
+
+// NewUnaryEngineOn mounts an engine on an existing single-field store — a
+// private table or a tenant slice of a shared calculation TCAM — and
+// installs the entries.
+func NewUnaryEngineOn(store tcam.Store, entries []population.UnaryEntry) (*UnaryEngine, error) {
+	widths := store.FieldWidths()
+	if len(widths) != 1 {
+		return nil, fmt.Errorf("arith: unary engine needs a 1-field store, %q has %d", store.Name(), len(widths))
+	}
+	e := &UnaryEngine{store: store, width: widths[0]}
 	if _, err := e.Reload(entries); err != nil {
 		return nil, err
 	}
@@ -184,7 +197,7 @@ func (e *UnaryEngine) Reload(entries []population.UnaryEntry) (int, error) {
 	for i, en := range entries {
 		rows[i] = tcam.RowFromPrefix(en.P, en.Result)
 	}
-	return e.table.ApplyRowsAtomic(rows)
+	return e.store.ApplyRowsAtomic(rows)
 }
 
 // ReloadDelta incrementally reconciles the table: add entries are installed
@@ -203,14 +216,14 @@ func (e *UnaryEngine) ReloadDelta(add, remove []population.UnaryEntry) (int, err
 	for i, en := range remove {
 		deletes[i] = tcam.RowFromPrefix(en.P, nil)
 	}
-	return e.table.ApplyDelta(upserts, deletes)
+	return e.store.ApplyDelta(upserts, deletes)
 }
 
 // Eval looks the operand up and returns the precomputed result.
 func (e *UnaryEngine) Eval(x uint64) (uint64, error) {
-	en, ok := e.table.Lookup(x)
+	en, ok := e.store.Lookup(x)
 	if !ok {
-		return 0, fmt.Errorf("%w: %s(%d)", ErrMiss, e.table.Name(), x)
+		return 0, fmt.Errorf("%w: %s(%d)", ErrMiss, e.store.Name(), x)
 	}
 	r, ok := en.Data.(uint64)
 	if !ok {
@@ -225,7 +238,7 @@ func (e *UnaryEngine) Eval(x uint64) (uint64, error) {
 // counted in misses. All results come from the same committed population.
 func (e *UnaryEngine) EvalBatch(xs []uint64) (results []uint64, misses int) {
 	results = make([]uint64, len(xs))
-	for i, en := range e.table.LookupSingleBatch(xs, nil) {
+	for i, en := range e.store.LookupSingleBatch(xs, nil) {
 		if en == nil {
 			misses++
 			continue
@@ -240,8 +253,13 @@ func (e *UnaryEngine) EvalBatch(xs []uint64) (results []uint64, misses int) {
 	return results, misses
 }
 
-// Table exposes the underlying table for resource accounting.
-func (e *UnaryEngine) Table() *tcam.Table { return e.table }
+// Table exposes the underlying physical table for resource accounting. It
+// returns nil when the engine is mounted on a tenant slice rather than a
+// private table; use Store for the backing-agnostic surface.
+func (e *UnaryEngine) Table() *tcam.Table { t, _ := e.store.(*tcam.Table); return t }
+
+// Store exposes the backing store (private table or tenant slice).
+func (e *UnaryEngine) Store() tcam.Store { return e.store }
 
 // Width returns the operand width in bits.
 func (e *UnaryEngine) Width() int { return e.width }
@@ -249,7 +267,7 @@ func (e *UnaryEngine) Width() int { return e.width }
 // BinaryEngine evaluates a two-operand operation through a two-field
 // calculation TCAM.
 type BinaryEngine struct {
-	table *tcam.Table
+	store tcam.Store
 	width int
 }
 
@@ -266,11 +284,22 @@ func NewBinaryEngineWidths(name string, widthX, widthY, capacity int, entries []
 	if err != nil {
 		return nil, err
 	}
-	w := widthX
-	if widthY > w {
-		w = widthY
+	return NewBinaryEngineOn(t, entries)
+}
+
+// NewBinaryEngineOn mounts an engine on an existing two-field store — a
+// private table or a tenant slice of a shared calculation TCAM — and
+// installs the entries.
+func NewBinaryEngineOn(store tcam.Store, entries []population.BinaryEntry) (*BinaryEngine, error) {
+	widths := store.FieldWidths()
+	if len(widths) != 2 {
+		return nil, fmt.Errorf("arith: binary engine needs a 2-field store, %q has %d", store.Name(), len(widths))
 	}
-	e := &BinaryEngine{table: t, width: w}
+	w := widths[0]
+	if widths[1] > w {
+		w = widths[1]
+	}
+	e := &BinaryEngine{store: store, width: w}
 	if _, err := e.Reload(entries); err != nil {
 		return nil, err
 	}
@@ -288,7 +317,7 @@ func (e *BinaryEngine) Reload(entries []population.BinaryEntry) (int, error) {
 			Data:   en.Result,
 		}
 	}
-	return e.table.ApplyRowsAtomic(rows)
+	return e.store.ApplyRowsAtomic(rows)
 }
 
 // ReloadDelta is the two-field form of the unary ReloadDelta: transactional
@@ -307,14 +336,14 @@ func (e *BinaryEngine) ReloadDelta(add, remove []population.BinaryEntry) (int, e
 			Fields: []tcam.Field{tcam.FieldFromPrefix(en.X), tcam.FieldFromPrefix(en.Y)},
 		}
 	}
-	return e.table.ApplyDelta(upserts, deletes)
+	return e.store.ApplyDelta(upserts, deletes)
 }
 
 // Eval looks the operand pair up and returns the precomputed result.
 func (e *BinaryEngine) Eval(x, y uint64) (uint64, error) {
-	en, ok := e.table.Lookup(x, y)
+	en, ok := e.store.Lookup(x, y)
 	if !ok {
-		return 0, fmt.Errorf("%w: %s(%d, %d)", ErrMiss, e.table.Name(), x, y)
+		return 0, fmt.Errorf("%w: %s(%d, %d)", ErrMiss, e.store.Name(), x, y)
 	}
 	r, ok := en.Data.(uint64)
 	if !ok {
@@ -339,7 +368,7 @@ func (e *BinaryEngine) EvalBatch(xs, ys []uint64) (results []uint64, misses int)
 		keys[i] = k
 	}
 	results = make([]uint64, n)
-	for i, en := range e.table.LookupBatch(keys) {
+	for i, en := range e.store.LookupBatch(keys) {
 		if en == nil {
 			misses++
 			continue
@@ -354,8 +383,13 @@ func (e *BinaryEngine) EvalBatch(xs, ys []uint64) (results []uint64, misses int)
 	return results, misses
 }
 
-// Table exposes the underlying table for resource accounting.
-func (e *BinaryEngine) Table() *tcam.Table { return e.table }
+// Table exposes the underlying physical table for resource accounting. It
+// returns nil when the engine is mounted on a tenant slice rather than a
+// private table; use Store for the backing-agnostic surface.
+func (e *BinaryEngine) Table() *tcam.Table { t, _ := e.store.(*tcam.Table); return t }
+
+// Store exposes the backing store (private table or tenant slice).
+func (e *BinaryEngine) Store() tcam.Store { return e.store }
 
 // Width returns the operand width in bits.
 func (e *BinaryEngine) Width() int { return e.width }

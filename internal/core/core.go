@@ -44,6 +44,11 @@ type Config struct {
 	MaxMonitorEntries int
 	// CalcEntries is the calculation TCAM budget (the paper uses 128).
 	CalcEntries int
+	// CalcCapacity is the physical calculation-table capacity for private
+	// (non-shared) systems; 0 means CalcEntries. A capacity above the
+	// budget leaves headroom for later SetCalcBudget growth — the tenant
+	// differential tests use it to mirror a slice whose quota moves.
+	CalcCapacity int
 	// ThBalance is Algorithm 2's rebalance threshold (paper: 0.20).
 	ThBalance float64
 	// ThExpansion is the monitoring-growth threshold (paper: 2).
@@ -94,6 +99,9 @@ func (c *Config) normalise() error {
 	}
 	if c.CalcEntries < 1 {
 		return fmt.Errorf("%w: calc entries %d", ErrConfig, c.CalcEntries)
+	}
+	if c.CalcCapacity != 0 && c.CalcCapacity < c.CalcEntries {
+		return fmt.Errorf("%w: calc capacity %d below budget %d", ErrConfig, c.CalcCapacity, c.CalcEntries)
 	}
 	if c.MaxMonitorEntries == 0 {
 		c.MaxMonitorEntries = 4 * c.MonitorEntries
@@ -190,7 +198,7 @@ func (t *unaryTarget) PopulateDelta(tr *trie.Trie, budget int) (int, int, int, e
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	if !t.haveInstalled || t.engine.Table().Version() != t.lastVersion {
+	if !t.haveInstalled || t.engine.Store().Version() != t.lastVersion {
 		writes, err := t.engine.Reload(res.Entries)
 		if err != nil {
 			return 0, res.Computed, res.Reused, err
@@ -242,7 +250,7 @@ func (t *unaryTarget) record(res population.UnaryMemoResult) {
 	t.installed = res.Results
 	t.installedSeq = res.Seq
 	t.haveInstalled = true
-	t.lastVersion = t.engine.Table().Version()
+	t.lastVersion = t.engine.Store().Version()
 }
 
 // plainTarget hides a target's incremental path (Config.DisableIncremental):
@@ -265,11 +273,22 @@ func NewUnary(cfg Config, op arith.UnaryOp) (*UnarySystem, error) {
 	if err := cfg.normalise(); err != nil {
 		return nil, err
 	}
-	mon, err := monitor.New(fmt.Sprintf("ada.%v.mon", op), cfg.Width, cfg.MaxMonitorEntries)
+	capacity := cfg.CalcEntries
+	if cfg.CalcCapacity > 0 {
+		capacity = cfg.CalcCapacity
+	}
+	engine, err := arith.NewUnaryEngine(fmt.Sprintf("ada.%v.calc", op), cfg.Width, capacity, nil)
 	if err != nil {
 		return nil, err
 	}
-	engine, err := arith.NewUnaryEngine(fmt.Sprintf("ada.%v.calc", op), cfg.Width, cfg.CalcEntries, nil)
+	return newUnaryOn(fmt.Sprintf("ada.%v", op), cfg, op, engine)
+}
+
+// newUnaryOn assembles a system around an existing calculation engine —
+// private (NewUnary) or mounted on a tenant slice (Registry.MountUnary).
+// cfg must already be normalised.
+func newUnaryOn(name string, cfg Config, op arith.UnaryOp, engine *arith.UnaryEngine) (*UnarySystem, error) {
+	mon, err := monitor.New(name+".mon", cfg.Width, cfg.MaxMonitorEntries)
 	if err != nil {
 		return nil, err
 	}
@@ -333,6 +352,14 @@ func (s *UnarySystem) Sync() (SyncReport, error) {
 // Engine exposes the calculation engine (benchmarks, error measurement).
 func (s *UnarySystem) Engine() *arith.UnaryEngine { return s.engine }
 
+// CalcBudget returns the live calculation entry budget.
+func (s *UnarySystem) CalcBudget() int { return s.ctl.CalcBudget() }
+
+// SetCalcBudget retargets subsequent rounds at a new entry budget (the
+// tenant arbiter's knob). Call between Syncs; takes effect at the next
+// populate.
+func (s *UnarySystem) SetCalcBudget(n int) error { return s.ctl.SetCalcBudget(n) }
+
 // Controller exposes the control-plane state.
 func (s *UnarySystem) Controller() *controlplane.Controller { return s.ctl }
 
@@ -342,6 +369,9 @@ func (s *UnarySystem) Op() arith.UnaryOp { return s.op }
 // Pipeline lays the system out on a PISA pipeline for resource accounting
 // (Table II): one monitoring stage plus the calculation stage.
 func (s *UnarySystem) Pipeline(name string) (*pisa.Pipeline, error) {
+	if s.engine.Table() == nil {
+		return nil, fmt.Errorf("%w: shared-table system has no private calculation stage; lay out the Registry's physical table instead", ErrConfig)
+	}
 	return pisa.BuildADAProgram(name, []pisa.VarSpec{{
 		Name:       "x",
 		Monitoring: s.ctl.Monitor().Table(),
@@ -370,6 +400,10 @@ type BinarySystem struct {
 	installedSeqY uint64
 	haveInstalled bool
 	lastVersion   uint64
+
+	// budget is the live calculation entry budget; starts at
+	// cfg.CalcEntries and moves under SetCalcBudget (tenant arbitration).
+	budget int
 }
 
 // NewBinary builds the system and installs the initial uniform population.
@@ -377,15 +411,26 @@ func NewBinary(cfg Config, op arith.BinaryOp) (*BinarySystem, error) {
 	if err := cfg.normalise(); err != nil {
 		return nil, err
 	}
-	monX, err := monitor.New(fmt.Sprintf("ada.%v.monX", op), cfg.Width, cfg.MaxMonitorEntries)
+	capacity := cfg.CalcEntries
+	if cfg.CalcCapacity > 0 {
+		capacity = cfg.CalcCapacity
+	}
+	engine, err := arith.NewBinaryEngine(fmt.Sprintf("ada.%v.calc", op), cfg.Width, capacity, nil)
 	if err != nil {
 		return nil, err
 	}
-	monY, err := monitor.New(fmt.Sprintf("ada.%v.monY", op), cfg.Width, cfg.MaxMonitorEntries)
+	return newBinaryOn(fmt.Sprintf("ada.%v", op), cfg, op, engine)
+}
+
+// newBinaryOn assembles a system around an existing calculation engine —
+// private (NewBinary) or mounted on a tenant slice (Registry.MountBinary).
+// cfg must already be normalised.
+func newBinaryOn(name string, cfg Config, op arith.BinaryOp, engine *arith.BinaryEngine) (*BinarySystem, error) {
+	monX, err := monitor.New(name+".monX", cfg.Width, cfg.MaxMonitorEntries)
 	if err != nil {
 		return nil, err
 	}
-	engine, err := arith.NewBinaryEngine(fmt.Sprintf("ada.%v.calc", op), cfg.Width, cfg.CalcEntries, nil)
+	monY, err := monitor.New(name+".monY", cfg.Width, cfg.MaxMonitorEntries)
 	if err != nil {
 		return nil, err
 	}
@@ -398,7 +443,7 @@ func NewBinary(cfg Config, op arith.BinaryOp) (*BinarySystem, error) {
 		return nil, err
 	}
 	s := &BinarySystem{cfg: cfg, op: op, engine: engine, ctlX: ctlX, ctlY: ctlY,
-		rep: cfg.Representative}
+		rep: cfg.Representative, budget: cfg.CalcEntries}
 	if _, _, _, err := s.populate(); err != nil {
 		return nil, err
 	}
@@ -412,18 +457,18 @@ func NewBinary(cfg Config, op arith.BinaryOp) (*BinarySystem, error) {
 func (s *BinarySystem) populate() (int, int, int, error) {
 	tx, ty := s.ctlX.Trie(), s.ctlY.Trie()
 	if s.cfg.DisableIncremental {
-		entries, err := population.ADABinary(tx, ty, s.op.Func(), s.cfg.CalcEntries, s.rep)
+		entries, err := population.ADABinary(tx, ty, s.op.Func(), s.budget, s.rep)
 		if err != nil {
 			return 0, 0, 0, err
 		}
 		writes, err := s.engine.Reload(entries)
 		return writes, len(entries), 0, err
 	}
-	res, err := population.ADABinaryMemo(tx, ty, s.op.Func(), s.cfg.CalcEntries, s.rep, &s.memo)
+	res, err := population.ADABinaryMemo(tx, ty, s.op.Func(), s.budget, s.rep, &s.memo)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	if !s.haveInstalled || s.engine.Table().Version() != s.lastVersion {
+	if !s.haveInstalled || s.engine.Store().Version() != s.lastVersion {
 		writes, err := s.engine.Reload(res.Entries)
 		if err != nil {
 			return 0, res.Computed, res.Reused, err
@@ -474,7 +519,7 @@ func (s *BinarySystem) record(res population.BinaryMemoResult) {
 	s.installedSeqX = res.SeqX
 	s.installedSeqY = res.SeqY
 	s.haveInstalled = true
-	s.lastVersion = s.engine.Table().Version()
+	s.lastVersion = s.engine.Store().Version()
 }
 
 // Observe feeds one (x, y) operand pair to the monitors.
@@ -557,6 +602,19 @@ func (s *BinarySystem) Sync() (SyncReport, error) {
 // Engine exposes the calculation engine.
 func (s *BinarySystem) Engine() *arith.BinaryEngine { return s.engine }
 
+// CalcBudget returns the live calculation entry budget.
+func (s *BinarySystem) CalcBudget() int { return s.budget }
+
+// SetCalcBudget retargets subsequent rounds at a new joint entry budget.
+// Call between Syncs; takes effect at the next populate.
+func (s *BinarySystem) SetCalcBudget(n int) error {
+	if n < 1 {
+		return fmt.Errorf("%w: calc budget %d", ErrConfig, n)
+	}
+	s.budget = n
+	return nil
+}
+
 // ControllerX exposes the first operand's control-plane state.
 func (s *BinarySystem) ControllerX() *controlplane.Controller { return s.ctlX }
 
@@ -569,6 +627,9 @@ func (s *BinarySystem) Op() arith.BinaryOp { return s.op }
 // Pipeline lays the system out on a PISA pipeline: two monitoring stages
 // plus the calculation stage (3 stages, matching Table II's ADA(ΔT, R)).
 func (s *BinarySystem) Pipeline(name string) (*pisa.Pipeline, error) {
+	if s.engine.Table() == nil {
+		return nil, fmt.Errorf("%w: shared-table system has no private calculation stage; lay out the Registry's physical table instead", ErrConfig)
+	}
 	return pisa.BuildADAProgram(name, []pisa.VarSpec{
 		{Name: "x", Monitoring: s.ctlX.Monitor().Table(), Bins: s.ctlX.Monitor().NumBins()},
 		{Name: "y", Monitoring: s.ctlY.Monitor().Table(), Bins: s.ctlY.Monitor().NumBins()},

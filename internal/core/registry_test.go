@@ -1,0 +1,321 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/faults"
+	"github.com/ada-repro/ada/internal/tenant"
+)
+
+func testSharedConfig(total int, every int) SharedConfig {
+	return SharedConfig{
+		Name:         "shared.calc",
+		TotalEntries: total,
+		Arbiter:      tenant.ArbiterConfig{Every: every, Floor: 8},
+	}
+}
+
+func testTenantConfig(budget int) Config {
+	cfg := DefaultConfig(16)
+	cfg.MonitorEntries = 8
+	cfg.CalcEntries = budget
+	return cfg
+}
+
+func TestRegistryMountAndSync(t *testing.T) {
+	reg, err := NewRegistry(testSharedConfig(192, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := reg.MountUnary("qcn", testTenantConfig(48), arith.OpSquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := reg.MountUnary("rate", testTenantConfig(48), arith.OpRecip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mul, err := reg.MountBinary("xcp", testTenantConfig(48), arith.OpMul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.MountUnary("greedy", testTenantConfig(100), arith.OpDouble); err == nil {
+		t.Fatal("oversubscribed mount succeeded")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 12; round++ {
+		for i := 0; i < 100; i++ {
+			sq.Unary().Observe(uint64(rng.Intn(4000) + 100))
+			rc.Unary().Observe(uint64(rng.Intn(200) + 1))
+			mul.Binary().Observe(uint64(rng.Intn(1000)+1), uint64(rng.Intn(1000)+1))
+		}
+		rep, err := reg.Sync()
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(rep.Tenants) != 3 {
+			t.Fatalf("round %d: %d tenant reports", round, len(rep.Tenants))
+		}
+		if got := reg.Table().Len(); got > 192 {
+			t.Fatalf("round %d: physical table %d > capacity", round, got)
+		}
+		if err := reg.Partition().Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		sum := 0
+		for _, b := range reg.Budgets() {
+			sum += b
+		}
+		if sum > 192 {
+			t.Fatalf("round %d: budgets sum %d > capacity", round, sum)
+		}
+	}
+	// Sanity: lookups on every tenant resolve through the shared table.
+	if _, err := sq.Unary().Lookup(1234); err != nil {
+		t.Fatalf("square lookup: %v", err)
+	}
+	if _, err := mul.Binary().Lookup(30, 40); err != nil {
+		t.Fatalf("mul lookup: %v", err)
+	}
+}
+
+// TestRegistryArbiterShiftsBudget drives one tenant with a wide heavy
+// distribution and another with a near-point mass; the elastic arbiter must
+// move entries toward the hard tenant.
+func TestRegistryArbiterShiftsBudget(t *testing.T) {
+	reg, err := NewRegistry(testSharedConfig(128, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := reg.MountUnary("hot", testTenantConfig(64), arith.OpSquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := reg.MountUnary("cold", testTenantConfig(64), arith.OpSquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 18; round++ {
+		for i := 0; i < 300; i++ {
+			hot.Unary().Observe(uint64(rng.Intn(60000) + 1)) // wide and heavy
+			cold.Unary().Observe(uint64(777))                // a single point
+		}
+		if _, err := reg.Sync(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	b := reg.Budgets()
+	if b["hot"] <= 64 {
+		t.Errorf("hot tenant budget = %d, want > 64", b["hot"])
+	}
+	if b["cold"] >= 64 {
+		t.Errorf("cold tenant budget = %d, want < 64", b["cold"])
+	}
+	if b["cold"] < 8 {
+		t.Errorf("cold tenant budget = %d fell below floor", b["cold"])
+	}
+	if err := reg.Partition().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// diffTenant pairs a mounted tenant with a standalone mirror system that
+// owns a private calculation TCAM, plus the operand stream both replay.
+type diffTenant struct {
+	name   string
+	shared *Tenant
+	mirU   *UnarySystem
+	mirB   *BinarySystem
+	rng    *rand.Rand
+	drift  float64
+}
+
+func (d *diffTenant) observe(n int) {
+	if d.mirB != nil {
+		xs := make([]uint64, n)
+		ys := make([]uint64, n)
+		for i := range xs {
+			xs[i] = uint64(d.rng.Intn(int(1000+900*d.drift)) + 1)
+			ys[i] = uint64(d.rng.Intn(500) + 1)
+		}
+		d.shared.Binary().ObserveAll(xs, ys)
+		d.mirB.ObserveAll(xs, ys)
+		return
+	}
+	vs := make([]uint64, n)
+	center := 2000 + int(30000*d.drift)
+	for i := range vs {
+		vs[i] = uint64(d.rng.Intn(center) + 1)
+	}
+	d.shared.Unary().ObserveAll(vs)
+	d.mirU.ObserveAll(vs)
+}
+
+func (d *diffTenant) mirrorBudget() int {
+	if d.mirB != nil {
+		return d.mirB.CalcBudget()
+	}
+	return d.mirU.CalcBudget()
+}
+
+func (d *diffTenant) setMirrorBudget(n int) error {
+	if d.mirB != nil {
+		return d.mirB.SetCalcBudget(n)
+	}
+	return d.mirU.SetCalcBudget(n)
+}
+
+func (d *diffTenant) mirrorSync() (SyncReport, error) {
+	if d.mirB != nil {
+		return d.mirB.Sync()
+	}
+	return d.mirU.Sync()
+}
+
+func (d *diffTenant) fingerprints() (string, string) {
+	if d.mirB != nil {
+		return d.shared.Slice().Fingerprint(), d.mirB.Engine().Store().Fingerprint()
+	}
+	return d.shared.Slice().Fingerprint(), d.mirU.Engine().Store().Fingerprint()
+}
+
+// TestRegistryDifferential is the partition-safety differential: three
+// tenants (two unary, one binary) share one table under the elastic arbiter
+// with per-tenant fault injection, while standalone mirrors with private
+// TCAMs replay the same operand streams, the same fault seeds, and the same
+// budget schedule. Every round the physical table must respect capacity, the
+// partition invariants must hold, and each slice's fingerprint must equal
+// its mirror's — the shared table is indistinguishable from three private
+// ones.
+func TestRegistryDifferential(t *testing.T) {
+	rounds := 500
+	if testing.Short() {
+		rounds = 80
+	}
+	const total = 256
+
+	profile := faults.Profile{
+		Seed:          11,
+		WriteFailure:  0.04,
+		RowFailure:    0.02,
+		SnapshotDrop:  0.01,
+		SnapshotStale: 0.02,
+		OutageProb:    0.005,
+		OutageOps:     4,
+	}
+
+	reg, err := NewRegistry(testSharedConfig(total, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mount := func(name string, seed int64, uop arith.UnaryOp, bop arith.BinaryOp, drift float64) *diffTenant {
+		prof := profile
+		prof.Seed = seed
+		sharedInj := faults.MustNew(prof)
+		mirrorInj := faults.MustNew(prof)
+
+		cfg := testTenantConfig(64)
+		cfg.WrapDriver = sharedInj.Wrap
+		mcfg := testTenantConfig(64)
+		mcfg.WrapDriver = mirrorInj.Wrap
+		// The mirror's budget follows the arbiter up to the whole table, so
+		// its private capacity must cover the whole table.
+		mcfg.CalcCapacity = total
+
+		d := &diffTenant{name: name, rng: rand.New(rand.NewSource(seed * 101)), drift: drift}
+		if bop != 0 {
+			tn, err := reg.MountBinary(name, cfg, bop)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mir, err := NewBinary(mcfg, bop)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.shared, d.mirB = tn, mir
+			sharedInj.AttachRows(tn.Slice())
+			mirrorInj.AttachTable(mir.Engine().Table())
+			return d
+		}
+		tn, err := reg.MountUnary(name, cfg, uop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mir, err := NewUnary(mcfg, uop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.shared, d.mirU = tn, mir
+		sharedInj.AttachRows(tn.Slice())
+		mirrorInj.AttachTable(mir.Engine().Table())
+		return d
+	}
+
+	tenants := []*diffTenant{
+		mount("square", 5, arith.OpSquare, 0, 1.0),
+		mount("recip", 6, arith.OpRecip, 0, 0.1),
+		mount("mul", 7, 0, arith.OpMul, 0.6),
+	}
+
+	// Initial populations must already agree.
+	for _, d := range tenants {
+		if s, m := d.fingerprints(); s != m {
+			t.Fatalf("tenant %s: initial fingerprint mismatch", d.name)
+		}
+	}
+
+	moves := 0
+	for round := 0; round < rounds; round++ {
+		// The budgets in force for this round were fixed at the end of the
+		// previous one; replay them onto the mirrors before their rounds.
+		budgets := reg.Budgets()
+		for _, d := range tenants {
+			if want := budgets[d.name]; want != d.mirrorBudget() {
+				if err := d.setMirrorBudget(want); err != nil {
+					t.Fatalf("round %d: mirror budget %s: %v", round, d.name, err)
+				}
+			}
+			d.observe(120)
+		}
+		rep, err := reg.Sync()
+		if err != nil {
+			t.Fatalf("round %d: shared sync: %v", round, err)
+		}
+		moves += len(rep.Arbiter.Moves)
+		for _, d := range tenants {
+			srep := rep.Tenants[d.name]
+			mrep, err := d.mirrorSync()
+			if err != nil {
+				t.Fatalf("round %d: mirror sync %s: %v", round, d.name, err)
+			}
+			if srep.Degraded != mrep.Degraded {
+				t.Fatalf("round %d: tenant %s degraded=%v but mirror degraded=%v",
+					round, d.name, srep.Degraded, mrep.Degraded)
+			}
+			if s, m := d.fingerprints(); s != m {
+				t.Fatalf("round %d: tenant %s fingerprint diverged from private mirror\nshared:\n%s\nmirror:\n%s",
+					round, d.name, s, m)
+			}
+		}
+		if got := reg.Table().Len(); got > total {
+			t.Fatalf("round %d: physical table holds %d > capacity %d", round, got, total)
+		}
+		if err := reg.Partition().Validate(); err != nil {
+			t.Fatalf("round %d: partition invariants: %v", round, err)
+		}
+		sum := 0
+		for _, b := range reg.Budgets() {
+			sum += b
+		}
+		if sum > total {
+			t.Fatalf("round %d: budgets oversubscribed: %d > %d", round, sum, total)
+		}
+	}
+	if moves == 0 {
+		t.Error("arbiter applied no budget moves across the whole run")
+	}
+}

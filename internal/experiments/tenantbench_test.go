@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// TestTenantBenchElasticBeatsStatic is the acceptance check: at the same
+// fixed total budget, the elastic arbiter must deliver lower aggregate error
+// than the static equal split for the skewed drifting trio. Short mode runs
+// a reduced configuration (CI); the full default is the committed baseline.
+func TestTenantBenchElasticBeatsStatic(t *testing.T) {
+	cfg := DefaultTenantBenchConfig()
+	if testing.Short() {
+		cfg.Rounds = 28
+		cfg.Warmup = 14
+		cfg.SamplesPerRound = 250
+		cfg.EvalSamples = 600
+	}
+	res, err := RunTenantBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", RenderTenantBench(res))
+	if res.ElasticAggregate >= res.StaticAggregate {
+		t.Errorf("elastic aggregate error %.4f not below static %.4f",
+			res.ElasticAggregate, res.StaticAggregate)
+	}
+	// The arbiter must actually have moved budget: the near-point-mass
+	// recip tenant donates most of its share, and the two entry-hungry
+	// tenants absorb it.
+	byName := make(map[string]TenantBenchRow, len(res.Rows))
+	for _, r := range res.Rows {
+		byName[r.Tenant] = r
+	}
+	if r := byName["recip"]; r.ElasticBudget >= r.StaticBudget {
+		t.Errorf("recip elastic budget %d not below static share %d", r.ElasticBudget, r.StaticBudget)
+	}
+	hungry := byName["square"].ElasticBudget + byName["sqrt"].ElasticBudget
+	static := byName["square"].StaticBudget + byName["sqrt"].StaticBudget
+	if hungry <= static {
+		t.Errorf("entry-hungry tenants hold %d elastic entries, want more than their static %d", hungry, static)
+	}
+}

@@ -238,8 +238,19 @@ func (in *Injector) Wrap(inner controlplane.Driver) controlplane.Driver {
 // row write with the profile's RowFailure probability. Use it on calculation
 // tables to exercise mid-reconciliation failures and the atomic commit's
 // rollback.
-func (in *Injector) AttachTable(t *tcam.Table) {
-	t.SetWriteHook(func(op tcam.WriteOp) error {
+func (in *Injector) AttachTable(t *tcam.Table) { in.AttachRows(t) }
+
+// RowHooker is any store exposing the per-row write-hook seam: a physical
+// tcam.Table, a tenant.Partition (faults every slice's commits), or a
+// tenant.Slice (faults exactly one tenant's commits, leaving its neighbours
+// on the shared table untouched).
+type RowHooker interface {
+	SetWriteHook(tcam.WriteHook)
+}
+
+// AttachRows installs the injector's per-row failure hook on any RowHooker.
+func (in *Injector) AttachRows(h RowHooker) {
+	h.SetWriteHook(func(op tcam.WriteOp) error {
 		in.mu.Lock()
 		defer in.mu.Unlock()
 		if in.prof.RowFailure > 0 && in.rng.Float64() < in.prof.RowFailure {

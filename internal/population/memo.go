@@ -324,7 +324,7 @@ func ADABinaryMemo(tx, ty *trie.Trie, f BinaryFunc, budget int, rep Representati
 	if m.rep != rep || m.wx != tx.Width() || m.wy != ty.Width() {
 		m.Invalidate()
 	}
-	mx, my := binarySideBudgets(tx, ty, budget)
+	mx, my := BinarySideBudgets(tx, ty, budget)
 	xs, rx, err := ADAAllocateCached(tx, mx, &m.ax)
 	if err != nil {
 		m.Invalidate()

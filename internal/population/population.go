@@ -516,13 +516,14 @@ func ADABinary(tx, ty *trie.Trie, f BinaryFunc, budget int, rep Representative) 
 	if budget < 1 {
 		return nil, fmt.Errorf("%w: got %d", ErrBudget, budget)
 	}
-	mx, my := binarySideBudgets(tx, ty, budget)
+	mx, my := BinarySideBudgets(tx, ty, budget)
 	return adaBinarySides(tx, ty, f, mx, my, rep)
 }
 
-// binarySideBudgets factors the joint budget into per-dimension budgets
-// proportional to each operand's effective spread.
-func binarySideBudgets(tx, ty *trie.Trie, budget int) (mx, my int) {
+// BinarySideBudgets factors the joint budget into per-dimension budgets
+// proportional to each operand's effective spread (exported for the tenant
+// arbiter, which scores each side of a binary tenant separately).
+func BinarySideBudgets(tx, ty *trie.Trie, budget int) (mx, my int) {
 	sx, sy := EffectiveSupport(tx), EffectiveSupport(ty)
 	ratio := sx / sy
 	if ratio < 1.0/16 {

@@ -1,0 +1,78 @@
+package tcam
+
+import "fmt"
+
+// Store is the table surface the arithmetic engines and the control plane
+// program against: the lookup fast path plus the transactional mutation,
+// accounting, and fingerprinting contract of a *Table. A Store is either a
+// physical *Table or a tenant slice of one (internal/tenant), which lets
+// several ADA operations share a single calculation TCAM without the layers
+// above knowing.
+type Store interface {
+	// Lookup resolves one key tuple LPM-style (sig bits desc, priority
+	// desc, insertion seq asc).
+	Lookup(keys ...uint64) (*Entry, bool)
+	// LookupBatch resolves many key tuples; result i is nil on miss.
+	LookupBatch(keys [][]uint64) []*Entry
+	// LookupSingleBatch is the single-field fast path; dst is reused when
+	// large enough.
+	LookupSingleBatch(keys []uint64, dst []*Entry) []*Entry
+
+	// ApplyRowsAtomic reconciles the store contents toward rows with
+	// minimal writes, all-or-nothing.
+	ApplyRowsAtomic(rows []Row) (writes int, err error)
+	// ApplyDelta applies an incremental reconciliation transactionally;
+	// a delete of a key that is not installed fails with ErrDeltaConflict.
+	ApplyDelta(upserts, deletes []Row) (writes int, err error)
+
+	Name() string
+	// Capacity is the maximum number of entries the store admits (a
+	// tenant slice reports its current quota, which may change between
+	// rounds).
+	Capacity() int
+	Len() int
+	// FieldWidths reports the match-field widths in bits.
+	FieldWidths() []int
+	// Version increases on every mutation attempt, successful or rolled
+	// back; equal versions imply identical contents.
+	Version() uint64
+	// Fingerprint digests the installed rows (match key + action data),
+	// independent of insertion order.
+	Fingerprint() string
+}
+
+var _ Store = (*Table)(nil)
+
+// CapacityError reports an operation refused because the table (or tenant
+// slice) lacks room, including how much headroom remained so operators — and
+// the tenant partition manager — can size the shortfall without a second
+// query. It unwraps to ErrCapacity.
+type CapacityError struct {
+	Table     string
+	Capacity  int
+	Installed int // entries installed when the operation was refused
+	Requested int // rows the operation needed room for
+}
+
+func (e *CapacityError) Error() string {
+	return fmt.Sprintf("%v: table %q: %d rows requested, %d installed, capacity %d (headroom %d)",
+		ErrCapacity, e.Table, e.Requested, e.Installed, e.Capacity, e.Headroom())
+}
+
+func (e *CapacityError) Unwrap() error { return ErrCapacity }
+
+// Headroom is the number of further rows the table could still admit when
+// the operation was refused.
+func (e *CapacityError) Headroom() int {
+	if h := e.Capacity - e.Installed; h > 0 {
+		return h
+	}
+	return 0
+}
+
+// RowKey serialises a row's match fields and priority exactly as the table's
+// internal match keys used for diffing and fingerprints. Tenant slices use it
+// to fingerprint their tenant-local view identically to a private table.
+func RowKey(fields []Field, priority int) string {
+	return matchKey(fields, priority)
+}

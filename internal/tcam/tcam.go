@@ -367,7 +367,7 @@ func (t *Table) Insert(fields []Field, priority int, data any) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.capacity > 0 && len(t.entries) >= t.capacity {
-		return 0, fmt.Errorf("%w: table %q at %d entries", ErrCapacity, t.name, t.capacity)
+		return 0, &CapacityError{Table: t.name, Capacity: t.capacity, Installed: len(t.entries), Requested: 1}
 	}
 	if err := t.writeLocked(WriteInsert); err != nil {
 		return 0, err
@@ -609,8 +609,7 @@ func (t *Table) ReplaceAll(rows []Row) (writes int, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.capacity > 0 && len(rows) > t.capacity {
-		return 0, fmt.Errorf("%w: %d rows into table %q of capacity %d",
-			ErrCapacity, len(rows), t.name, t.capacity)
+		return 0, &CapacityError{Table: t.name, Capacity: t.capacity, Installed: len(t.entries), Requested: len(rows)}
 	}
 	// Pre-flight every row write so the advertised atomicity holds even
 	// under an injected per-row failure: either all writes are admitted or
@@ -703,8 +702,7 @@ func (t *Table) ApplyRowsAtomic(rows []Row) (writes int, err error) {
 // returns immediately with earlier writes applied; t.mu must be held.
 func (t *Table) applyRowsLocked(rows []Row) (writes int, err error) {
 	if t.capacity > 0 && len(rows) > t.capacity {
-		return 0, fmt.Errorf("%w: %d rows into table %q of capacity %d",
-			ErrCapacity, len(rows), t.name, t.capacity)
+		return 0, &CapacityError{Table: t.name, Capacity: t.capacity, Installed: len(t.entries), Requested: len(rows)}
 	}
 	// Index current entries by their cached match key (serialised once at
 	// insert, not per reconcile).
@@ -864,7 +862,7 @@ func (t *Table) ApplyDelta(upserts, deletes []Row) (writes int, err error) {
 		}
 		if t.capacity > 0 && len(t.entries) >= t.capacity {
 			rollback()
-			return 0, fmt.Errorf("%w: table %q at %d entries", ErrCapacity, t.name, t.capacity)
+			return 0, &CapacityError{Table: t.name, Capacity: t.capacity, Installed: len(t.entries), Requested: 1}
 		}
 		if err := t.writeLocked(WriteInsert); err != nil {
 			rollback()

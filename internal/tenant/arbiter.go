@@ -1,0 +1,307 @@
+package tenant
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Signal is one tenant's error-pressure report, produced from Algorithm 3's
+// per-prefix error terms (population.UnaryErrorPressure /
+// BinaryErrorPressure) at the tenant's current budget.
+type Signal struct {
+	// Pressure is the mass-weighted residual relative error at the
+	// current budget (hits × relative error).
+	Pressure float64
+	// Marginal is the error term of the hottest still-splittable region —
+	// the gain the next granted entry would realise.
+	Marginal float64
+	// Hits is the observed hit mass behind the estimate.
+	Hits uint64
+}
+
+// Member is a mounted tenant as the arbiter sees it: a name, a current
+// budget, a budget knob, and an error-pressure oracle. core.Registry adapts
+// its systems to this.
+type Member interface {
+	TenantName() string
+	// Budget is the tenant's current entry budget (== its slice quota).
+	Budget() int
+	// SetBudget moves quota and control-round budget together. The
+	// arbiter only grows a tenant within the partition's free headroom.
+	SetBudget(n int) error
+	// Pressure estimates the residual error the tenant would carry at the
+	// given hypothetical entry budget, without changing any tenant state.
+	// The arbiter probes several budgets per rebalance to read the
+	// marginal-gain gradient, so repeated calls must be cheap and
+	// side-effect free.
+	Pressure(budget int) (Signal, error)
+}
+
+// ArbiterConfig tunes the reallocation policy.
+type ArbiterConfig struct {
+	// Every is the rebalance cadence in rounds; <= 0 disables
+	// reallocation (the static-split baseline).
+	Every int
+	// Floor is the minimum entries a tenant is never shrunk below.
+	// Default 8.
+	Floor int
+	// MaxMoveFrac caps how much of the total budget one rebalance may
+	// move away from (or toward) a single tenant, damping oscillation.
+	// Default 0.25.
+	MaxMoveFrac float64
+	// MinMove suppresses reallocations smaller than this many entries
+	// (hysteresis). Default 2.
+	MinMove int
+}
+
+func (c ArbiterConfig) withDefaults() ArbiterConfig {
+	if c.Floor == 0 {
+		c.Floor = 8
+	}
+	if c.MaxMoveFrac == 0 {
+		c.MaxMoveFrac = 0.25
+	}
+	if c.MinMove == 0 {
+		c.MinMove = 2
+	}
+	return c
+}
+
+// Move records one applied budget change.
+type Move struct {
+	Tenant string
+	From   int
+	To     int
+}
+
+// Report summarises one RoundDone call.
+type Report struct {
+	// Round is the arbiter's round counter.
+	Round int
+	// Rebalanced is true when this round recomputed the desired split.
+	Rebalanced bool
+	// Pressures holds the per-tenant signals at their current budgets,
+	// sampled at the last rebalance (nil otherwise).
+	Pressures map[string]Signal
+	// Moves are the budget changes applied this round: immediate shrinks
+	// plus grants settled out of freed headroom (possibly from desires
+	// recorded several rounds ago).
+	Moves []Move
+}
+
+// Arbiter reallocates the shared entry budget across tenants every Every
+// rounds by marginal-gain waterfilling over each tenant's error-pressure
+// oracle (see rebalance). Reallocation is lazy
+// and two-phased: victims are shrunk immediately (their next control round
+// commits the smaller population, releasing physical entries), while
+// beneficiaries are only granted room out of the partition's measured free
+// headroom — at this round or a later one, once the victims have actually
+// committed. The physical table therefore never oversubscribes, and every
+// tenant still performs exactly one populate per control round.
+type Arbiter struct {
+	part    *Partition
+	cfg     ArbiterConfig
+	round   int
+	desired map[string]int
+}
+
+// NewArbiter builds an arbiter over the partition.
+func NewArbiter(part *Partition, cfg ArbiterConfig) *Arbiter {
+	return &Arbiter{part: part, cfg: cfg.withDefaults(), desired: make(map[string]int)}
+}
+
+// RoundDone advances the arbiter after one control round across all members:
+// it settles pending grants from any freed headroom, and on the cadence
+// recomputes the desired split from fresh pressure signals. Members must be
+// passed in a stable order; grants settle in that order.
+func (a *Arbiter) RoundDone(members []Member) (Report, error) {
+	a.round++
+	rep := Report{Round: a.round}
+	rep.Moves = append(rep.Moves, a.settle(members)...)
+	if a.cfg.Every > 0 && a.round%a.cfg.Every == 0 {
+		if err := a.rebalance(members, &rep); err != nil {
+			return rep, err
+		}
+		rep.Moves = append(rep.Moves, a.settle(members)...)
+	}
+	return rep, nil
+}
+
+// settle grants pending budget increases out of the free headroom, in member
+// order.
+func (a *Arbiter) settle(members []Member) []Move {
+	var moves []Move
+	for _, m := range members {
+		want, ok := a.desired[m.TenantName()]
+		cur := m.Budget()
+		if !ok || want <= cur {
+			if ok && want <= cur {
+				delete(a.desired, m.TenantName())
+			}
+			continue
+		}
+		grant := want - cur
+		if free := a.part.Headroom(); grant > free {
+			grant = free
+		}
+		if grant <= 0 {
+			continue
+		}
+		if err := m.SetBudget(cur + grant); err != nil {
+			continue // headroom raced away; retry next round
+		}
+		moves = append(moves, Move{Tenant: m.TenantName(), From: cur, To: cur + grant})
+		if cur+grant >= want {
+			delete(a.desired, m.TenantName())
+		}
+	}
+	return moves
+}
+
+// rebalance recomputes the desired split by waterfilling: every tenant
+// starts at the Floor, and the remaining budget is granted chunk by chunk to
+// the tenant whose residual error would drop the most — Algorithm 3's error
+// terms evaluated at hypothetical budgets, i.e. the marginal-gain gradient.
+// Pricing grants by the *drop* in residual error (rather than splitting
+// proportionally to absolute pressure) makes diminishing returns count: a
+// tenant whose error no longer improves stops receiving, however large its
+// residual, so an operation with inherently slow error decay (a binary
+// tenant's side budgets grow like the square root of its joint budget)
+// cannot starve everyone else. Shrinks apply immediately; grows are recorded
+// as desires for settle.
+func (a *Arbiter) rebalance(members []Member, rep *Report) error {
+	n := len(members)
+	if n == 0 {
+		return nil
+	}
+	rep.Rebalanced = true
+	rep.Pressures = make(map[string]Signal, n)
+	total := 0
+	for _, m := range members {
+		total += m.Budget()
+	}
+	floor := a.cfg.Floor
+	if total < floor*n {
+		return nil // not enough budget to honour floors; keep the split
+	}
+	cache := make([]map[int]Signal, n)
+	for i := range cache {
+		cache[i] = make(map[int]Signal)
+	}
+	at := func(i, budget int) (Signal, error) {
+		if sig, ok := cache[i][budget]; ok {
+			return sig, nil
+		}
+		sig, err := members[i].Pressure(budget)
+		if err != nil {
+			return Signal{}, fmt.Errorf("tenant: pressure for %q at budget %d: %w",
+				members[i].TenantName(), budget, err)
+		}
+		cache[i][budget] = sig
+		return sig, nil
+	}
+	for i, m := range members {
+		sig, err := at(i, m.Budget())
+		if err != nil {
+			return err
+		}
+		rep.Pressures[m.TenantName()] = sig
+	}
+	alloc := make([]int, n)
+	for i := range alloc {
+		alloc[i] = floor
+	}
+	rem := total - n*floor
+	chunk := total / 16
+	if chunk < 1 {
+		chunk = 1
+	}
+	for rem > 0 {
+		g := chunk
+		if g > rem {
+			g = rem
+		}
+		best, bestGain := -1, 0.0
+		for i := range members {
+			cur, err := at(i, alloc[i])
+			if err != nil {
+				return err
+			}
+			next, err := at(i, alloc[i]+g)
+			if err != nil {
+				return err
+			}
+			if gain := cur.Pressure - next.Pressure; gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			// Nobody improves from another chunk. Park the remainder with
+			// the highest residual pressure; if everyone is exactly
+			// covered, spread it evenly so no budget is silently lost.
+			var bestP float64
+			for i := range members {
+				cur, err := at(i, alloc[i])
+				if err != nil {
+					return err
+				}
+				if best < 0 || cur.Pressure > bestP {
+					best, bestP = i, cur.Pressure
+				}
+			}
+			if bestP <= 0 {
+				for i := 0; rem > 0; i = (i + 1) % n {
+					alloc[i]++
+					rem--
+				}
+				break
+			}
+			alloc[best] += rem
+			break
+		}
+		alloc[best] += g
+		rem -= g
+	}
+	desired := alloc
+	// Damp: no tenant moves more than MaxMoveFrac of the total per
+	// rebalance, and moves under MinMove are suppressed.
+	maxMove := int(a.cfg.MaxMoveFrac * float64(total))
+	if maxMove < a.cfg.MinMove {
+		maxMove = a.cfg.MinMove
+	}
+	a.desired = make(map[string]int, len(members))
+	type shrink struct {
+		m  Member
+		to int
+	}
+	var shrinks []shrink
+	for i, m := range members {
+		cur := m.Budget()
+		want := desired[i]
+		if d := want - cur; d > maxMove {
+			want = cur + maxMove
+		} else if d < -maxMove {
+			want = cur - maxMove
+		}
+		if diff := want - cur; diff >= -a.cfg.MinMove && diff <= a.cfg.MinMove {
+			continue
+		}
+		if want < cur {
+			shrinks = append(shrinks, shrink{m: m, to: want})
+		} else {
+			a.desired[m.TenantName()] = want
+		}
+	}
+	// Shrink victims first (sorted for determinism regardless of caller
+	// order), then settle grants from whatever headroom that frees now;
+	// the rest settles after the victims' next commits.
+	sort.Slice(shrinks, func(i, j int) bool { return shrinks[i].m.TenantName() < shrinks[j].m.TenantName() })
+	for _, sh := range shrinks {
+		cur := sh.m.Budget()
+		if err := sh.m.SetBudget(sh.to); err != nil {
+			return fmt.Errorf("tenant: shrinking %q to %d: %w", sh.m.TenantName(), sh.to, err)
+		}
+		rep.Moves = append(rep.Moves, Move{Tenant: sh.m.TenantName(), From: cur, To: sh.to})
+	}
+	return nil
+}
