@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short vet bench bench-lookup bench-round bench-tenant bench-all chaos experiments examples cover clean
+.PHONY: all build test test-short vet bench bench-lookup bench-round bench-tenant bench-dataplane bench-compare bench-all chaos experiments examples cover clean
 
 all: build vet test
 
@@ -43,8 +43,26 @@ bench-tenant:
 	$(GO) test -run TenantBench -v ./internal/experiments
 	$(GO) run ./cmd/adabench -tenant-out BENCH_tenant.json tenant
 
+# Data-plane hot path: typed zero-allocation observe+eval (0 allocs/op in
+# steady state) vs the pre-change baseline, plus the committed
+# BENCH_dataplane.json artefact.
+bench-dataplane:
+	$(GO) test -bench 'ObserveEval|Dataplane' -benchmem -run '^$$' ./internal/core
+	$(GO) run ./cmd/adabench -dataplane-out BENCH_dataplane.json dataplane
+
+# A/B comparison capture for benchstat. Run once before a change and once
+# after, then diff:
+#   make bench-compare OUT=before.txt
+#   ...edit...
+#   make bench-compare OUT=after.txt
+#   benchstat before.txt after.txt
+# (benchstat: go run golang.org/x/perf/cmd/benchstat@latest works too.)
+OUT ?= bench.txt
+bench-compare:
+	$(GO) test -bench . -benchmem -count 6 -run '^$$' ./internal/tcam ./internal/core ./internal/experiments | tee $(OUT)
+
 # All committed benchmark baselines in one go.
-bench-all: bench-lookup bench-round bench-tenant
+bench-all: bench-lookup bench-round bench-tenant bench-dataplane
 
 # Regenerate every evaluation table/figure as text.
 experiments:

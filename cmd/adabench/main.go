@@ -2,21 +2,22 @@
 //
 // Usage:
 //
-//	adabench [-parallel N] [-lookup-out FILE] [-round-out FILE] [-tenant-out FILE] [experiment...]
+//	adabench [-parallel N] [-lookup-out FILE] [-round-out FILE] [-tenant-out FILE] [-dataplane-out FILE] [experiment...]
 //
-// Experiments: fig1a fig1b fig1c fig5 fig6 fig7a fig7b fig7c fig8 fig9
-// fig10 lookup roundbench table2 tenant xcp all (default: all). Each prints
-// the same rows/series the paper reports; see EXPERIMENTS.md for the
+// Experiments: dataplane fig1a fig1b fig1c fig5 fig6 fig7a fig7b fig7c fig8
+// fig9 fig10 lookup roundbench table2 tenant xcp all (default: all). Each
+// prints the same rows/series the paper reports; see EXPERIMENTS.md for the
 // paper-vs-measured record.
 //
 // -parallel sets the replay worker count for the experiments that feed
-// operand streams through the monitoring path (fig7c, fig9); 0 uses all
-// cores, 1 restores the sequential replay. Results are worker-count
+// operand streams through the monitoring path (fig7c, fig9, dataplane); 0
+// uses all cores, 1 restores the sequential replay. Results are worker-count
 // independent — register increments are commutative. -lookup-out writes the
 // lookup microbenchmark rows as JSON (the committed BENCH_lookup.json
 // baseline) in addition to printing the table; -round-out does the same for
-// the control-round benchmark (BENCH_round.json), and -tenant-out for the
-// multi-tenant sharing benchmark (BENCH_tenant.json).
+// the control-round benchmark (BENCH_round.json), -tenant-out for the
+// multi-tenant sharing benchmark (BENCH_tenant.json), and -dataplane-out for
+// the data-plane throughput benchmark (BENCH_dataplane.json).
 package main
 
 import (
@@ -34,6 +35,7 @@ var (
 	lookupOut = flag.String("lookup-out", "", "write lookup benchmark rows as JSON to this file")
 	roundOut  = flag.String("round-out", "", "write control-round benchmark rows as JSON to this file")
 	tenantOut = flag.String("tenant-out", "", "write multi-tenant sharing benchmark result as JSON to this file")
+	dataOut   = flag.String("dataplane-out", "", "write data-plane throughput benchmark rows as JSON to this file")
 )
 
 var runners = map[string]func() (string, error){
@@ -156,6 +158,22 @@ var runners = map[string]func() (string, error){
 			}
 		}
 		return experiments.RenderTenantBench(res), nil
+	},
+	"dataplane": func() (string, error) {
+		cfg := experiments.DefaultDataplaneBenchConfig()
+		if *parallel > 0 {
+			cfg.Workers = []int{1, *parallel}
+		}
+		rows, err := experiments.RunDataplaneBench(cfg)
+		if err != nil {
+			return "", err
+		}
+		if *dataOut != "" {
+			if err := experiments.WriteDataplaneBenchJSON(*dataOut, rows); err != nil {
+				return "", err
+			}
+		}
+		return experiments.RenderDataplaneBench(rows), nil
 	},
 	"table2": func() (string, error) {
 		rows, err := experiments.RunTable2(experiments.DefaultTable2Config())

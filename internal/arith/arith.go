@@ -232,25 +232,64 @@ func (e *UnaryEngine) Eval(x uint64) (uint64, error) {
 	return r, nil
 }
 
+// Scratch holds the reusable buffers the typed batch-evaluation path
+// threads through the TCAM's ordinal lookup: the flat packed-key buffer
+// (binary engines only) and the resolved-ordinal buffer. The zero value is
+// ready to use; a caller that keeps one Scratch per replay worker makes
+// every steady-state EvalBatchInto call allocation-free. A Scratch must not
+// be shared by concurrent callers.
+type Scratch struct {
+	flat []uint64
+	ords []int32
+}
+
+// sizeU64 returns dst resized to n elements, reusing its backing array when
+// the capacity allows.
+func sizeU64(dst []uint64, n int) []uint64 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]uint64, n)
+}
+
 // EvalBatch resolves a whole operand batch against one compiled table
 // snapshot — the parallel-replay path. Results are positional; an operand
 // that misses (or hits a corrupt entry) leaves 0 at its position and is
 // counted in misses. All results come from the same committed population.
+// It allocates the result slice; the hot path is EvalBatchInto.
 func (e *UnaryEngine) EvalBatch(xs []uint64) (results []uint64, misses int) {
-	results = make([]uint64, len(xs))
-	for i, en := range e.store.LookupSingleBatch(xs, nil) {
-		if en == nil {
-			misses++
-			continue
-		}
-		r, ok := en.Data.(uint64)
-		if !ok {
-			misses++
-			continue
-		}
-		results[i] = r
+	return e.EvalBatchInto(nil, xs, nil)
+}
+
+// EvalBatchInto is EvalBatch writing into dst (reused when it has the
+// capacity) and threading sc's buffers through the typed ordinal lookup, so
+// a caller recycling both performs zero allocations per batch: no interface
+// assertion per sample, no fresh result slice. sc may be nil, costing one
+// transient ordinal buffer. Results and miss accounting are bit-identical
+// to EvalBatch.
+func (e *UnaryEngine) EvalBatchInto(dst []uint64, xs []uint64, sc *Scratch) (results []uint64, misses int) {
+	var local Scratch
+	if sc == nil {
+		sc = &local
 	}
-	return results, misses
+	ords, pay := e.store.LookupIndexBatch(xs, sc.ords)
+	sc.ords = ords
+	dst = sizeU64(dst, len(xs))
+	for i, ord := range ords {
+		if ord < 0 {
+			dst[i] = 0
+			misses++
+			continue
+		}
+		r, ok := pay.Value(ord)
+		if !ok {
+			dst[i] = 0
+			misses++
+			continue
+		}
+		dst[i] = r
+	}
+	return dst, misses
 }
 
 // Table exposes the underlying physical table for resource accounting. It
@@ -354,33 +393,50 @@ func (e *BinaryEngine) Eval(x, y uint64) (uint64, error) {
 
 // EvalBatch is the two-operand batch evaluation: pairs (xs[i], ys[i]) are
 // resolved against one compiled snapshot. Mismatched slice lengths evaluate
-// the common prefix.
+// the common prefix. It allocates the result slice; the hot path is
+// EvalBatchInto.
 func (e *BinaryEngine) EvalBatch(xs, ys []uint64) (results []uint64, misses int) {
+	return e.EvalBatchInto(nil, xs, ys, nil)
+}
+
+// EvalBatchInto is EvalBatch writing into dst (reused when it has the
+// capacity). Operand pairs are packed into sc's flat key buffer —
+// [x0 y0 x1 y1 …] — instead of per-pair sub-slices, and resolved through
+// the typed ordinal lookup, so a caller recycling dst and sc performs zero
+// allocations per batch. sc may be nil, costing transient buffers. Results
+// and miss accounting are bit-identical to EvalBatch.
+func (e *BinaryEngine) EvalBatchInto(dst []uint64, xs, ys []uint64, sc *Scratch) (results []uint64, misses int) {
+	var local Scratch
+	if sc == nil {
+		sc = &local
+	}
 	n := len(xs)
 	if len(ys) < n {
 		n = len(ys)
 	}
-	keys := make([][]uint64, n)
-	buf := make([]uint64, 2*n)
+	flat := sizeU64(sc.flat, 2*n)
+	sc.flat = flat
 	for i := 0; i < n; i++ {
-		k := buf[2*i : 2*i+2 : 2*i+2]
-		k[0], k[1] = xs[i], ys[i]
-		keys[i] = k
+		flat[2*i], flat[2*i+1] = xs[i], ys[i]
 	}
-	results = make([]uint64, n)
-	for i, en := range e.store.LookupBatch(keys) {
-		if en == nil {
+	ords, pay := e.store.LookupIndexBatch(flat, sc.ords)
+	sc.ords = ords
+	dst = sizeU64(dst, n)
+	for i, ord := range ords {
+		if ord < 0 {
+			dst[i] = 0
 			misses++
 			continue
 		}
-		r, ok := en.Data.(uint64)
+		r, ok := pay.Value(ord)
 		if !ok {
+			dst[i] = 0
 			misses++
 			continue
 		}
-		results[i] = r
+		dst[i] = r
 	}
-	return results, misses
+	return dst, misses
 }
 
 // Table exposes the underlying physical table for resource accounting. It

@@ -1,0 +1,110 @@
+package arith
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ada-repro/ada/internal/population"
+)
+
+// TestEvalBatchIntoReusesBuffers: repeated calls through one dst/Scratch
+// pair must return results bit-identical to the allocating EvalBatch, reuse
+// the caller's backing arrays once they are large enough, and allocate
+// nothing in steady state.
+func TestEvalBatchIntoReusesBuffers(t *testing.T) {
+	uEntries, err := population.NaiveUnaryRange(OpSquare.Func(), 8, 8, 0, 63, population.Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ue, err := NewUnaryEngine("sq", 8, 8, uEntries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bEntries, err := population.NaiveBinary(OpMul.Func(), 6, 64, population.Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := NewBinaryEngine("mul", 6, 64, bEntries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	var sc Scratch
+	var dst []uint64
+	for round := 0; round < 20; round++ {
+		n := 1 + rng.Intn(300)
+		xs := make([]uint64, n)
+		ys := make([]uint64, n)
+		for i := range xs {
+			xs[i] = uint64(rng.Intn(256)) // half the unary domain misses
+			ys[i] = uint64(rng.Intn(64))
+		}
+
+		wantU, wantUM := ue.EvalBatch(xs)
+		dst, gotUM := ue.EvalBatchInto(dst, xs, &sc)
+		if gotUM != wantUM {
+			t.Fatalf("round %d: unary misses %d, want %d", round, gotUM, wantUM)
+		}
+		for i := range xs {
+			if dst[i] != wantU[i] {
+				t.Fatalf("round %d: unary result[%d] = %d, want %d", round, i, dst[i], wantU[i])
+			}
+		}
+
+		xb := make([]uint64, n)
+		for i := range xb {
+			xb[i] = uint64(rng.Intn(64))
+		}
+		wantB, wantBM := be.EvalBatch(xb, ys)
+		dst, gotBM := be.EvalBatchInto(dst, xb, ys, &sc)
+		if gotBM != wantBM {
+			t.Fatalf("round %d: binary misses %d, want %d", round, gotBM, wantBM)
+		}
+		for i := range xb {
+			if dst[i] != wantB[i] {
+				t.Fatalf("round %d: binary result[%d] = %d, want %d", round, i, dst[i], wantB[i])
+			}
+		}
+	}
+
+	// Steady state: buffers sized for the largest batch, no allocation left.
+	xs := make([]uint64, 256)
+	ys := make([]uint64, 256)
+	for i := range xs {
+		xs[i], ys[i] = uint64(i%64), uint64((i*7)%64)
+	}
+	ue.EvalBatchInto(dst, xs, &sc)
+	be.EvalBatchInto(dst, xs, ys, &sc)
+	allocs := testing.AllocsPerRun(50, func() {
+		dst, _ = ue.EvalBatchInto(dst, xs, &sc)
+		dst, _ = be.EvalBatchInto(dst, xs, ys, &sc)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state EvalBatchInto allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestEvalBatchIntoNilScratch: a nil Scratch must still work (engine falls
+// back to a call-local buffer set) and match the allocating path.
+func TestEvalBatchIntoNilScratch(t *testing.T) {
+	entries, err := population.NaiveUnaryRange(OpSquare.Func(), 8, 8, 0, 63, population.Midpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewUnaryEngine("sq", 8, 8, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []uint64{0, 5, 63, 64, 200}
+	want, wantM := e.EvalBatch(xs)
+	got, gotM := e.EvalBatchInto(nil, xs, nil)
+	if gotM != wantM {
+		t.Fatalf("misses = %d, want %d", gotM, wantM)
+	}
+	for i := range xs {
+		if got[i] != want[i] {
+			t.Fatalf("result[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

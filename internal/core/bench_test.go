@@ -50,3 +50,37 @@ func BenchmarkSync(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkObserveEvalUnary measures the batched data-plane hot path for a
+// single-operand system: one ObserveEvalAll call per iteration over a
+// 1024-sample batch through caller-owned buffers. The interesting numbers
+// are ns/sample (ns/op ÷ 1024) and the 0 allocs/op steady-state contract.
+func BenchmarkObserveEvalUnary(b *testing.B) {
+	sys, xs := warmedUnary(b, 21)
+	xs = xs[:1024]
+	var sc arith.Scratch
+	var dst []uint64
+	dst, _ = sys.ObserveEvalAll(dst, xs, &sc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = sys.ObserveEvalAll(dst, xs, &sc)
+	}
+	_ = dst
+}
+
+// BenchmarkObserveEvalBinary is the two-operand variant: both monitors
+// observe and the pair stream packs into the flat two-field key buffer.
+func BenchmarkObserveEvalBinary(b *testing.B) {
+	sys, xs, ys := warmedBinary(b, 22)
+	xs, ys = xs[:1024], ys[:1024]
+	var sc arith.Scratch
+	var dst []uint64
+	dst, _ = sys.ObserveEvalAll(dst, xs, ys, &sc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = sys.ObserveEvalAll(dst, xs, ys, &sc)
+	}
+	_ = dst
+}

@@ -318,6 +318,18 @@ func (s *UnarySystem) Observe(x uint64) { s.ctl.Monitor().Observe(x) }
 // drives; safe for concurrent use.
 func (s *UnarySystem) ObserveAll(xs []uint64) { s.ctl.Monitor().ObserveAll(xs) }
 
+// ObserveEvalAll is the batched data-plane hot path: monitor the whole
+// operand batch, then evaluate it, both through the typed ordinal lookup.
+// Results land in dst (reused when it has the capacity) and sc's buffers
+// are threaded through the calculation lookup, so a replay worker that
+// recycles dst and one sc per goroutine runs allocation-free in steady
+// state. dst and sc must not be shared by concurrent callers; the batches
+// themselves may be observed concurrently.
+func (s *UnarySystem) ObserveEvalAll(dst []uint64, xs []uint64, sc *arith.Scratch) ([]uint64, int) {
+	s.ctl.Monitor().ObserveAll(xs)
+	return s.engine.EvalBatchInto(dst, xs, sc)
+}
+
 // Lookup is the per-packet data-plane path: monitor the operand, then fetch
 // the approximate result from the calculation TCAM.
 func (s *UnarySystem) Lookup(x uint64) (uint64, error) {
@@ -534,6 +546,17 @@ func (s *BinarySystem) Observe(x, y uint64) {
 func (s *BinarySystem) ObserveAll(xs, ys []uint64) {
 	s.ctlX.Monitor().ObserveAll(xs)
 	s.ctlY.Monitor().ObserveAll(ys)
+}
+
+// ObserveEvalAll is the batched two-operand hot path: both monitors observe
+// their variable's batch, then the pairs evaluate against the joint
+// calculation table through the typed ordinal lookup, packed into sc's flat
+// key buffer. dst and sc are reused across batches by a worker that owns
+// them; see UnarySystem.ObserveEvalAll for the ownership contract.
+func (s *BinarySystem) ObserveEvalAll(dst []uint64, xs, ys []uint64, sc *arith.Scratch) ([]uint64, int) {
+	s.ctlX.Monitor().ObserveAll(xs)
+	s.ctlY.Monitor().ObserveAll(ys)
+	return s.engine.EvalBatchInto(dst, xs, ys, sc)
 }
 
 // Lookup is the per-packet path: monitor both operands and fetch the result.

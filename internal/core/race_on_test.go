@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is instrumenting this test
+// binary; its runtime charges bookkeeping allocations that would fail the
+// zero-allocation assertions.
+const raceEnabled = true

@@ -1,0 +1,59 @@
+package experiments
+
+import "testing"
+
+// shortDataplaneBenchConfig trims the sweep so the acceptance run fits CI:
+// the built-in equivalence verification (results, misses, registers) still
+// runs in full, only the measured stream shrinks.
+func shortDataplaneBenchConfig() DataplaneBenchConfig {
+	cfg := DefaultDataplaneBenchConfig()
+	cfg.Samples = 60_000
+	cfg.Batch = 512
+	cfg.Workers = []int{1, 2}
+	return cfg
+}
+
+// TestDataplaneBenchAcceptance runs the data-plane throughput experiment
+// end to end. Every run first proves the typed path bit-identical to the
+// pre-change baseline replica (RunDataplaneBench errors on any divergence),
+// then sweeps both paths. In short/CI mode only sanity bounds are asserted
+// — single-core runners make throughput ratios unstable; the committed
+// BENCH_dataplane.json records the full-run speedups.
+func TestDataplaneBenchAcceptance(t *testing.T) {
+	cfg := DefaultDataplaneBenchConfig()
+	if testing.Short() {
+		cfg = shortDataplaneBenchConfig()
+	}
+	rows, err := RunDataplaneBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", RenderDataplaneBench(rows))
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want unary + binary", len(rows))
+	}
+	for _, row := range rows {
+		if row.Path != "unary" && row.Path != "binary" {
+			t.Errorf("unexpected path %q", row.Path)
+		}
+		if len(row.Points) != len(cfg.Workers) {
+			t.Errorf("%s: %d points, want %d", row.Path, len(row.Points), len(cfg.Workers))
+		}
+		for _, p := range row.Points {
+			if p.TypedSamplesSec <= 0 || p.BaselineSamplesSec <= 0 {
+				t.Errorf("%s w=%d: non-positive throughput %+v", row.Path, p.Workers, p)
+			}
+			if !raceEnabled && p.TypedAllocsBatch >= 2 {
+				t.Errorf("%s w=%d: typed path allocates %.1f/batch, want <2",
+					row.Path, p.Workers, p.TypedAllocsBatch)
+			}
+		}
+		if row.BestSpeedup <= 1 {
+			t.Errorf("%s: best typed/baseline speedup %.2f, want >1", row.Path, row.BestSpeedup)
+		}
+		if !testing.Short() && !raceEnabled && row.ScalingImprovement < 2 {
+			t.Errorf("%s: scaling improvement %.2f, want >=2 in full mode",
+				row.Path, row.ScalingImprovement)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is instrumenting this test
+// binary; its runtime distorts throughput ratios and charges bookkeeping
+// allocations, so performance assertions relax under it.
+const raceEnabled = true

@@ -8,11 +8,23 @@
 // The control plane periodically snapshots and resets the registers; both
 // operations are counted so the paper's overhead accounting (Table II) can
 // be derived from real operation counts.
+//
+// The observe path is built for multi-core replay at zero steady-state
+// allocation: batch lookups resolve through the TCAM's typed ordinal path
+// (no per-sample interface assertions), scratch buffers recycle through a
+// pool, and the register file is striped — each worker increments its own
+// cache-line-padded stripe with a plain atomic add instead of contending a
+// CAS loop on one shared slice. Stripes are merged, and register-width
+// saturation enforced, when the control plane reads the registers, which
+// keeps snapshots and the saturation statistic bit-identical to a sequential
+// replay (increments are commutative, and min(total, max) equals the
+// per-increment clamp regardless of interleaving).
 package monitor
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -31,6 +43,11 @@ var (
 // DefaultRegisterBits is the register width of the modelled switch; Tofino
 // register cells are 32 bits.
 const DefaultRegisterBits = 32
+
+// stripePad rounds each stripe up to whole cache lines and adds one guard
+// line, so no cache line ever holds live counters of two stripes regardless
+// of the backing array's alignment.
+const stripePad = 8 // uint64s per 64-byte cache line
 
 // Stats counts data-plane and control-plane operations on the monitor.
 type Stats struct {
@@ -58,25 +75,42 @@ type monStats struct {
 	registerReads  atomic.Uint64
 	registerWrites atomic.Uint64
 	tcamWrites     atomic.Uint64
-	saturations    atomic.Uint64
+	saturations    atomic.Uint64 // increments lost in registers already drained
+}
+
+// obsScratch is the per-batch buffer set ObserveAll recycles: masked keys
+// and resolved ordinals. Losing one to the pool's GC costs a re-allocation,
+// never counts.
+type obsScratch struct {
+	keys []uint64
+	ords []int32
 }
 
 // Monitor is the data-plane monitoring unit for one variable. It is safe
 // for concurrent use, and observation scales across goroutines: observers
 // hold the lock in shared mode (the bin lookup itself is lock-free inside
-// the tcam package) and bump registers with atomic compare-and-swap, so
-// many packets observe in parallel while only control-plane operations —
-// Install, Snapshot, Reset — exclude them.
+// the tcam package) and bump per-stripe registers with uncontended atomic
+// adds, so many packets observe in parallel while only control-plane
+// operations — Install, Snapshot, Reset — exclude them.
 type Monitor struct {
 	mu sync.RWMutex // RLock: observers; Lock: install/snapshot/reset
 
 	table       *tcam.Table
-	regs        []uint64 // elements accessed atomically
 	prefixes    []bitstr.Prefix
 	width       int
 	registerMax uint64
 	capacity    int
+	nstripes    int
 	stats       monStats
+
+	// bins and stripes are guarded by mu (observers RLock them and mutate
+	// stripe elements atomically); each stripe is a bins-long window into
+	// one padded backing array, at least a guard cache line apart from its
+	// neighbours.
+	bins     int
+	stripes  [][]uint64
+	nextLane atomic.Uint32
+	scratch  sync.Pool // of *obsScratch
 }
 
 // Option configures a Monitor.
@@ -97,6 +131,18 @@ func WithRegisterBits(bits int) Option {
 	}
 }
 
+// WithStripes sets the register stripe count (default GOMAXPROCS). More
+// stripes than concurrent observers only costs merge time; fewer reintroduces
+// contention on the shared cache lines. 1 restores a single register file.
+func WithStripes(n int) Option {
+	return func(m *Monitor) {
+		if n < 1 {
+			n = 1
+		}
+		m.nstripes = n
+	}
+}
+
 // New creates a monitor for width-bit operands with the given monitoring
 // TCAM capacity (0 = unbounded). Install must be called before observing.
 func New(name string, width, capacity int, opts ...Option) (*Monitor, error) {
@@ -109,11 +155,30 @@ func New(name string, width, capacity int, opts ...Option) (*Monitor, error) {
 		width:       width,
 		capacity:    capacity,
 		registerMax: uint64(1)<<DefaultRegisterBits - 1,
+		nstripes:    runtime.GOMAXPROCS(0),
 	}
 	for _, o := range opts {
 		o(m)
 	}
+	if m.nstripes < 1 {
+		m.nstripes = 1
+	}
+	m.scratch.New = func() any { return new(obsScratch) }
+	m.allocStripesLocked(0)
 	return m, nil
+}
+
+// allocStripesLocked replaces the register stripes with zeroed ones for the
+// given bin count; m.mu must be held exclusively (or the monitor not yet
+// shared).
+func (m *Monitor) allocStripesLocked(bins int) {
+	stride := (bins+stripePad-1)&^(stripePad-1) + stripePad
+	backing := make([]uint64, m.nstripes*stride)
+	m.stripes = make([][]uint64, m.nstripes)
+	for i := range m.stripes {
+		m.stripes[i] = backing[i*stride : i*stride+bins : i*stride+bins]
+	}
+	m.bins = bins
 }
 
 // Install replaces the monitoring bins. The prefixes must tile the operand
@@ -142,34 +207,30 @@ func (m *Monitor) Install(prefixes []bitstr.Prefix) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Fold the discarded registers' lost increments into the lifetime
+	// saturation statistic before the stripes are replaced, exactly as the
+	// per-increment accounting would have counted them.
+	m.drainLocked(nil, true)
 	m.prefixes = make([]bitstr.Prefix, len(prefixes))
 	copy(m.prefixes, prefixes)
-	m.regs = make([]uint64, len(prefixes))
+	m.allocStripesLocked(len(prefixes))
 	m.stats.tcamWrites.Add(uint64(writes))
 	return writes, nil
 }
 
-// bump increments register idx, saturating at the register width; called
-// with at least the read lock held so Install cannot swap the slice away
-// mid-increment.
-func (m *Monitor) bump(idx int) {
-	for {
-		cur := atomic.LoadUint64(&m.regs[idx])
-		if cur >= m.registerMax {
-			m.stats.saturations.Add(1)
-			return
-		}
-		if atomic.CompareAndSwapUint64(&m.regs[idx], cur, cur+1) {
-			return
-		}
-	}
+// lane picks the stripe this caller increments. Round-robin assignment is
+// enough: correctness never depends on exclusivity (stripe increments are
+// atomic), only contention does, and concurrent replay workers calling once
+// per batch land on distinct stripes.
+func (m *Monitor) lane() []uint64 {
+	return m.stripes[int(m.nextLane.Add(1))%len(m.stripes)]
 }
 
 // Observe records one data-plane sample: match the monitoring TCAM,
 // increment the winning bin's register. It reports whether the sample
 // matched a bin. The critical section is shared (read-locked) and the bin
 // lookup is lock-free, so concurrent observers do not serialize; only the
-// register/stat update is synchronized, via per-register atomics.
+// register/stat update is synchronized, via per-stripe atomics.
 func (m *Monitor) Observe(v uint64) bool {
 	if m.width < 64 {
 		v &= uint64(1)<<uint(m.width) - 1
@@ -182,17 +243,19 @@ func (m *Monitor) Observe(v uint64) bool {
 		return false
 	}
 	idx, ok := e.Data.(int)
-	if !ok || idx < 0 || idx >= len(m.regs) {
+	if !ok || idx < 0 || idx >= m.bins {
 		return false
 	}
-	m.bump(idx)
+	atomic.AddUint64(&m.lane()[idx], 1)
 	m.stats.matched.Add(1)
 	return true
 }
 
 // ObserveAll records a batch of samples, resolving all of them against one
-// compiled TCAM snapshot (tcam.LookupSingleBatch) instead of paying the
-// per-sample lookup dispatch.
+// compiled TCAM snapshot through the typed ordinal path — no per-sample
+// lookup dispatch, interface assertion, or allocation: the masked-key and
+// ordinal buffers recycle through an internal pool, and the whole batch
+// increments one register stripe.
 func (m *Monitor) ObserveAll(vs []uint64) {
 	if len(vs) == 0 {
 		return
@@ -202,26 +265,66 @@ func (m *Monitor) ObserveAll(vs []uint64) {
 		mask = uint64(1)<<uint(m.width) - 1
 	}
 	m.stats.observations.Add(uint64(len(vs)))
-	keys := make([]uint64, len(vs))
+	sc := m.scratch.Get().(*obsScratch)
+	keys := sc.keys
+	if cap(keys) >= len(vs) {
+		keys = keys[:len(vs)]
+	} else {
+		keys = make([]uint64, len(vs))
+	}
 	for i, v := range vs {
 		keys[i] = v & mask
 	}
 	m.mu.RLock()
-	defer m.mu.RUnlock()
-	entries := m.table.LookupSingleBatch(keys, nil)
+	ords, pay := m.table.LookupIndexBatch(keys, sc.ords)
+	lane := m.lane()
+	bins := uint64(m.bins)
 	var matched uint64
-	for _, e := range entries {
-		if e == nil {
+	for _, ord := range ords {
+		if ord < 0 {
 			continue
 		}
-		idx, ok := e.Data.(int)
-		if !ok || idx < 0 || idx >= len(m.regs) {
+		idx, ok := pay.Value(ord)
+		if !ok || idx >= bins {
 			continue
 		}
-		m.bump(idx)
+		atomic.AddUint64(&lane[idx], 1)
 		matched++
 	}
+	m.mu.RUnlock()
 	m.stats.matched.Add(matched)
+	sc.keys, sc.ords = keys, ords
+	m.scratch.Put(sc)
+}
+
+// drainLocked merges the stripes into dst (when non-nil) with register-width
+// saturation applied, and, when reset is set, zeroes the stripes and folds
+// the lost increments into the lifetime saturation counter; m.mu must be
+// held exclusively. Merging under the exclusive lock is what makes the
+// result bit-identical to a sequential replay: no increment is in flight,
+// and min(total, max) is exactly what per-increment clamping would have
+// left in the register.
+func (m *Monitor) drainLocked(dst []uint64, reset bool) {
+	for i := 0; i < m.bins; i++ {
+		var total uint64
+		for _, s := range m.stripes {
+			if reset {
+				total += atomic.SwapUint64(&s[i], 0)
+			} else {
+				total += atomic.LoadUint64(&s[i])
+			}
+		}
+		v := total
+		if v > m.registerMax {
+			v = m.registerMax
+		}
+		if reset {
+			m.stats.saturations.Add(total - v)
+		}
+		if dst != nil {
+			dst[i] = v
+		}
+	}
 }
 
 // Snapshot returns the per-bin hit counts in bin (value) order and charges
@@ -236,11 +339,9 @@ func (m *Monitor) Snapshot() []uint64 {
 func (m *Monitor) SnapshotInto(dst []uint64) []uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	dst = sizeFor(dst, len(m.regs))
-	for i := range m.regs {
-		dst[i] = atomic.LoadUint64(&m.regs[i])
-	}
-	m.stats.registerReads.Add(uint64(len(m.regs)))
+	dst = sizeFor(dst, m.bins)
+	m.drainLocked(dst, false)
+	m.stats.registerReads.Add(uint64(m.bins))
 	return dst
 }
 
@@ -257,12 +358,10 @@ func (m *Monitor) SnapshotAndReset() []uint64 {
 func (m *Monitor) SnapshotAndResetInto(dst []uint64) []uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	dst = sizeFor(dst, len(m.regs))
-	for i := range m.regs {
-		dst[i] = atomic.SwapUint64(&m.regs[i], 0)
-	}
-	m.stats.registerReads.Add(uint64(len(m.regs)))
-	m.stats.registerWrites.Add(uint64(len(m.regs)))
+	dst = sizeFor(dst, m.bins)
+	m.drainLocked(dst, true)
+	m.stats.registerReads.Add(uint64(m.bins))
+	m.stats.registerWrites.Add(uint64(m.bins))
 	return dst
 }
 
@@ -279,10 +378,8 @@ func sizeFor(dst []uint64, n int) []uint64 {
 func (m *Monitor) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for i := range m.regs {
-		atomic.StoreUint64(&m.regs[i], 0)
-	}
-	m.stats.registerWrites.Add(uint64(len(m.regs)))
+	m.drainLocked(nil, true)
+	m.stats.registerWrites.Add(uint64(m.bins))
 }
 
 // NumBins returns the installed bin count.
@@ -307,14 +404,28 @@ func (m *Monitor) Width() int { return m.width }
 // Table exposes the monitoring TCAM for resource accounting.
 func (m *Monitor) Table() *tcam.Table { return m.table }
 
-// Stats returns a snapshot of the operation counters.
+// Stats returns a snapshot of the operation counters. Saturations is
+// computed live: lost increments still sitting in undrained registers are
+// included, exactly as the per-increment accounting would report.
 func (m *Monitor) Stats() Stats {
+	m.mu.RLock()
+	sat := m.stats.saturations.Load()
+	for i := 0; i < m.bins; i++ {
+		var total uint64
+		for _, s := range m.stripes {
+			total += atomic.LoadUint64(&s[i])
+		}
+		if total > m.registerMax {
+			sat += total - m.registerMax
+		}
+	}
+	m.mu.RUnlock()
 	return Stats{
 		Observations:   m.stats.observations.Load(),
 		Matched:        m.stats.matched.Load(),
 		RegisterReads:  m.stats.registerReads.Load(),
 		RegisterWrites: m.stats.registerWrites.Load(),
 		TCAMWrites:     m.stats.tcamWrites.Load(),
-		Saturations:    m.stats.saturations.Load(),
+		Saturations:    sat,
 	}
 }

@@ -54,3 +54,55 @@ func ReplayOperands(workers int, vs []uint64, observe func([]uint64)) {
 		observe(vs[lo:hi])
 	})
 }
+
+// ReplayBatched shards an operand stream across workers like ReplayOperands,
+// then feeds each worker's shard to fn in sub-batches of at most batchSize
+// samples — the shape the zero-allocation data-plane path wants: the caller
+// keeps one set of scratch buffers per worker (indexed by the worker
+// argument, always in [0, workers)) and reuses them across that worker's
+// batches. batchSize <= 0 hands each shard over as a single batch. Every
+// sample is delivered exactly once; fn must be safe to call concurrently
+// for distinct workers.
+func ReplayBatched(workers, batchSize int, vs []uint64, fn func(worker int, batch []uint64)) {
+	n := len(vs)
+	if n == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	run := func(w int, vs []uint64) {
+		if batchSize <= 0 {
+			fn(w, vs)
+			return
+		}
+		for lo := 0; lo < len(vs); lo += batchSize {
+			hi := lo + batchSize
+			if hi > len(vs) {
+				hi = len(vs)
+			}
+			fn(w, vs[lo:hi])
+		}
+	}
+	if workers == 1 {
+		run(0, vs)
+		return
+	}
+	var wg sync.WaitGroup
+	for w, lo := 0, 0; lo < n; w, lo = w+1, lo+chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w int, shard []uint64) {
+			defer wg.Done()
+			run(w, shard)
+		}(w, vs[lo:hi])
+	}
+	wg.Wait()
+}

@@ -14,6 +14,25 @@
 // index returns bit-identical winners (the differential tests in
 // index_test.go pin this against LookupAll).
 //
+// Two further compilations serve the zero-allocation hot path:
+//
+//   - Every snapshot assigns each entry a dense ordinal (its position in
+//     resolution order) and, when all action data is integral, a typed
+//     payload array payload[ordinal], so batch callers receive plain int32
+//     ordinals and resolve results without per-sample interface assertions
+//     (see Table.LookupIndexBatch and Payloads).
+//   - Tables whose per-field prefixes are pairwise disjoint — monitoring
+//     bins tile the domain, calculation populations are trie leaves, and
+//     joint binary populations are cross products of two tilings — compile
+//     each field to a rangeSet: a dense lookup table (one indexed load per
+//     key, no branches to mispredict) when the field is narrow, a sorted
+//     range array searched by predecessor otherwise. A single-field lookup
+//     is then one resolve; a two-field lookup is two resolves plus a load
+//     from a #Xprefixes×#Yprefixes grid of winning ordinals. At most one
+//     entry can match a key per disjoint field set, so results are
+//     trivially bit-identical to the reference resolution; any overlap
+//     (nested prefixes, duplicates) leaves the trie path in place.
+//
 // Entries with a non-prefix ternary mask (wildcard bits above significant
 // bits) cannot be trie-indexed; such tables compile to an immutable
 // resolution-ordered snapshot that is linearly scanned — still lock-free,
@@ -40,7 +59,103 @@ type index struct {
 	version uint64
 	widths  []int
 	root    *idxNode // nil when linear is set
-	linear  []*Entry // resolution-ordered fallback for non-prefix masks
+	linear  bool     // scan entries in order: fallback for non-prefix masks
+
+	// entries holds the snapshot's entry copies in resolution order; an
+	// entry's ordinal (Entry.ord) is its position here.
+	entries []*Entry
+	// payload is the dense typed action-data array, payload[ordinal], valid
+	// when typed is set (every entry's Data is a uint64 or non-negative int).
+	payload []uint64
+	typed   bool
+
+	// Disjoint-prefix fast paths. rset resolves a single-field table
+	// straight to ordinals. For two-field tables, rsetX/rsetY resolve each
+	// key to its field's prefix slot and grid[slotX*gridNY+slotY] holds the
+	// winning ordinal (−1 where no entry pairs the two prefixes). All stay
+	// nil when any field's prefixes overlap, keeping the trie path.
+	rset         *rangeSet
+	rsetX, rsetY *rangeSet
+	grid         []int32
+	gridNY       int
+}
+
+// lutMaxBits bounds the dense-LUT form of a rangeSet: a field up to 16 bits
+// compiles to at most a 256 KiB int32 table, built in one pass over the
+// domain at snapshot-compile time (mutation-rate work, not lookup-rate).
+const lutMaxBits = 16
+
+// rangeSet is one field's compiled disjoint prefix set. resolve maps a key
+// to the owning prefix's slot, or −1 for a miss. Narrow fields use the
+// dense lut (a single indexed load — nothing for the branch predictor to
+// miss); wide fields binary-search the sorted range bounds.
+type rangeSet struct {
+	mask   uint64
+	lut    []int32
+	lo, hi []uint64
+	slot   []int32
+}
+
+// resolve maps a key to its slot or −1. Key bits above the field width are
+// ignored, matching Field.Matches and the trie walk.
+func (r *rangeSet) resolve(key uint64) int32 {
+	key &= r.mask
+	if r.lut != nil {
+		return r.lut[key]
+	}
+	lo := r.lo
+	base, n := 0, len(lo)
+	for n > 1 {
+		half := n >> 1
+		if lo[base+half] <= key {
+			base += half
+		}
+		n -= half
+	}
+	if lo[base] > key || key > r.hi[base] {
+		return -1
+	}
+	return r.slot[base]
+}
+
+// buildRangeSet compiles [lo[i], hi[i]] → slot[i] after verifying the
+// ranges are pairwise disjoint; it returns nil when they overlap. The
+// inputs are insertion-sorted in place by range start (prefix sets arrive
+// nearly sorted and stay TCAM-scale).
+func buildRangeSet(width int, lo, hi []uint64, slot []int32) *rangeSet {
+	n := len(lo)
+	if n == 0 {
+		return nil
+	}
+	for i := 1; i < n; i++ {
+		l, h, s := lo[i], hi[i], slot[i]
+		j := i - 1
+		for j >= 0 && lo[j] > l {
+			lo[j+1], hi[j+1], slot[j+1] = lo[j], hi[j], slot[j]
+			j--
+		}
+		lo[j+1], hi[j+1], slot[j+1] = l, h, s
+	}
+	for i := 1; i < n; i++ {
+		if lo[i] <= hi[i-1] {
+			return nil // overlapping prefixes: LPM resolution needs the trie
+		}
+	}
+	r := &rangeSet{mask: lowMask(width), lo: lo, hi: hi, slot: slot}
+	if width <= lutMaxBits {
+		lut := make([]int32, 1<<uint(width))
+		for i := range lut {
+			lut[i] = -1
+		}
+		for i := 0; i < n; i++ {
+			for k := lo[i]; k <= hi[i]; k++ {
+				lut[k] = slot[i]
+			}
+		}
+		r.lut = lut
+		r.lo, r.hi, r.slot = nil, nil, nil
+	}
+	return r
 }
 
 // lowMask returns a mask with the low n bits set, handling n >= 64.
@@ -63,8 +178,33 @@ func maskIsPrefix(mask uint64, width int) bool {
 // entries can never race with a reader holding an old snapshot.
 func buildIndex(version uint64, widths []int, ordered []*Entry) *index {
 	ix := &index{version: version, widths: widths}
+	ix.entries = make([]*Entry, len(ordered))
+	ix.payload = make([]uint64, len(ordered))
+	ix.typed = true
+	for i, e := range ordered {
+		c := *e
+		c.ord = int32(i)
+		ix.entries[i] = &c
+		if ix.typed {
+			switch d := c.Data.(type) {
+			case uint64:
+				ix.payload[i] = d
+			case int:
+				if d >= 0 {
+					ix.payload[i] = uint64(d)
+				} else {
+					ix.typed = false
+				}
+			default:
+				ix.typed = false
+			}
+		}
+	}
+	if !ix.typed {
+		ix.payload = nil
+	}
 	trieable := true
-	for _, e := range ordered {
+	for _, e := range ix.entries {
 		for f, fd := range e.Fields {
 			if !maskIsPrefix(fd.Mask, widths[f]) {
 				trieable = false
@@ -76,19 +216,112 @@ func buildIndex(version uint64, widths []int, ordered []*Entry) *index {
 		}
 	}
 	if !trieable {
-		ix.linear = make([]*Entry, len(ordered))
-		for i, e := range ordered {
-			c := *e
-			ix.linear[i] = &c
-		}
+		ix.linear = true
 		return ix
 	}
 	ix.root = &idxNode{}
-	for _, e := range ordered {
-		c := *e
-		ix.insert(&c)
+	for _, e := range ix.entries {
+		ix.insert(e)
+	}
+	switch len(widths) {
+	case 1:
+		ix.buildSingle()
+	case 2:
+		ix.buildGrid()
 	}
 	return ix
+}
+
+// fieldRanges extracts field f's match ranges with slot[i] = i, the raw
+// material for buildRangeSet.
+func fieldRanges(entries []*Entry, f, width int) (lo, hi []uint64, slot []int32) {
+	lo = make([]uint64, len(entries))
+	hi = make([]uint64, len(entries))
+	slot = make([]int32, len(entries))
+	for i, e := range entries {
+		fd := e.Fields[f]
+		lo[i] = fd.Value
+		hi[i] = fd.Value | (lowMask(width) &^ fd.Mask)
+		slot[i] = int32(i)
+	}
+	return lo, hi, slot
+}
+
+// buildSingle compiles the single-field fast path: the entries' prefixes
+// form the range set and slots are the ordinals themselves. Overlapping
+// prefixes (one nested in another, or duplicates) leave the trie in place.
+func (ix *index) buildSingle() {
+	if len(ix.entries) == 0 {
+		return
+	}
+	lo, hi, slot := fieldRanges(ix.entries, 0, ix.widths[0])
+	ix.rset = buildRangeSet(ix.widths[0], lo, hi, slot)
+}
+
+// buildGrid compiles the two-field fast path for product-shaped tables
+// (the joint binary populations): each field's distinct prefixes must be
+// pairwise disjoint, so a key resolves to at most one prefix slot per
+// field, and the winning entry for a (slotX, slotY) pair is the
+// resolution-order first entry carrying exactly those prefixes.
+func (ix *index) buildGrid() {
+	if len(ix.entries) == 0 {
+		return
+	}
+	type pref struct{ value, mask uint64 }
+	xs := make(map[pref]int32)
+	ys := make(map[pref]int32)
+	ex := make([]int32, len(ix.entries)) // entry → X slot
+	ey := make([]int32, len(ix.entries))
+	for i, e := range ix.entries {
+		px := pref{e.Fields[0].Value, e.Fields[0].Mask}
+		sx, ok := xs[px]
+		if !ok {
+			sx = int32(len(xs))
+			xs[px] = sx
+		}
+		py := pref{e.Fields[1].Value, e.Fields[1].Mask}
+		sy, ok := ys[py]
+		if !ok {
+			sy = int32(len(ys))
+			ys[py] = sy
+		}
+		ex[i], ey[i] = sx, sy
+	}
+	compile := func(m map[pref]int32, width int) *rangeSet {
+		lo := make([]uint64, len(m))
+		hi := make([]uint64, len(m))
+		slot := make([]int32, len(m))
+		i := 0
+		for p, s := range m {
+			lo[i] = p.value
+			hi[i] = p.value | (lowMask(width) &^ p.mask)
+			slot[i] = s
+			i++
+		}
+		return buildRangeSet(width, lo, hi, slot)
+	}
+	rx := compile(xs, ix.widths[0])
+	if rx == nil {
+		return
+	}
+	ry := compile(ys, ix.widths[1])
+	if ry == nil {
+		return
+	}
+	ny := len(ys)
+	grid := make([]int32, len(xs)*ny)
+	for i := range grid {
+		grid[i] = -1
+	}
+	// Forward fill, first writer wins: entries are in resolution order, so
+	// the first entry with a given prefix pair is the one resolution picks.
+	for i := range ix.entries {
+		g := &grid[int(ex[i])*ny+int(ey[i])]
+		if *g < 0 {
+			*g = int32(i)
+		}
+	}
+	ix.rsetX, ix.rsetY, ix.grid, ix.gridNY = rx, ry, grid, ny
 }
 
 // insert threads one entry through the nested trie. ordered iteration means
@@ -124,15 +357,49 @@ func (ix *index) insert(e *Entry) {
 // lookup resolves keys (already arity-checked by the caller) to the winning
 // entry, or nil on a miss.
 func (ix *index) lookup(keys []uint64) *Entry {
-	if ix.linear != nil || ix.root == nil {
-		for _, e := range ix.linear {
+	if ord := ix.lookupOrd(keys); ord >= 0 {
+		return ix.entries[ord]
+	}
+	return nil
+}
+
+// lookupOrd resolves keys to the winning entry's ordinal, or −1 on a miss.
+// It dispatches to the cheapest compiled form the snapshot supports.
+func (ix *index) lookupOrd(keys []uint64) int32 {
+	if ix.rset != nil {
+		return ix.rset.resolve(keys[0])
+	}
+	if ix.grid != nil {
+		sx := ix.rsetX.resolve(keys[0])
+		if sx < 0 {
+			return -1
+		}
+		sy := ix.rsetY.resolve(keys[1])
+		if sy < 0 {
+			return -1
+		}
+		return ix.grid[int(sx)*ix.gridNY+int(sy)]
+	}
+	return ix.trieLookupOrd(keys)
+}
+
+// trieLookupOrd resolves keys without the range-compiled fast path: the
+// trie walk (or the linear fallback). It is both lookupOrd's slow half and
+// the reference the range compilation is measured and differentially
+// tested against.
+func (ix *index) trieLookupOrd(keys []uint64) int32 {
+	if ix.linear || ix.root == nil {
+		for _, e := range ix.entries {
 			if matchAll(e.Fields, keys) {
-				return e
+				return e.ord
 			}
 		}
-		return nil
+		return -1
 	}
-	return ix.walk(ix.root, 0, keys)
+	if e := ix.walk(ix.root, 0, keys); e != nil {
+		return e.ord
+	}
+	return -1
 }
 
 // walk descends field f's trie along the key's bit path. Every node on the

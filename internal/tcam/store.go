@@ -17,6 +17,11 @@ type Store interface {
 	// LookupSingleBatch is the single-field fast path; dst is reused when
 	// large enough.
 	LookupSingleBatch(keys []uint64, dst []*Entry) []*Entry
+	// LookupIndexBatch is the zero-allocation hot path: packed key tuples
+	// resolve to dense snapshot ordinals (−1 = miss) plus a typed payload
+	// view, with dst reused when large enough. See Table.LookupIndexBatch
+	// for the ordinal/payload pairing contract.
+	LookupIndexBatch(flat []uint64, dst []int32) ([]int32, Payloads)
 
 	// ApplyRowsAtomic reconciles the store contents toward rows with
 	// minimal writes, all-or-nothing.

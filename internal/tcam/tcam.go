@@ -111,6 +111,7 @@ type Entry struct {
 	sig int    // cached total significant bits
 	seq int    // insertion sequence for deterministic final tie-break
 	key string // match key serialised once at insert; Fields/Priority are immutable
+	ord int32  // dense snapshot ordinal, assigned per compiled index build
 }
 
 // SigBits returns the total number of significant bits across all fields.
@@ -558,6 +559,136 @@ func (t *Table) LookupSingleBatch(keys []uint64, dst []*Entry) []*Entry {
 	t.stats.hits.Add(hits)
 	t.stats.misses.Add(uint64(len(keys)) - hits)
 	return dst
+}
+
+// LookupSingleBatchTrie is LookupSingleBatch pinned to the compiled trie
+// walk, bypassing the range-compiled fast path single-field tables usually
+// resolve through. Like LookupAll's linear scan it is a reference path: the
+// differential tests cross-check the range compilation against it, and the
+// data-plane throughput benchmark uses it to replicate the
+// pre-optimisation per-sample cost. Results are bit-identical to
+// LookupSingleBatch.
+func (t *Table) LookupSingleBatchTrie(keys []uint64, dst []*Entry) []*Entry {
+	if cap(dst) >= len(keys) {
+		dst = dst[:len(keys)]
+		for i := range dst {
+			dst[i] = nil
+		}
+	} else {
+		dst = make([]*Entry, len(keys))
+	}
+	if len(keys) == 0 {
+		return dst
+	}
+	if len(t.fieldWidths) != 1 {
+		t.stats.lookups.Add(uint64(len(keys)))
+		t.stats.misses.Add(uint64(len(keys)))
+		return dst
+	}
+	ix := t.loadIndex()
+	var hits uint64
+	kbuf := make([]uint64, 1)
+	for i, k := range keys {
+		kbuf[0] = k
+		if ord := ix.trieLookupOrd(kbuf); ord >= 0 {
+			dst[i] = ix.entries[ord]
+			hits++
+		}
+	}
+	t.stats.lookups.Add(uint64(len(keys)))
+	t.stats.hits.Add(hits)
+	t.stats.misses.Add(uint64(len(keys)) - hits)
+	return dst
+}
+
+// Payloads is the typed action-data view of one compiled snapshot. Ordinals
+// returned by a LookupIndexBatch call index only the Payloads returned by
+// that same call — both come from the same immutable snapshot, so holding
+// them across later table mutations is safe, but mixing ordinals and
+// payloads from different calls is not.
+type Payloads struct {
+	entries []*Entry
+	vals    []uint64 // dense payload per ordinal, valid when typed
+	typed   bool
+}
+
+// Value resolves an ordinal to its action data as a uint64 without boxing:
+// a direct array load when the snapshot compiled typed (every entry's Data a
+// uint64 or non-negative int — all population schemes and the monitor
+// qualify), an interface assertion otherwise. It reports false for negative
+// (miss) or out-of-snapshot ordinals and for non-integral action data.
+func (p Payloads) Value(ord int32) (uint64, bool) {
+	if ord < 0 || int(ord) >= len(p.entries) {
+		return 0, false
+	}
+	if p.typed {
+		return p.vals[ord], true
+	}
+	switch d := p.entries[ord].Data.(type) {
+	case uint64:
+		return d, true
+	case int:
+		if d >= 0 {
+			return uint64(d), true
+		}
+	}
+	return 0, false
+}
+
+// Entry returns the snapshot entry behind an ordinal (nil for a miss
+// ordinal), for callers that need more than the typed payload.
+func (p Payloads) Entry(ord int32) *Entry {
+	if ord < 0 || int(ord) >= len(p.entries) {
+		return nil
+	}
+	return p.entries[ord]
+}
+
+// Typed reports whether Value resolves through the dense payload array.
+func (p Payloads) Typed() bool { return p.typed }
+
+// LookupIndexBatch is the zero-allocation batch lookup: flat packs
+// len(flat)/arity key tuples contiguously ([x0, y0, x1, y1, ...] for a
+// two-field table), and each tuple resolves to the winning entry's dense
+// snapshot ordinal (−1 on a miss) against one compiled snapshot. dst is
+// reused when it has the capacity, so a caller recycling its scratch buffer
+// performs no allocation; the returned Payloads resolves ordinals to action
+// data without per-sample interface assertions. Trailing elements of flat
+// that do not form a whole tuple are ignored.
+func (t *Table) LookupIndexBatch(flat []uint64, dst []int32) ([]int32, Payloads) {
+	arity := len(t.fieldWidths)
+	n := len(flat) / arity
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]int32, n)
+	}
+	ix := t.loadIndex()
+	var hits uint64
+	if ix.rset != nil && arity == 1 {
+		rs := ix.rset
+		for i, k := range flat[:n] {
+			ord := rs.resolve(k)
+			dst[i] = ord
+			if ord >= 0 {
+				hits++
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			ord := ix.lookupOrd(flat[i*arity : (i+1)*arity])
+			dst[i] = ord
+			if ord >= 0 {
+				hits++
+			}
+		}
+	}
+	if n > 0 {
+		t.stats.lookups.Add(uint64(n))
+		t.stats.hits.Add(hits)
+		t.stats.misses.Add(uint64(n) - hits)
+	}
+	return dst, Payloads{entries: ix.entries, vals: ix.payload, typed: ix.typed}
 }
 
 // LookupAll returns every matching entry in resolution order. This is the

@@ -482,6 +482,40 @@ func (s *Slice) LookupSingleBatch(keys []uint64, dst []*tcam.Entry) []*tcam.Entr
 	return out
 }
 
+// physFlatPool recycles the translated key buffers LookupIndexBatch packs,
+// so a tenant-mounted engine's steady-state batches stay allocation-free.
+var physFlatPool = sync.Pool{New: func() any { return new([]uint64) }}
+
+// LookupIndexBatch translates the tenant-local packed tuples to the physical
+// layout (tenant-ID first, unused operand fields zeroed against their
+// wildcards) and resolves them against one compiled snapshot of the shared
+// table. The returned ordinals and payloads are the physical table's; within
+// this slice's rows resolution is identical to a private table's.
+func (s *Slice) LookupIndexBatch(flat []uint64, dst []int32) ([]int32, tcam.Payloads) {
+	arity := len(s.widths)
+	n := len(flat) / arity
+	stride := 1 + len(s.p.cfg.OperandWidths)
+	bufp := physFlatPool.Get().(*[]uint64)
+	pk := *bufp
+	if cap(pk) >= n*stride {
+		pk = pk[:n*stride]
+	} else {
+		pk = make([]uint64, n*stride)
+	}
+	for i := 0; i < n; i++ {
+		row := pk[i*stride : (i+1)*stride]
+		row[0] = s.id
+		copy(row[1:1+arity], flat[i*arity:(i+1)*arity])
+		for j := 1 + arity; j < stride; j++ {
+			row[j] = 0
+		}
+	}
+	ords, pay := s.p.phys.LookupIndexBatch(pk, dst)
+	*bufp = pk
+	physFlatPool.Put(bufp)
+	return ords, pay
+}
+
 // ApplyRowsAtomic reconciles the slice toward rows, all-or-nothing, with the
 // same write accounting as a private table: unchanged rows cost nothing,
 // changed data one update, new rows one insert, stale rows one delete. Rows
