@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short vet bench bench-lookup bench-round bench-tenant bench-dataplane bench-compare bench-all chaos experiments examples cover clean
+.PHONY: all build test test-short vet bench bench-lookup bench-round bench-tenant bench-dataplane bench-recovery bench-compare bench-all chaos experiments examples cover clean
 
 all: build vet test
 
@@ -50,6 +50,13 @@ bench-dataplane:
 	$(GO) test -bench 'ObserveEval|Dataplane' -benchmem -run '^$$' ./internal/core
 	$(GO) run ./cmd/adabench -dataplane-out BENCH_dataplane.json dataplane
 
+# Failure model v2: silent-corruption detection latency, anti-entropy
+# repair writes vs full repopulation, and the arithmetic error of the
+# corruption window, plus the committed BENCH_recovery.json artefact.
+bench-recovery:
+	$(GO) test -run TestRecoveryBenchAcceptance -v ./internal/experiments
+	$(GO) run ./cmd/adabench -recovery-out BENCH_recovery.json recovery
+
 # A/B comparison capture for benchstat. Run once before a change and once
 # after, then diff:
 #   make bench-compare OUT=before.txt
@@ -62,7 +69,7 @@ bench-compare:
 	$(GO) test -bench . -benchmem -count 6 -run '^$$' ./internal/tcam ./internal/core ./internal/experiments | tee $(OUT)
 
 # All committed benchmark baselines in one go.
-bench-all: bench-lookup bench-round bench-tenant bench-dataplane
+bench-all: bench-lookup bench-round bench-tenant bench-dataplane bench-recovery
 
 # Regenerate every evaluation table/figure as text.
 experiments:

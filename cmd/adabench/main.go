@@ -2,12 +2,15 @@
 //
 // Usage:
 //
-//	adabench [-parallel N] [-lookup-out FILE] [-round-out FILE] [-tenant-out FILE] [-dataplane-out FILE] [experiment...]
+//	adabench [-parallel N] [-lookup-out FILE] [-round-out FILE] [-tenant-out FILE] [-dataplane-out FILE] [-recovery-out FILE] [experiment...]
 //
 // Experiments: dataplane fig1a fig1b fig1c fig5 fig6 fig7a fig7b fig7c fig8
-// fig9 fig10 lookup roundbench table2 tenant xcp all (default: all). Each
-// prints the same rows/series the paper reports; see EXPERIMENTS.md for the
-// paper-vs-measured record.
+// fig9 fig10 lookup recovery roundbench table2 tenant xcp all (default:
+// all). Each prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured record. recovery is the failure
+// model v2 experiment: silent TCAM corruption against the read-back audit,
+// measuring detection latency, anti-entropy repair writes vs full
+// repopulation, and the arithmetic error of the corruption window.
 //
 // -parallel sets the replay worker count for the experiments that feed
 // operand streams through the monitoring path (fig7c, fig9, dataplane); 0
@@ -16,8 +19,9 @@
 // lookup microbenchmark rows as JSON (the committed BENCH_lookup.json
 // baseline) in addition to printing the table; -round-out does the same for
 // the control-round benchmark (BENCH_round.json), -tenant-out for the
-// multi-tenant sharing benchmark (BENCH_tenant.json), and -dataplane-out for
-// the data-plane throughput benchmark (BENCH_dataplane.json).
+// multi-tenant sharing benchmark (BENCH_tenant.json), -dataplane-out for
+// the data-plane throughput benchmark (BENCH_dataplane.json), and
+// -recovery-out for the corruption-recovery benchmark (BENCH_recovery.json).
 package main
 
 import (
@@ -36,6 +40,7 @@ var (
 	roundOut  = flag.String("round-out", "", "write control-round benchmark rows as JSON to this file")
 	tenantOut = flag.String("tenant-out", "", "write multi-tenant sharing benchmark result as JSON to this file")
 	dataOut   = flag.String("dataplane-out", "", "write data-plane throughput benchmark rows as JSON to this file")
+	recovOut  = flag.String("recovery-out", "", "write corruption-recovery benchmark rows as JSON to this file")
 )
 
 var runners = map[string]func() (string, error){
@@ -134,6 +139,18 @@ var runners = map[string]func() (string, error){
 			}
 		}
 		return experiments.RenderLookupBench(rows), nil
+	},
+	"recovery": func() (string, error) {
+		rows, err := experiments.RunRecoveryBench(experiments.DefaultRecoveryBenchConfig())
+		if err != nil {
+			return "", err
+		}
+		if *recovOut != "" {
+			if err := experiments.WriteRecoveryBenchJSON(*recovOut, rows); err != nil {
+				return "", err
+			}
+		}
+		return experiments.RenderRecoveryBench(rows), nil
 	},
 	"roundbench": func() (string, error) {
 		rows, err := experiments.RunRoundBench(experiments.DefaultRoundBenchConfig())

@@ -9,6 +9,10 @@
 // system (monitor → controller → calculation TCAM) with the switch driver
 // wrapped in a deterministic fault injector, printing per-round retry and
 // degradation behaviour — a command-line replay of the chaos experiments.
+// Adding -audit N enables the controller's read-back audit every N rounds;
+// silent row faults in the profile (corrupt=, ghost=, droprow=) are injected
+// between rounds, and each audit's verdict (corrupted/ghost/missing rows and
+// repair writes) is printed per round.
 //
 // Usage:
 //
@@ -16,6 +20,7 @@
 //	adactl -op double -values 94,94,94,47,47
 //	adactl -op square -faults default < trace.txt
 //	adactl -op square -faults "seed=7,write=0.2,stale=0.05" -values 9,9,9,200
+//	adactl -op square -faults "seed=7,corrupt=0.5,ghost=0.2" -audit 2 < trace.txt
 package main
 
 import (
@@ -54,6 +59,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		thBalance = fs.Float64("th-balance", 0.20, "Algorithm 2 rebalance threshold")
 		values    = fs.String("values", "", "comma-separated operand values (default: read stdin)")
 		faultSpec = fs.String("faults", "", `replay through a fault-injected driver: "default", "outages", or "seed=7,write=0.05,stale=0.01,..."`)
+		auditN    = fs.Int("audit", 0, "with -faults: read-back audit of the calculation TCAM every N rounds (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,7 +83,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	if *faultSpec != "" {
-		return runFaulty(stdout, op, *width, *monitorN, *calcN, *rounds, *thBalance, *faultSpec, trace)
+		return runFaulty(stdout, op, *width, *monitorN, *calcN, *rounds, *auditN, *thBalance, *faultSpec, trace)
+	}
+	if *auditN != 0 {
+		return fmt.Errorf("-audit requires -faults (the audit only matters when the hardware can diverge)")
 	}
 
 	tr, err := trie.NewInitial(*monitorN, *width)
@@ -124,7 +133,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 // runFaulty replays the trace through the closed-loop system with the
 // switch driver wrapped in a seeded fault injector: chunked observe+sync
 // rounds, per-round degradation reporting, and the final monitoring shape.
-func runFaulty(stdout io.Writer, op arith.UnaryOp, width, monitorN, calcN, rounds int,
+// With auditN > 0 the controller also read-back audits the calculation TCAM
+// every auditN rounds, and silent row faults in the profile (corrupt, ghost,
+// droprow) are injected between rounds so the audits have something to find.
+func runFaulty(stdout io.Writer, op arith.UnaryOp, width, monitorN, calcN, rounds, auditN int,
 	thBalance float64, spec string, trace []uint64) error {
 	prof, err := faults.ParseProfile(spec)
 	if err != nil {
@@ -139,18 +151,21 @@ func runFaulty(stdout io.Writer, op arith.UnaryOp, width, monitorN, calcN, round
 	cfg.CalcEntries = calcN
 	cfg.ThBalance = thBalance
 	cfg.WrapDriver = inj.Wrap
+	cfg.AuditEvery = auditN
 	sys, err := core.NewUnary(cfg, op)
 	if err != nil {
 		return err
 	}
 	inj.AttachTable(sys.Engine().Table())
+	tamper := prof.Corrupt > 0 || prof.Ghost > 0 || prof.DropRow > 0
 
 	tbl := stats.NewTable(
 		fmt.Sprintf("Fault-injected replay for %v (profile %s, %d samples, %d rounds)",
 			op, prof, len(trace), rounds),
-		"round", "samples", "delay", "status", "retries", "driver errors")
+		"round", "samples", "delay", "status", "retries", "driver errors", "audit")
 	chunk := (len(trace) + rounds - 1) / rounds
 	degraded := 0
+	var audits, mismatches, repairWrites int
 	for start, round := 0, 1; start < len(trace); start, round = start+chunk, round+1 {
 		end := start + chunk
 		if end > len(trace) {
@@ -171,14 +186,41 @@ func runFaulty(stdout io.Writer, op arith.UnaryOp, width, monitorN, calcN, round
 		if rep.Health == controlplane.Unhealthy {
 			status += " (unhealthy)"
 		}
-		tbl.AddF(round, end-start, rep.Delay, status, rep.Retries, rep.DriverErrors)
+		audit := "-"
+		if rep.AuditRan {
+			audits++
+			mismatches += rep.Audit.Mismatched()
+			repairWrites += rep.Audit.RepairWrites
+			if rep.Audit.Clean() {
+				audit = "clean"
+			} else {
+				audit = fmt.Sprintf("%dc/%dg/%dm +%dw",
+					rep.Audit.Corrupted, rep.Audit.Ghost, rep.Audit.Missing, rep.Audit.RepairWrites)
+			}
+		}
+		tbl.AddF(round, end-start, rep.Delay, status, rep.Retries, rep.DriverErrors, audit)
+		// Tamper after the commit so the silent divergence is what the next
+		// audit reads back, not what the populate just overwrote.
+		if tamper {
+			if _, err := inj.TamperStore(sys.Engine().Table()); err != nil {
+				return err
+			}
+		}
 	}
 	fmt.Fprintln(stdout, tbl.String())
 
 	st := inj.Stats()
 	fmt.Fprintf(stdout,
-		"injected: %d write failures, %d row failures, %d dropped / %d stale snapshots, %d outage ops, %v latency\n",
-		st.WriteFailures, st.RowFailures, st.SnapshotDrops, st.StaleSnapshots, st.OutageOps, st.Injected)
+		"injected: %d write failures, %d row failures, %d dropped / %d stale snapshots, %d outage ops, %d ack drops, %v latency\n",
+		st.WriteFailures, st.RowFailures, st.SnapshotDrops, st.StaleSnapshots, st.OutageOps, st.AckDrops, st.Injected)
+	if tamper {
+		fmt.Fprintf(stdout, "tampered: %d corrupted, %d ghost, %d dropped rows\n",
+			st.TamperedRows, st.GhostRows, st.DroppedRows)
+	}
+	if auditN > 0 {
+		fmt.Fprintf(stdout, "audits: %d ran, %d divergent rows found, %d repair writes\n",
+			audits, mismatches, repairWrites)
+	}
 	fmt.Fprintf(stdout, "degraded rounds: %d (last good population kept serving)\n\n", degraded)
 
 	tr := sys.Controller().Trie()

@@ -101,3 +101,33 @@ func TestRunWithFaultProfile(t *testing.T) {
 		t.Error("bad fault spec: want error")
 	}
 }
+
+func TestRunWithAudit(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-op", "square", "-width", "12", "-monitor", "8", "-calc", "32", "-rounds", "8",
+		"-faults", "seed=11,corrupt=1,ghost=0.5", "-audit", "2",
+		"-values", "900,900,900,900,900,900,900,900,12,12,12,12,3000,3000,3000,3000",
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"audit", "tampered:", "audits:", "repair writes"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in output:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "audits: 0 ran") {
+		t.Errorf("no audits ran with -audit 2 over 8 rounds:\n%s", s)
+	}
+	if strings.Contains(s, "audits: 0 ran") || strings.Contains(s, " 0 divergent rows") {
+		t.Errorf("audits saw no divergence despite corrupt=1 tampering:\n%s", s)
+	}
+
+	// -audit without -faults is a usage error: there is no hardware to
+	// diverge from the shadow in the offline path.
+	if err := run([]string{"-audit", "2", "-values", "1"}, strings.NewReader(""), &out); err == nil {
+		t.Error("-audit without -faults: want error")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/ada-repro/ada/internal/monitor"
 	"github.com/ada-repro/ada/internal/netsim"
 	"github.com/ada-repro/ada/internal/population"
+	"github.com/ada-repro/ada/internal/tcam"
 	"github.com/ada-repro/ada/internal/trie"
 )
 
@@ -27,10 +28,14 @@ type ADARateMultiplier struct {
 }
 
 // rateMulTarget regenerates the joint table from the adaptive rate trie.
+// It keeps the rows of the last committed build so the controller's
+// read-back audit can diff the hardware against the expected population.
 type rateMulTarget struct {
-	engine     *arith.BinaryEngine
-	dtPrefixes []bitstr.Prefix
-	rep        population.Representative
+	engine        *arith.BinaryEngine
+	dtPrefixes    []bitstr.Prefix
+	rep           population.Representative
+	installed     []tcam.Row
+	haveInstalled bool
 }
 
 func (t *rateMulTarget) Populate(tr *trie.Trie, budget int) (int, int, error) {
@@ -40,7 +45,28 @@ func (t *rateMulTarget) Populate(tr *trie.Trie, budget int) (int, int, error) {
 	}
 	entries := population.CrossEntries(arith.OpMul.Func(), xs, t.dtPrefixes, t.rep)
 	writes, err := t.engine.Reload(entries)
+	if err == nil {
+		rows := make([]tcam.Row, len(entries))
+		for i, e := range entries {
+			rows[i] = tcam.Row{
+				Fields: []tcam.Field{tcam.FieldFromPrefix(e.X), tcam.FieldFromPrefix(e.Y)},
+				Data:   e.Result,
+			}
+		}
+		t.installed = rows
+		t.haveInstalled = true
+	}
 	return writes, len(entries), err
+}
+
+// AuditCalc implements controlplane.AuditableTarget: read the joint table
+// back, classify divergence from the last committed build, and repair it
+// with the store's minimal anti-entropy delta when asked.
+func (t *rateMulTarget) AuditCalc(repair bool) (controlplane.AuditReport, error) {
+	if !t.haveInstalled {
+		return controlplane.AuditReport{}, nil
+	}
+	return controlplane.AuditStore(t.engine.Store(), t.installed, repair)
 }
 
 // RateMulOption tunes an ADARateMultiplier beyond the required parameters.
@@ -61,6 +87,12 @@ func WithRetryPolicy(p controlplane.RetryPolicy) RateMulOption {
 // mode (negative = never).
 func WithUnhealthyAfter(n int) RateMulOption {
 	return func(cfg *controlplane.Config) { cfg.UnhealthyAfter = n }
+}
+
+// WithAuditEvery enables the controller's periodic read-back audit of the
+// joint calculation table (see controlplane.Config.AuditEvery).
+func WithAuditEvery(n int) RateMulOption {
+	return func(cfg *controlplane.Config) { cfg.AuditEvery = n }
 }
 
 // NewADARateMultiplier builds the ADA(R) multiplier.

@@ -227,4 +227,8 @@ const (
 	// ReasonUnhealthy: the controller is in degraded mode and only probed
 	// the driver.
 	ReasonUnhealthy DegradeReason = "driver-unhealthy"
+	// ReasonAudit: the read-back audit or its anti-entropy repair failed.
+	ReasonAudit DegradeReason = "calc-audit"
+	// ReasonCancelled: the round's context was cancelled mid-round.
+	ReasonCancelled DegradeReason = "cancelled"
 )

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -75,6 +76,18 @@ type Config struct {
 	// EWMADecay selects the exponential hit-decay ablation in the
 	// controller (see controlplane.Config.EWMADecay).
 	EWMADecay bool
+	// AuditEvery enables the periodic calculation read-back audit (see
+	// controlplane.Config.AuditEvery): every Nth committed round, and after
+	// any retry-exhausted round, the installed rows are read back, diffed
+	// against the expected population, and repaired with a minimal
+	// anti-entropy delta. 0 disables auditing.
+	AuditEvery int
+	// EnableJournal write-ahead logs every controller round so the system
+	// can Restart after a crash and recover its commit state.
+	EnableJournal bool
+	// CrashHook, when set, is consulted at each controller crash point —
+	// the seam internal/faults uses to inject controller crashes.
+	CrashHook func(controlplane.CrashPoint) bool
 }
 
 // DefaultConfig returns the paper's parameters for width-bit operands.
@@ -128,7 +141,18 @@ func (c Config) controllerConfig() controlplane.Config {
 		UnhealthyAfter:    c.UnhealthyAfter,
 		WrapDriver:        c.WrapDriver,
 		EWMADecay:         c.EWMADecay,
+		AuditEvery:        c.AuditEvery,
+		CrashHook:         c.CrashHook,
 	}
+}
+
+// journalFor allocates a controller's write-ahead journal when journaling
+// is enabled (one journal per controller; a binary system has two).
+func (c Config) journalFor() *controlplane.Journal {
+	if !c.EnableJournal {
+		return nil
+	}
+	return controlplane.NewJournal()
 }
 
 // SyncReport summarises one control round of a system.
@@ -155,6 +179,10 @@ type SyncReport struct {
 	// Retries and DriverErrors count this round's retry activity.
 	Retries      int
 	DriverErrors int
+	// AuditRan reports that a read-back audit ran this round; Audit carries
+	// its classification and repair accounting (summed across variables).
+	AuditRan bool
+	Audit    controlplane.AuditReport
 	// Health is the controller's driver-health verdict after the round (for
 	// a binary system, the worse of the two variables).
 	Health controlplane.Health
@@ -186,7 +214,20 @@ func (t *unaryTarget) Populate(tr *trie.Trie, budget int) (int, int, error) {
 		return 0, 0, err
 	}
 	writes, err := t.engine.Reload(entries)
-	return writes, len(entries), err
+	if err != nil {
+		return writes, len(entries), err
+	}
+	// Record the committed population even on the full path, so read-back
+	// audits know the expected rows from the very first install.
+	m := make(map[bitstr.Prefix]uint64, len(entries))
+	for _, e := range entries {
+		m[e.P] = e.Result
+	}
+	t.installed = m
+	t.installedSeq = tr.ChangeSeq()
+	t.haveInstalled = true
+	t.lastVersion = t.engine.Store().Version()
+	return writes, len(entries), nil
 }
 
 // PopulateDelta implements controlplane.DeltaTarget: memoized Algorithm 3
@@ -253,11 +294,60 @@ func (t *unaryTarget) record(res population.UnaryMemoResult) {
 	t.lastVersion = t.engine.Store().Version()
 }
 
+// AuditCalc implements controlplane.AuditableTarget: read the calculation
+// table back, classify divergence from the installed shadow record
+// (corrupted / ghost / missing rows), and — when repair is set — heal it
+// with the store's minimal anti-entropy delta instead of a repopulation.
+func (t *unaryTarget) AuditCalc(repair bool) (controlplane.AuditReport, error) {
+	if !t.haveInstalled {
+		return controlplane.AuditReport{}, nil
+	}
+	rep, err := controlplane.AuditStore(t.engine.Store(), t.expectedRows(), repair)
+	if err != nil {
+		return rep, err
+	}
+	if rep.Repaired {
+		// The repair commit bumped the store version; re-pin so the next
+		// delta round trusts the (now restored) shadow record instead of
+		// falling back to a full reload.
+		t.lastVersion = t.engine.Store().Version()
+	}
+	return rep, nil
+}
+
+// expectedRows renders the installed shadow record as the physical rows the
+// calculation table must hold, in deterministic prefix order.
+func (t *unaryTarget) expectedRows() []tcam.Row {
+	ps := make([]bitstr.Prefix, 0, len(t.installed))
+	for p := range t.installed {
+		ps = append(ps, p)
+	}
+	bitstr.SortPrefixes(ps)
+	rows := make([]tcam.Row, len(ps))
+	for i, p := range ps {
+		rows[i] = tcam.RowFromPrefix(p, t.installed[p])
+	}
+	return rows
+}
+
 // plainTarget hides a target's incremental path (Config.DisableIncremental):
 // the driver's type assertion fails and every round repopulates in full.
 type plainTarget struct{ controlplane.Target }
 
-var _ controlplane.DeltaTarget = (*unaryTarget)(nil)
+// AuditCalc forwards the audit seam through the veil: DisableIncremental
+// hides delta population, not crash-safety.
+func (p plainTarget) AuditCalc(repair bool) (controlplane.AuditReport, error) {
+	if at, ok := p.Target.(controlplane.AuditableTarget); ok {
+		return at.AuditCalc(repair)
+	}
+	return controlplane.AuditReport{}, nil
+}
+
+var (
+	_ controlplane.DeltaTarget     = (*unaryTarget)(nil)
+	_ controlplane.AuditableTarget = (*unaryTarget)(nil)
+	_ controlplane.AuditableTarget = plainTarget{}
+)
 
 // UnarySystem is ADA deployed for a single-operand operation.
 type UnarySystem struct {
@@ -297,7 +387,9 @@ func newUnaryOn(name string, cfg Config, op arith.UnaryOp, engine *arith.UnaryEn
 	if cfg.DisableIncremental {
 		ctlTarget = plainTarget{target}
 	}
-	ctl, err := controlplane.New(cfg.controllerConfig(), mon, ctlTarget)
+	ccfg := cfg.controllerConfig()
+	ccfg.Journal = cfg.journalFor()
+	ctl, err := controlplane.New(ccfg, mon, ctlTarget)
 	if err != nil {
 		return nil, err
 	}
@@ -341,7 +433,14 @@ func (s *UnarySystem) Lookup(x uint64) (uint64, error) {
 // errors: the report comes back Degraded with the last good population
 // still serving (see the controlplane package's failure model).
 func (s *UnarySystem) Sync() (SyncReport, error) {
-	rep, err := s.ctl.Round()
+	return s.SyncCtx(context.Background())
+}
+
+// SyncCtx is Sync with cancellation: a cancelled context aborts the round
+// between driver operations (including retry backoff), and the report comes
+// back Degraded with reason "cancelled".
+func (s *UnarySystem) SyncCtx(ctx context.Context) (SyncReport, error) {
+	rep, err := s.ctl.RoundCtx(ctx)
 	if err != nil {
 		return SyncReport{}, err
 	}
@@ -357,9 +456,55 @@ func (s *UnarySystem) Sync() (SyncReport, error) {
 		DegradedReason: rep.DegradedReason,
 		Retries:        rep.Retries,
 		DriverErrors:   rep.DriverErrors,
+		AuditRan:       rep.AuditRan,
+		Audit:          rep.Audit,
 		Health:         rep.Health,
 	}, nil
 }
+
+// Restart models a controller crash and restart: the data plane (monitor
+// registers, calculation table) keeps serving untouched, while the
+// controller's in-memory state — trie, Algorithm 3 memo, shadow record — is
+// lost and rebuilt from the write-ahead journal via controlplane.Recover.
+// Recovery reinstalls the journaled bin layout (zeroing the hit registers,
+// as a switch table reprogram would), reconciles the calculation table with
+// a minimal anti-entropy delta, and finishes with a detect-only verification
+// audit folded into the report. Requires Config.EnableJournal; works whether
+// or not the previous controller actually crashed.
+func (s *UnarySystem) Restart() (controlplane.RecoveryReport, error) {
+	j := s.ctl.Journal()
+	if j == nil {
+		return controlplane.RecoveryReport{}, fmt.Errorf("%w: Restart requires EnableJournal", ErrConfig)
+	}
+	mon := s.ctl.Monitor()
+	if mon == nil {
+		return controlplane.RecoveryReport{}, fmt.Errorf("%w: Restart requires an in-process monitor", ErrConfig)
+	}
+	target := &unaryTarget{engine: s.engine, op: s.op, rep: s.cfg.Representative}
+	var ctlTarget controlplane.Target = target
+	if s.cfg.DisableIncremental {
+		ctlTarget = plainTarget{target}
+	}
+	ccfg := s.cfg.controllerConfig()
+	ctl, rrep, err := controlplane.Recover(ccfg, controlplane.NewDirectDriver(mon, ctlTarget), j)
+	if err != nil {
+		return rrep, err
+	}
+	// Post-recovery verification: read the hardware back against the
+	// recovered population (should be clean — the populate just reconciled).
+	verify, verr := target.AuditCalc(false)
+	if verr != nil {
+		return rrep, fmt.Errorf("core: post-recovery audit: %w", verr)
+	}
+	rrep.Audit.Add(verify)
+	rrep.Delay += time.Duration(verify.Audited) * s.cfg.Cost.PerRowRead
+	s.ctl = ctl
+	return rrep, nil
+}
+
+// Journal exposes the controller's write-ahead journal (nil when
+// EnableJournal is off).
+func (s *UnarySystem) Journal() *controlplane.Journal { return s.ctl.Journal() }
 
 // Engine exposes the calculation engine (benchmarks, error measurement).
 func (s *UnarySystem) Engine() *arith.UnaryEngine { return s.engine }
@@ -416,6 +561,13 @@ type BinarySystem struct {
 	// budget is the live calculation entry budget; starts at
 	// cfg.CalcEntries and moves under SetCalcBudget (tenant arbitration).
 	budget int
+
+	// Joint-table audit scheduling, mirroring the controller's: the joint
+	// calculation table is not owned by either variable's controller, so
+	// Sync audits it here on the same AuditEvery cadence. auditPending
+	// forces an audit after a Sync that saw driver errors.
+	roundsSinceAudit int
+	auditPending     bool
 }
 
 // NewBinary builds the system and installs the initial uniform population.
@@ -446,11 +598,15 @@ func newBinaryOn(name string, cfg Config, op arith.BinaryOp, engine *arith.Binar
 	if err != nil {
 		return nil, err
 	}
-	ctlX, err := controlplane.New(cfg.controllerConfig(), monX, nil)
+	ccfgX := cfg.controllerConfig()
+	ccfgX.Journal = cfg.journalFor()
+	ctlX, err := controlplane.New(ccfgX, monX, nil)
 	if err != nil {
 		return nil, err
 	}
-	ctlY, err := controlplane.New(cfg.controllerConfig(), monY, nil)
+	ccfgY := cfg.controllerConfig()
+	ccfgY.Journal = cfg.journalFor()
+	ctlY, err := controlplane.New(ccfgY, monY, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -524,6 +680,50 @@ func (s *BinarySystem) populate() (int, int, int, error) {
 	return writes, res.Computed, res.Reused, nil
 }
 
+// expectedRows renders the installed joint shadow as the physical rows the
+// calculation table must hold, in deterministic (X, Y) order.
+func (s *BinarySystem) expectedRows() []tcam.Row {
+	pairs := make([]population.BinaryPair, 0, len(s.installed))
+	for pr := range s.installed {
+		pairs = append(pairs, pr)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if c := pairs[i].X.Compare(pairs[j].X); c != 0 {
+			return c < 0
+		}
+		return pairs[i].Y.Compare(pairs[j].Y) < 0
+	})
+	rows := make([]tcam.Row, len(pairs))
+	for i, pr := range pairs {
+		rows[i] = tcam.Row{
+			Fields: []tcam.Field{tcam.FieldFromPrefix(pr.X), tcam.FieldFromPrefix(pr.Y)},
+			Data:   s.installed[pr],
+		}
+	}
+	return rows
+}
+
+// AuditJoint reads the joint calculation table back, classifies divergence
+// from the installed shadow (corrupted / ghost / missing rows), and — when
+// repair is set — heals it with the store's minimal anti-entropy delta.
+// Sync runs it on the Config.AuditEvery cadence; exposed for recovery
+// tooling and tests. Before the first populate it audits trivially clean.
+func (s *BinarySystem) AuditJoint(repair bool) (controlplane.AuditReport, error) {
+	if !s.haveInstalled {
+		return controlplane.AuditReport{}, nil
+	}
+	rep, err := controlplane.AuditStore(s.engine.Store(), s.expectedRows(), repair)
+	if err != nil {
+		return rep, err
+	}
+	if rep.Repaired {
+		// Re-pin the store version the repair commit produced so the next
+		// populate keeps its delta path (see unaryTarget.AuditCalc).
+		s.lastVersion = s.engine.Store().Version()
+	}
+	return rep, nil
+}
+
 // record pins the shadow record to the joint build just committed; aliasing
 // res.Results is safe because the memo rebuilds the map on every recompute.
 func (s *BinarySystem) record(res population.BinaryMemoResult) {
@@ -572,11 +772,18 @@ func (s *BinarySystem) Lookup(x, y uint64) (uint64, error) {
 // degrades the round (the engine's reload is transactional) rather than
 // returning an error; errors are reserved for programming faults.
 func (s *BinarySystem) Sync() (SyncReport, error) {
-	repX, err := s.ctlX.Round()
+	return s.SyncCtx(context.Background())
+}
+
+// SyncCtx is Sync with cancellation: a cancelled context aborts either
+// variable's round between driver operations, and the report comes back
+// Degraded with reason "cancelled".
+func (s *BinarySystem) SyncCtx(ctx context.Context) (SyncReport, error) {
+	repX, err := s.ctlX.RoundCtx(ctx)
 	if err != nil {
 		return SyncReport{}, fmt.Errorf("variable x: %w", err)
 	}
-	repY, err := s.ctlY.Round()
+	repY, err := s.ctlY.RoundCtx(ctx)
 	if err != nil {
 		return SyncReport{}, fmt.Errorf("variable y: %w", err)
 	}
@@ -600,6 +807,33 @@ func (s *BinarySystem) Sync() (SyncReport, error) {
 		out.Health = controlplane.Unhealthy
 	}
 	out.Delay = repX.Delay + repY.Delay
+	out.AuditRan = repX.AuditRan || repY.AuditRan
+	out.Audit.Add(repX.Audit)
+	out.Audit.Add(repY.Audit)
+	// Joint-table audit: the per-variable controllers own no calculation
+	// target, so the joint table is audited here, against the last committed
+	// shadow, on the same cadence the controllers use. A Sync that saw
+	// driver errors forces one next round.
+	if s.cfg.AuditEvery > 0 && out.DriverErrors > 0 {
+		s.auditPending = true
+	}
+	if s.cfg.AuditEvery > 0 && (s.auditPending || s.roundsSinceAudit >= s.cfg.AuditEvery) {
+		arep, aerr := s.AuditJoint(true)
+		out.AuditRan = true
+		out.Audit.Add(arep)
+		out.Writes += arep.RepairWrites
+		out.Delay += time.Duration(arep.Audited)*s.cfg.Cost.PerRowRead +
+			time.Duration(arep.RepairWrites)*s.cfg.Cost.PerTCAMWrite
+		if aerr != nil {
+			out.Degraded = true
+			if out.DegradedReason == controlplane.ReasonNone {
+				out.DegradedReason = controlplane.ReasonAudit
+			}
+			return out, nil
+		}
+		s.auditPending = false
+		s.roundsSinceAudit = 0
+	}
 	if out.Degraded {
 		return out, nil
 	}
@@ -619,6 +853,7 @@ func (s *BinarySystem) Sync() (SyncReport, error) {
 	out.Delay += time.Duration(calcWrites)*s.cfg.Cost.PerTCAMWrite +
 		time.Duration(computed)*s.cfg.Cost.PerEntryCompute +
 		time.Duration(reused)*s.cfg.Cost.PerEntryReused
+	s.roundsSinceAudit++
 	return out, nil
 }
 

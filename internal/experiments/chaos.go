@@ -21,12 +21,35 @@ type ChaosConfig struct {
 	Fig8 Fig8Config
 	// Profile is the injected fault profile.
 	Profile faults.Profile
+	// AuditEvery, when >0, enables the controller's periodic read-back
+	// audit of the joint calculation table (detect + anti-entropy repair).
+	AuditEvery int
+	// TamperEvery, when >0, silently tampers the joint calculation table
+	// (payload corruption, ghost rows per Profile.Corrupt/Ghost) every Nth
+	// control round — divergence only a read-back audit can see.
+	TamperEvery int
 }
 
 // DefaultChaosConfig pairs the paper's Fig 8 setup with the default chaos
 // profile (5% transient write failure, 1% stale snapshots, seeded).
 func DefaultChaosConfig() ChaosConfig {
 	return ChaosConfig{Fig8: DefaultFig8Config(), Profile: faults.DefaultProfile()}
+}
+
+// SilentChaosConfig layers the silent fault modes on the default soak:
+// dropped acks on the wire, periodic payload corruption and ghost rows in
+// the joint table, and a read-back audit cadence to catch them. DropRow is
+// deliberately left at zero — a silently dropped row breaks the full-domain
+// cover between audits, which the soak's lookup probe treats as a violation
+// (recoverybench measures that window instead).
+func SilentChaosConfig() ChaosConfig {
+	cfg := DefaultChaosConfig()
+	cfg.Profile.AckDrop = 0.05
+	cfg.Profile.Corrupt = 0.5
+	cfg.Profile.Ghost = 0.25
+	cfg.AuditEvery = 4
+	cfg.TamperEvery = 1
+	return cfg
 }
 
 // ChaosReport is the outcome of one fault-injected Fig 8 run.
@@ -44,6 +67,13 @@ type ChaosReport struct {
 	WentUnhealthy bool
 	// FaultStats are the injector's event counters.
 	FaultStats faults.Stats
+	// Audits, AuditMismatches and RepairWrites aggregate the controller's
+	// read-back audit activity (zero unless ChaosConfig.AuditEvery is set).
+	Audits, AuditMismatches, RepairWrites uint64
+	// HealedAfterQuiesce reports that, once injection stopped, the audits
+	// reconciled the physical joint table with the controller shadow within
+	// one audit period (only meaningful with AuditEvery set).
+	HealedAfterQuiesce bool
 	// InvariantViolations lists transactional-invariant breaches observed
 	// after control rounds; a clean run has none.
 	InvariantViolations []string
@@ -75,8 +105,11 @@ func RunFig8Chaos(cfg ChaosConfig) (ChaosReport, error) {
 	net := topo.Net
 	sim := net.Sim
 
-	ada, err := apps.NewADARateMultiplier(8, 20, 2, fc.MonitorEntries, 2,
-		apps.WithWrapDriver(inj.Wrap))
+	opts := []apps.RateMulOption{apps.WithWrapDriver(inj.Wrap)}
+	if cfg.AuditEvery > 0 {
+		opts = append(opts, apps.WithAuditEvery(cfg.AuditEvery))
+	}
+	ada, err := apps.NewADARateMultiplier(8, 20, 2, fc.MonitorEntries, 2, opts...)
 	if err != nil {
 		return ChaosReport{}, err
 	}
@@ -131,9 +164,13 @@ func RunFig8Chaos(cfg ChaosConfig) (ChaosReport, error) {
 			return
 		}
 		rep.Rounds++
+		repaired := r.AuditRan && r.Audit.RepairWrites > 0
 		if r.Degraded {
 			rep.DegradedRounds++
-			if calc.Generation() != gen || calc.Fingerprint() != fp {
+			// An audit repair commits its own generation even when the rest
+			// of the round degrades; anything else must leave the table
+			// untouched.
+			if !repaired && (calc.Generation() != gen || calc.Fingerprint() != fp) {
 				rep.InvariantViolations = append(rep.InvariantViolations, fmt.Sprintf(
 					"round %d: degraded round mutated the calc table (gen %d→%d)",
 					rep.Rounds, gen, calc.Generation()))
@@ -151,6 +188,16 @@ func RunFig8Chaos(cfg ChaosConfig) (ChaosReport, error) {
 		if r.Health == controlplane.Unhealthy {
 			rep.WentUnhealthy = true
 		}
+		// Tamper after the round commits: the silent divergence then lives
+		// through the whole inter-sync window (served to the data plane) and
+		// the next round's step-0 audit is what catches it — tampering
+		// before the populate would let the full reload heal it unobserved.
+		if cfg.TamperEvery > 0 && rep.Rounds%cfg.TamperEvery == 0 {
+			if _, terr := inj.TamperStore(calc); terr != nil {
+				rep.InvariantViolations = append(rep.InvariantViolations, fmt.Sprintf(
+					"round %d: tamper: %v", rep.Rounds, terr))
+			}
+		}
 		probe(rep.Rounds, sim.Now())
 		sim.After(fc.SyncEvery, tick)
 	}
@@ -165,9 +212,33 @@ func RunFig8Chaos(cfg ChaosConfig) (ChaosReport, error) {
 	rep.Row.Phase2AvgGbps = meanWindow(meter.BpsSeries, fc.MeterWindow,
 		fc.ChangeAt+2*netsim.Millisecond, fc.Duration) / 1e9
 
+	// Quiesce: stop injecting and let the audit cadence reconcile whatever
+	// silent divergence the run left behind. Healing within one audit
+	// period is the anti-entropy acceptance condition.
+	if cfg.AuditEvery > 0 {
+		inj.SetArmed(false)
+		for i := 0; i < cfg.AuditEvery+1; i++ {
+			if r, err := ada.Sync(); err == nil && r.AuditRan {
+				break
+			} else if err != nil {
+				rep.InvariantViolations = append(rep.InvariantViolations, fmt.Sprintf(
+					"quiesce round %d: %v", i, err))
+				break
+			}
+		}
+		afp, err := calc.AuditFingerprint()
+		if err != nil {
+			return rep, err
+		}
+		rep.HealedAfterQuiesce = afp == calc.Fingerprint()
+	}
+
 	tot := ada.Controller().Totals()
 	rep.Retries = tot.Retries
 	rep.DriverErrors = tot.DriverErrors
+	rep.Audits = tot.Audits
+	rep.AuditMismatches = tot.AuditMismatches
+	rep.RepairWrites = tot.RepairWrites
 	rep.FaultStats = inj.Stats()
 	return rep, nil
 }
@@ -186,6 +257,10 @@ func RenderChaos(rep ChaosReport) string {
 	t.AddF("row failures injected", rep.FaultStats.RowFailures)
 	t.AddF("stale snapshots injected", rep.FaultStats.StaleSnapshots)
 	t.AddF("outage ops injected", rep.FaultStats.OutageOps)
+	t.AddF("acks dropped", rep.FaultStats.AckDrops)
+	t.AddF("rows tampered/ghosted", fmt.Sprintf("%d/%d", rep.FaultStats.TamperedRows, rep.FaultStats.GhostRows))
+	t.AddF("audits (mismatches, repair writes)", fmt.Sprintf("%d (%d, %d)", rep.Audits, rep.AuditMismatches, rep.RepairWrites))
+	t.AddF("healed after quiesce", rep.HealedAfterQuiesce)
 	t.AddF("invariant violations", len(rep.InvariantViolations))
 	return t.String()
 }

@@ -67,3 +67,38 @@ func TestChaosFig8SurvivesOutages(t *testing.T) {
 	t.Logf("rounds=%d degraded=%d unhealthy=%v stats=%+v",
 		rep.Rounds, rep.DegradedRounds, rep.WentUnhealthy, rep.FaultStats)
 }
+
+// TestChaosFig8SilentFaultsHealViaAudits is the silent-fault soak: dropped
+// acks on the wire plus periodic payload corruption and ghost rows in the
+// joint table. The read-back audits must actually fire, catch divergence,
+// and — once injection stops — reconcile the physical table with the
+// controller shadow within one audit period.
+func TestChaosFig8SilentFaultsHealViaAudits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := RunFig8Chaos(SilentChaosConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.InvariantViolations {
+		t.Errorf("invariant: %s", v)
+	}
+	if rep.FaultStats.TamperedRows+rep.FaultStats.GhostRows == 0 {
+		t.Error("silent tamper schedule inert; the soak proved nothing")
+	}
+	if rep.FaultStats.AckDrops == 0 {
+		t.Error("no acks dropped")
+	}
+	if rep.Audits == 0 {
+		t.Error("audit cadence never fired")
+	}
+	if rep.AuditMismatches == 0 {
+		t.Error("audits saw no mismatches despite tampering")
+	}
+	if !rep.HealedAfterQuiesce {
+		t.Error("joint table still diverges from the shadow after quiesce")
+	}
+	t.Logf("rounds=%d degraded=%d audits=%d mismatches=%d repairwrites=%d stats=%+v",
+		rep.Rounds, rep.DegradedRounds, rep.Audits, rep.AuditMismatches, rep.RepairWrites, rep.FaultStats)
+}

@@ -51,6 +51,11 @@ var (
 	ErrOutage = fmt.Errorf("%w: driver outage", ErrInjected)
 	// ErrPressure reports injected capacity pressure on a table install.
 	ErrPressure = fmt.Errorf("%w: TCAM capacity pressure", ErrInjected)
+	// ErrAckDropped reports a write whose acknowledgement was lost: the
+	// caller sees a failure, but the operation landed in the hardware. The
+	// most treacherous driver fault — a retry reprograms, a give-up leaves
+	// the controller's shadow behind reality until an audit catches it.
+	ErrAckDropped = fmt.Errorf("%w: ack dropped (write landed)", ErrInjected)
 	// ErrProfile reports an invalid fault profile.
 	ErrProfile = errors.New("faults: invalid profile")
 )
@@ -119,6 +124,22 @@ type Profile struct {
 	SpikeProb float64
 	// Spike is the latency-spike distribution.
 	Spike Dist
+
+	// AckDrop is the probability a successful driver write loses its ack:
+	// the caller sees ErrAckDropped but the operation landed.
+	AckDrop float64
+	// AuditStale is the probability a read-back audit returns a stale
+	// all-clean result instead of reading the hardware, delaying detection.
+	AuditStale float64
+	// CrashProb is the per-crash-point probability the controller process
+	// dies there (consumed through Injector.CrashHook).
+	CrashProb float64
+	// Corrupt, Ghost, and DropRow are the per-tamper-round probabilities
+	// (consumed through Injector.TamperStore) of a silent payload bit-flip,
+	// a ghost row insert, and a silent row drop respectively.
+	Corrupt float64
+	Ghost   float64
+	DropRow float64
 }
 
 // DefaultProfile returns the default chaos profile: 5% transient write
@@ -152,7 +173,9 @@ func (p Profile) validate() error {
 		{"write", p.WriteFailure}, {"row", p.RowFailure},
 		{"drop", p.SnapshotDrop}, {"stale", p.SnapshotStale},
 		{"outage", p.OutageProb}, {"pressure", p.CapacityPressure},
-		{"spikeprob", p.SpikeProb},
+		{"spikeprob", p.SpikeProb}, {"ackdrop", p.AckDrop},
+		{"auditstale", p.AuditStale}, {"crash", p.CrashProb},
+		{"corrupt", p.Corrupt}, {"ghost", p.Ghost}, {"droprow", p.DropRow},
 	} {
 		if f.v < 0 || f.v > 1 {
 			return fmt.Errorf("%w: %s probability %g outside [0,1]", ErrProfile, f.name, f.v)
@@ -185,6 +208,17 @@ type Stats struct {
 	Spikes uint64
 	// Injected is the total latency injected.
 	Injected time.Duration
+	// AckDrops counts successful writes whose ack was dropped.
+	AckDrops uint64
+	// StaleAudits counts audits answered with a stale all-clean result.
+	StaleAudits uint64
+	// Crashes counts injected controller crashes.
+	Crashes uint64
+	// TamperedRows, GhostRows, and DroppedRows count silent corruptions
+	// applied through TamperStore and the direct tamper helpers.
+	TamperedRows uint64
+	GhostRows    uint64
+	DroppedRows  uint64
 }
 
 // Injector owns the seeded RNG and fault state shared by every driver and
@@ -194,6 +228,7 @@ type Injector struct {
 	prof       Profile
 	rng        *rand.Rand
 	outageLeft int
+	disarmed   bool
 	stats      Stats
 }
 
@@ -227,6 +262,27 @@ func (in *Injector) Stats() Stats {
 	return in.stats
 }
 
+// SetArmed toggles injection. Disarming silences every fault mode — driver
+// ops, row hooks, tampering, crashes — and clears any in-progress outage,
+// so a chaos run can end with a clean convergence tail; the RNG stream is
+// left untouched for replayability of the armed prefix. Injectors start
+// armed.
+func (in *Injector) SetArmed(v bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.disarmed = !v
+	if !v {
+		in.outageLeft = 0
+	}
+}
+
+// Armed reports whether injection is active.
+func (in *Injector) Armed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return !in.disarmed
+}
+
 // Wrap returns a fault-injecting driver around inner. Its signature matches
 // controlplane.Config.WrapDriver, so plumbing an injector into a controller
 // is one assignment.
@@ -253,6 +309,9 @@ func (in *Injector) AttachRows(h RowHooker) {
 	h.SetWriteHook(func(op tcam.WriteOp) error {
 		in.mu.Lock()
 		defer in.mu.Unlock()
+		if in.disarmed {
+			return nil
+		}
 		if in.prof.RowFailure > 0 && in.rng.Float64() < in.prof.RowFailure {
 			in.stats.RowFailures++
 			return fmt.Errorf("%w: row %v", ErrInjected, op)
@@ -269,6 +328,9 @@ func (in *Injector) opStart(d *Driver) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.stats.Ops++
+	if in.disarmed {
+		return nil
+	}
 	if in.prof.Latency != nil {
 		l := in.prof.Latency.Sample(in.rng)
 		d.injected += l
@@ -313,6 +375,9 @@ func (in *Injector) roll(p float64, counter *uint64) bool {
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	if in.disarmed {
+		return false
+	}
 	if in.rng.Float64() < p {
 		*counter++
 		return true
@@ -393,7 +458,14 @@ func (d *Driver) ResetRegisters() (int, error) {
 	if d.in.roll(d.in.prof.WriteFailure, &d.in.stats.WriteFailures) {
 		return 0, fmt.Errorf("%w: register reset", ErrInjected)
 	}
-	return d.inner.ResetRegisters()
+	n, err := d.inner.ResetRegisters()
+	if err != nil {
+		return 0, err
+	}
+	if d.in.roll(d.in.prof.AckDrop, &d.in.stats.AckDrops) {
+		return 0, fmt.Errorf("%w: register reset", ErrAckDropped)
+	}
+	return n, nil
 }
 
 // InstallMonitoring implements controlplane.Driver with transient write and
@@ -412,7 +484,14 @@ func (d *Driver) InstallMonitoring(prefixes []bitstr.Prefix) (int, error) {
 	if d.in.roll(d.in.prof.CapacityPressure, &d.in.stats.PressureFailures) {
 		return 0, ErrPressure
 	}
-	return d.inner.InstallMonitoring(prefixes)
+	n, err := d.inner.InstallMonitoring(prefixes)
+	if err != nil {
+		return 0, err
+	}
+	if d.in.roll(d.in.prof.AckDrop, &d.in.stats.AckDrops) {
+		return 0, fmt.Errorf("%w: monitoring install", ErrAckDropped)
+	}
+	return n, nil
 }
 
 // PopulateCalc implements controlplane.Driver with transient write and
@@ -429,7 +508,14 @@ func (d *Driver) PopulateCalc(tr *trie.Trie, budget int) (int, int, error) {
 	if d.in.roll(d.in.prof.CapacityPressure, &d.in.stats.PressureFailures) {
 		return 0, 0, ErrPressure
 	}
-	return d.inner.PopulateCalc(tr, budget)
+	w, comp, err := d.inner.PopulateCalc(tr, budget)
+	if err != nil {
+		return 0, 0, err
+	}
+	if d.in.roll(d.in.prof.AckDrop, &d.in.stats.AckDrops) {
+		return 0, 0, fmt.Errorf("%w: calc populate", ErrAckDropped)
+	}
+	return w, comp, nil
 }
 
 // PopulateCalcDelta implements controlplane.DeltaPopulator with the same
@@ -449,11 +535,20 @@ func (d *Driver) PopulateCalcDelta(tr *trie.Trie, budget int) (int, int, int, er
 	if d.in.roll(d.in.prof.CapacityPressure, &d.in.stats.PressureFailures) {
 		return 0, 0, 0, ErrPressure
 	}
+	var writes, computed, reused int
+	var err error
 	if dp, ok := d.inner.(controlplane.DeltaPopulator); ok {
-		return dp.PopulateCalcDelta(tr, budget)
+		writes, computed, reused, err = dp.PopulateCalcDelta(tr, budget)
+	} else {
+		writes, computed, err = d.inner.PopulateCalc(tr, budget)
 	}
-	writes, computed, err := d.inner.PopulateCalc(tr, budget)
-	return writes, computed, 0, err
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if d.in.roll(d.in.prof.AckDrop, &d.in.stats.AckDrops) {
+		return 0, 0, 0, fmt.Errorf("%w: calc populate", ErrAckDropped)
+	}
+	return writes, computed, reused, nil
 }
 
 // ParseProfile parses a compact comma-separated key=value fault spec, e.g.
@@ -510,6 +605,18 @@ func ParseProfile(spec string) (Profile, error) {
 			p.Spike = Fixed(dur)
 		case "spikeprob":
 			p.SpikeProb, err = strconv.ParseFloat(val, 64)
+		case "ackdrop":
+			p.AckDrop, err = strconv.ParseFloat(val, 64)
+		case "auditstale":
+			p.AuditStale, err = strconv.ParseFloat(val, 64)
+		case "crash":
+			p.CrashProb, err = strconv.ParseFloat(val, 64)
+		case "corrupt":
+			p.Corrupt, err = strconv.ParseFloat(val, 64)
+		case "ghost":
+			p.Ghost, err = strconv.ParseFloat(val, 64)
+		case "droprow":
+			p.DropRow, err = strconv.ParseFloat(val, 64)
 		default:
 			return Profile{}, fmt.Errorf("%w: unknown key %q", ErrProfile, key)
 		}
@@ -541,6 +648,12 @@ func (p Profile) String() string {
 	}
 	add("pressure", p.CapacityPressure)
 	add("spikeprob", p.SpikeProb)
+	add("ackdrop", p.AckDrop)
+	add("auditstale", p.AuditStale)
+	add("crash", p.CrashProb)
+	add("corrupt", p.Corrupt)
+	add("ghost", p.Ghost)
+	add("droprow", p.DropRow)
 	sort.Strings(parts[1:])
 	return strings.Join(parts, ",")
 }

@@ -44,9 +44,35 @@ type Store interface {
 	// Fingerprint digests the installed rows (match key + action data),
 	// independent of insertion order.
 	Fingerprint() string
+
+	// ReadRows reads back the physically installed rows, sorted by match
+	// key — the ground truth the audit layer diffs a shadow against. A
+	// tenant slice reads back only its own priority band.
+	ReadRows() ([]RowDigest, error)
+	// AuditFingerprint digests the read-back rows in Fingerprint format;
+	// it diverges from Fingerprint after silent corruption.
+	AuditFingerprint() (string, error)
+	// AuditRepair reconciles the physical contents toward the expected
+	// population with minimal writes, all-or-nothing, tolerating ghost
+	// rows the shadow never installed.
+	AuditRepair(expect []Row) (writes int, err error)
 }
 
-var _ Store = (*Table)(nil)
+// Tamperer is the fault-injection surface of a store: silent in-hardware
+// mutations that bypass write hooks, stats, and the Version counter, so a
+// controller shadow cannot see them. *Table implements it directly; a
+// tenant slice implements it by translating to its physical band, which
+// keeps injected corruption inside the slice's own rows.
+type Tamperer interface {
+	TamperData(fields []Field, priority int, data any) error
+	TamperInsert(fields []Field, priority int, data any) error
+	TamperDelete(fields []Field, priority int) error
+}
+
+var (
+	_ Store    = (*Table)(nil)
+	_ Tamperer = (*Table)(nil)
+)
 
 // CapacityError reports an operation refused because the table (or tenant
 // slice) lacks room, including how much headroom remained so operators — and

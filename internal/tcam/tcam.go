@@ -160,11 +160,18 @@ type Table struct {
 	hook        WriteHook
 	stats       counters
 
-	// version counts every content mutation (unlike generation, which only
-	// counts bulk commits); the compiled index is keyed by it.
+	// version counts every content mutation performed through the table API
+	// (unlike generation, which only counts bulk commits). It is the counter
+	// a control-plane shadow copy watches; silent hardware tampering (the
+	// Tamper* methods) deliberately does not advance it.
 	version atomic.Uint64
-	idx     atomic.Pointer[index]
-	idxMu   sync.Mutex // serialises index rebuilds
+	// idxSeq keys the compiled index. It advances on every content change —
+	// API mutations and silent tampering alike — so the data plane always
+	// serves the physical contents, even the corrupted ones the control
+	// plane has not noticed yet.
+	idxSeq atomic.Uint64
+	idx    atomic.Pointer[index]
+	idxMu  sync.Mutex // serialises index rebuilds
 }
 
 // New creates a ternary table. capacity <= 0 means unbounded (used to model
@@ -256,12 +263,21 @@ func (t *Table) ResetStats() {
 // The next Lookup recompiles the index from the committed state.
 func (t *Table) dirtyLocked() {
 	t.version.Add(1)
+	t.idxSeq.Add(1)
 }
 
-// loadIndex returns the compiled index for the current table version,
+// tamperLocked records a silent hardware mutation: the compiled index is
+// invalidated (the data plane must serve the corrupted contents) but the
+// externally visible Version stays put, so a controller shadow guarded by
+// Version cannot tell anything happened. t.mu must be held exclusively.
+func (t *Table) tamperLocked() {
+	t.idxSeq.Add(1)
+}
+
+// loadIndex returns the compiled index for the current table contents,
 // rebuilding it if a mutation invalidated the cached one.
 func (t *Table) loadIndex() *index {
-	if ix := t.idx.Load(); ix != nil && ix.version == t.version.Load() {
+	if ix := t.idx.Load(); ix != nil && ix.version == t.idxSeq.Load() {
 		return ix
 	}
 	return t.rebuildIndex()
@@ -275,11 +291,11 @@ func (t *Table) loadIndex() *index {
 func (t *Table) rebuildIndex() *index {
 	t.idxMu.Lock()
 	defer t.idxMu.Unlock()
-	if ix := t.idx.Load(); ix != nil && ix.version == t.version.Load() {
+	if ix := t.idx.Load(); ix != nil && ix.version == t.idxSeq.Load() {
 		return ix
 	}
 	t.mu.RLock()
-	ix := buildIndex(t.version.Load(), t.fieldWidths, t.ordered)
+	ix := buildIndex(t.idxSeq.Load(), t.fieldWidths, t.ordered)
 	t.mu.RUnlock()
 	t.idx.Store(ix)
 	return ix
