@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short vet bench bench-lookup bench-round bench-tenant bench-dataplane bench-recovery bench-compare bench-all chaos experiments examples cover clean
+.PHONY: all build test test-short vet bench bench-lookup bench-round bench-tenant bench-dataplane bench-recovery bench-tiered bench-compare bench-all chaos experiments examples cover clean
 
 all: build vet test
 
@@ -57,6 +57,13 @@ bench-recovery:
 	$(GO) test -run TestRecoveryBenchAcceptance -v ./internal/experiments
 	$(GO) run ./cmd/adabench -recovery-out BENCH_recovery.json recovery
 
+# Tiered TCAM+SRAM store: error-vs-budget sweep extending 10× past the
+# TCAM slice at unchanged ternary capacity, the fingerprint differential
+# against the pure table, and the committed BENCH_tiered.json artefact.
+bench-tiered:
+	$(GO) test -run 'TestTieredBenchAcceptance|TestTieredDifferential' -v ./internal/experiments
+	$(GO) run ./cmd/adabench -tiered-out BENCH_tiered.json tiered
+
 # A/B comparison capture for benchstat. Run once before a change and once
 # after, then diff:
 #   make bench-compare OUT=before.txt
@@ -69,7 +76,7 @@ bench-compare:
 	$(GO) test -bench . -benchmem -count 6 -run '^$$' ./internal/tcam ./internal/core ./internal/experiments | tee $(OUT)
 
 # All committed benchmark baselines in one go.
-bench-all: bench-lookup bench-round bench-tenant bench-dataplane bench-recovery
+bench-all: bench-lookup bench-round bench-tenant bench-dataplane bench-recovery bench-tiered
 
 # Regenerate every evaluation table/figure as text.
 experiments:

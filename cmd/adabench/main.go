@@ -2,15 +2,19 @@
 //
 // Usage:
 //
-//	adabench [-parallel N] [-lookup-out FILE] [-round-out FILE] [-tenant-out FILE] [-dataplane-out FILE] [-recovery-out FILE] [experiment...]
+//	adabench [-parallel N] [-lookup-out FILE] [-round-out FILE] [-tenant-out FILE] [-dataplane-out FILE] [-recovery-out FILE] [-tiered-out FILE] [experiment...]
 //
 // Experiments: dataplane fig1a fig1b fig1c fig5 fig6 fig7a fig7b fig7c fig8
-// fig9 fig10 lookup recovery roundbench table2 tenant xcp all (default:
-// all). Each prints the same rows/series the paper reports; see
+// fig9 fig10 lookup recovery roundbench table2 tenant tiered xcp all
+// (default: all). Each prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the paper-vs-measured record. recovery is the failure
 // model v2 experiment: silent TCAM corruption against the read-back audit,
 // measuring detection latency, anti-entropy repair writes vs full
-// repopulation, and the arithmetic error of the corruption window.
+// repopulation, and the arithmetic error of the corruption window. tiered
+// sweeps error vs calculation budget for the tiered TCAM+SRAM store against
+// a pure TCAM table: the tiered budgets extend 10× past the TCAM slice at
+// unchanged ternary capacity, and a fingerprint differential proves the
+// tiering is bit-identical to the pure reference.
 //
 // -parallel sets the replay worker count for the experiments that feed
 // operand streams through the monitoring path (fig7c, fig9, dataplane); 0
@@ -20,8 +24,12 @@
 // baseline) in addition to printing the table; -round-out does the same for
 // the control-round benchmark (BENCH_round.json), -tenant-out for the
 // multi-tenant sharing benchmark (BENCH_tenant.json), -dataplane-out for
-// the data-plane throughput benchmark (BENCH_dataplane.json), and
-// -recovery-out for the corruption-recovery benchmark (BENCH_recovery.json).
+// the data-plane throughput benchmark (BENCH_dataplane.json), -recovery-out
+// for the corruption-recovery benchmark (BENCH_recovery.json), and
+// -tiered-out for the tiered-store budget sweep (BENCH_tiered.json).
+//
+// Invalid flag values (e.g. a negative -parallel) are usage errors: adabench
+// prints the usage text and exits with status 2; experiment failures exit 1.
 package main
 
 import (
@@ -41,7 +49,17 @@ var (
 	tenantOut = flag.String("tenant-out", "", "write multi-tenant sharing benchmark result as JSON to this file")
 	dataOut   = flag.String("dataplane-out", "", "write data-plane throughput benchmark rows as JSON to this file")
 	recovOut  = flag.String("recovery-out", "", "write corruption-recovery benchmark rows as JSON to this file")
+	tieredOut = flag.String("tiered-out", "", "write tiered-store budget sweep rows as JSON to this file")
 )
+
+// validateFlags rejects flag values that parse but make no sense; main
+// treats a non-nil return as a usage error (exit 2).
+func validateFlags(parallel int) error {
+	if parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0, got %d", parallel)
+	}
+	return nil
+}
 
 var runners = map[string]func() (string, error){
 	"fig1a": func() (string, error) {
@@ -164,6 +182,18 @@ var runners = map[string]func() (string, error){
 		}
 		return experiments.RenderRoundBench(rows), nil
 	},
+	"tiered": func() (string, error) {
+		rows, err := experiments.RunTieredBench(experiments.DefaultTieredBenchConfig())
+		if err != nil {
+			return "", err
+		}
+		if *tieredOut != "" {
+			if err := experiments.WriteTieredBenchJSON(*tieredOut, rows); err != nil {
+				return "", err
+			}
+		}
+		return experiments.RenderTieredBench(rows), nil
+	},
 	"tenant": func() (string, error) {
 		res, err := experiments.RunTenantBench(experiments.DefaultTenantBenchConfig())
 		if err != nil {
@@ -215,6 +245,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: adabench [experiment...]\nexperiments: %v all\n", order())
 	}
 	flag.Parse()
+	if err := validateFlags(*parallel); err != nil {
+		fmt.Fprintln(os.Stderr, "adabench:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	names := flag.Args()
 	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
 		names = order()

@@ -5,7 +5,7 @@ import "testing"
 func TestRunnersRegistered(t *testing.T) {
 	want := []string{"dataplane", "fig1a", "fig1b", "fig1c", "fig5", "fig6",
 		"fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10", "lookup",
-		"recovery", "roundbench", "table2", "tenant", "xcp"}
+		"recovery", "roundbench", "table2", "tenant", "tiered", "xcp"}
 	for _, name := range want {
 		if _, ok := runners[name]; !ok {
 			t.Errorf("experiment %q not registered", name)
@@ -33,5 +33,27 @@ func TestRunFastExperiments(t *testing.T) {
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"nope"}); err == nil {
 		t.Error("unknown experiment: want error")
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	tests := []struct {
+		name     string
+		parallel int
+		wantErr  bool
+	}{
+		{"all cores", 0, false},
+		{"sequential", 1, false},
+		{"many workers", 64, false},
+		{"negative workers", -1, true},
+		{"very negative workers", -128, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := validateFlags(tt.parallel)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("validateFlags(%d) = %v, wantErr %v", tt.parallel, err, tt.wantErr)
+			}
+		})
 	}
 }

@@ -21,13 +21,19 @@
 //	adactl -op square -faults default < trace.txt
 //	adactl -op square -faults "seed=7,write=0.2,stale=0.05" -values 9,9,9,200
 //	adactl -op square -faults "seed=7,corrupt=0.5,ghost=0.2" -audit 2 < trace.txt
+//
+// Invalid flag values (zero or negative budgets, a width outside [1, 64], a
+// threshold outside [0, 1], a malformed fault profile) are usage errors:
+// adactl reports them and exits with status 2; runtime failures exit 1.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -41,9 +47,25 @@ import (
 	"github.com/ada-repro/ada/internal/trie"
 )
 
+// usageError is a flag or argument validation failure: the values parsed but
+// make no sense (negative budgets, a threshold outside [0,1], a malformed
+// fault profile). main reports it and exits 2 — the conventional usage-error
+// status — while runtime failures keep exiting 1.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...any) error {
+	return usageError{msg: fmt.Sprintf(format, args...)}
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "adactl:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -62,7 +84,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		auditN    = fs.Int("audit", 0, "with -faults: read-back audit of the calculation TCAM every N rounds (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usagef("%v", err)
+	}
+	switch {
+	case *width < 1 || *width > 64:
+		return usagef("-width must be in [1, 64], got %d", *width)
+	case *monitorN < 1:
+		return usagef("-monitor must be >= 1, got %d", *monitorN)
+	case *calcN < 1:
+		return usagef("-calc must be >= 1, got %d", *calcN)
+	case *rounds < 1:
+		return usagef("-rounds must be >= 1, got %d", *rounds)
+	case math.IsNaN(*thBalance) || *thBalance < 0 || *thBalance > 1:
+		return usagef("-th-balance must be in [0, 1], got %v", *thBalance)
+	case *auditN < 0:
+		return usagef("-audit must be >= 0, got %d", *auditN)
 	}
 
 	ops := map[string]arith.UnaryOp{
@@ -71,7 +107,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	op, ok := ops[*opName]
 	if !ok {
-		return fmt.Errorf("unknown operation %q", *opName)
+		return usagef("unknown operation %q", *opName)
 	}
 
 	trace, err := readTrace(stdin, *values)
@@ -86,7 +122,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return runFaulty(stdout, op, *width, *monitorN, *calcN, *rounds, *auditN, *thBalance, *faultSpec, trace)
 	}
 	if *auditN != 0 {
-		return fmt.Errorf("-audit requires -faults (the audit only matters when the hardware can diverge)")
+		return usagef("-audit requires -faults (the audit only matters when the hardware can diverge)")
 	}
 
 	tr, err := trie.NewInitial(*monitorN, *width)
@@ -140,7 +176,7 @@ func runFaulty(stdout io.Writer, op arith.UnaryOp, width, monitorN, calcN, round
 	thBalance float64, spec string, trace []uint64) error {
 	prof, err := faults.ParseProfile(spec)
 	if err != nil {
-		return err
+		return usagef("bad -faults spec: %v", err)
 	}
 	inj, err := faults.New(prof)
 	if err != nil {

@@ -1,9 +1,62 @@
 package main
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
+
+// TestBadFlagsAreUsageErrors pins the validation sweep: flag values that
+// parse but make no sense must come back as usageError (exit 2 in main),
+// before any work runs.
+func TestBadFlagsAreUsageErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"zero width", []string{"-width", "0", "-values", "1"}},
+		{"negative width", []string{"-width", "-4", "-values", "1"}},
+		{"width above 64", []string{"-width", "65", "-values", "1"}},
+		{"zero monitor budget", []string{"-monitor", "0", "-values", "1"}},
+		{"negative monitor budget", []string{"-monitor", "-12", "-values", "1"}},
+		{"zero calc budget", []string{"-calc", "0", "-values", "1"}},
+		{"negative calc budget", []string{"-calc", "-64", "-values", "1"}},
+		{"zero rounds", []string{"-rounds", "0", "-values", "1"}},
+		{"negative rounds", []string{"-rounds", "-3", "-values", "1"}},
+		{"negative threshold", []string{"-th-balance", "-0.1", "-values", "1"}},
+		{"threshold above one", []string{"-th-balance", "1.5", "-values", "1"}},
+		{"negative audit cadence", []string{"-audit", "-2", "-faults", "default", "-values", "1"}},
+		{"audit without faults", []string{"-audit", "2", "-values", "1"}},
+		{"unknown op", []string{"-op", "cube", "-values", "1"}},
+		{"negative fault rate", []string{"-faults", "seed=7,write=-0.5", "-values", "1"}},
+		{"malformed fault spec", []string{"-faults", "bogus=1", "-values", "1"}},
+		{"unknown flag", []string{"-no-such-flag", "-values", "1"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out strings.Builder
+			err := run(tt.args, strings.NewReader(""), &out)
+			if err == nil {
+				t.Fatalf("run(%v): want usage error, got nil", tt.args)
+			}
+			var ue usageError
+			if !errors.As(err, &ue) {
+				t.Fatalf("run(%v): got %v (%T), want usageError", tt.args, err, err)
+			}
+		})
+	}
+	// Runtime failures must NOT be usage errors: an empty trace is bad input
+	// data, not bad flags.
+	var out strings.Builder
+	err := run([]string{"-values", ""}, strings.NewReader(""), &out)
+	if err == nil {
+		t.Fatal("empty trace: want error")
+	}
+	var ue usageError
+	if errors.As(err, &ue) {
+		t.Fatalf("empty trace classified as usage error: %v", err)
+	}
+}
 
 func TestRunInlineValues(t *testing.T) {
 	var out strings.Builder

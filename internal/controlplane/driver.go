@@ -54,6 +54,35 @@ type DeltaPopulator interface {
 	PopulateCalcDelta(tr *trie.Trie, budget int) (writes, computed, reused int, err error)
 }
 
+// TierMoves is one tier-placement pass's accounting: rows moved between the
+// TCAM and SRAM tiers of a tiered calculation store and the physical writes
+// the moves cost in each memory.
+type TierMoves struct {
+	// Promotions counts rows moved SRAM → TCAM.
+	Promotions int
+	// Demotions counts rows moved TCAM → SRAM.
+	Demotions int
+	// TCAMWrites counts the TCAM row writes the moves cost, charged at
+	// CostModel.PerTCAMWrite.
+	TCAMWrites int
+	// SRAMWrites counts the SRAM row writes of the round — tier-move
+	// invalidates/installs plus any populate-time spills — charged at
+	// CostModel.PerSRAMWrite.
+	SRAMWrites int
+}
+
+// TierPlacer is the optional tier-placement extension of Driver (and of the
+// targets DirectDriver fronts): after each committed round, a driver whose
+// calculation store tiers rows across TCAM and SRAM re-ranks placement from
+// the trie's per-bin hit registers — the same counters Algorithm 2 reads.
+// placed reports whether a tiered store was actually present (false means
+// the step was a no-op); moves must carry the write accounting either way,
+// including on error, so the controller charges work that landed before a
+// failure.
+type TierPlacer interface {
+	PlaceTiers(tr *trie.Trie) (moves TierMoves, placed bool, err error)
+}
+
 // LatencyReporter is implemented by drivers that model per-op latency beyond
 // the CostModel's calibrated operation costs (e.g. injected latency spikes).
 // The controller drains it after each driver call and charges the result
@@ -130,6 +159,16 @@ func (d *DirectDriver) PopulateCalcDelta(tr *trie.Trie, budget int) (int, int, i
 	}
 	writes, computed, err := d.target.Populate(tr, budget)
 	return writes, computed, 0, err
+}
+
+// PlaceTiers implements TierPlacer by forwarding to the target when it can
+// place tiers (the core targets mounted on a tiered store); other targets
+// report placed=false and the controller skips the step.
+func (d *DirectDriver) PlaceTiers(tr *trie.Trie) (TierMoves, bool, error) {
+	if tp, ok := d.target.(TierPlacer); ok {
+		return tp.PlaceTiers(tr)
+	}
+	return TierMoves{}, false, nil
 }
 
 // Monitor exposes the wrapped monitor.

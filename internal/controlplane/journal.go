@@ -142,18 +142,31 @@ func (j *Journal) DanglingIntent() (JournalRecord, bool) {
 
 // ReadJournal replays a JSONL stream written by a sink-backed journal into
 // a fresh in-memory journal.
+//
+// A malformed FINAL record is tolerated: a crash mid-append leaves a torn
+// tail (a partially flushed JSON line), and recovery must still replay the
+// durable prefix — that is the whole point of the write-ahead log. The torn
+// record is discarded; at worst the log loses one dangling intent. A
+// malformed record FOLLOWED by further records is not a torn tail but
+// mid-stream corruption, and stays fatal.
 func ReadJournal(r io.Reader) (*Journal, error) {
 	j := NewJournal()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var pending error
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
+		if pending != nil {
+			// The bad line was not the last one: real corruption.
+			return nil, pending
+		}
 		var rec JournalRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
-			return nil, fmt.Errorf("controlplane: journal replay: %w", err)
+			pending = fmt.Errorf("controlplane: journal replay: %w", err)
+			continue
 		}
 		j.recs = append(j.recs, rec)
 	}

@@ -545,3 +545,78 @@ func TestCancellationStopsRetryLoop(t *testing.T) {
 		t.Errorf("LastError %q does not surface the cancellation", rep.LastError)
 	}
 }
+
+// TestReadJournalTornTail pins the crash-consistency contract of the JSONL
+// sink: a process that dies mid-append leaves a partially flushed final line,
+// and ReadJournal must replay the durable prefix rather than refuse the whole
+// log. Corruption anywhere BEFORE the final record stays fatal — that is not
+// a torn tail, it is a damaged log.
+func TestReadJournalTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := DefaultConfig(8, 32)
+	cfg.Journal = NewJournalWithSink(&buf)
+	ctl, target, _, sampler := newAuditSystem(t, cfg)
+	const rounds = 4
+	for i := 0; i < rounds; i++ {
+		ctl.Monitor().ObserveAll(sampler.Draw(2000))
+		if _, err := ctl.Round(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := buf.Bytes()
+	recs := ctl.Journal().Records()
+
+	// Tear the final record mid-line, as a crash between write and flush
+	// would: drop the trailing newline plus half the last JSON object.
+	lastStart := bytes.LastIndexByte(bytes.TrimRight(full, "\n"), '\n') + 1
+	tornAt := lastStart + (len(full)-lastStart)/2
+	torn := full[:tornAt]
+	if bytes.HasSuffix(torn, []byte("\n")) {
+		t.Fatal("tear landed on a record boundary; test setup broken")
+	}
+
+	j, err := ReadJournal(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("ReadJournal on torn tail: %v", err)
+	}
+	if got, want := j.Len(), len(recs)-1; got != want {
+		t.Fatalf("replayed %d records, want %d (torn tail discarded)", got, want)
+	}
+	if !reflect.DeepEqual(j.Records(), recs[:len(recs)-1]) {
+		t.Error("replayed prefix diverges from the in-memory journal")
+	}
+
+	// The torn log must still drive a full recovery.
+	ctl2, rec, err := Recover(cfg, NewDirectDriver(ctl.Monitor(), target), j)
+	if err != nil {
+		t.Fatalf("Recover from torn journal: %v", err)
+	}
+	if rec.FullResync {
+		t.Error("FullResync despite committed records surviving the tear")
+	}
+	if rep, err := ctl2.Round(); err != nil || rep.Degraded {
+		t.Fatalf("post-recovery round: %+v, %v", rep, err)
+	}
+
+	// An empty final fragment (crash right after the newline) is simply a
+	// complete log.
+	j2, err := ReadJournal(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != len(recs) {
+		t.Fatalf("clean replay lost records: %d != %d", j2.Len(), len(recs))
+	}
+
+	// Mid-stream corruption is NOT a torn tail: damage a record that has
+	// complete records after it and the replay must refuse.
+	lines := bytes.SplitAfter(full, []byte("\n"))
+	corrupt := bytes.Join([][]byte{
+		lines[0],
+		[]byte("{\"kind\":\"intent\",\"round\"\n"), // truncated JSON mid-log
+		bytes.Join(lines[1:], nil),
+	}, nil)
+	if _, err := ReadJournal(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("mid-stream corruption replayed without error")
+	}
+}

@@ -50,6 +50,16 @@ type Config struct {
 	// budget leaves headroom for later SetCalcBudget growth — the tenant
 	// differential tests use it to mirror a slice whose quota moves.
 	CalcCapacity int
+	// TieredTCAMEntries, when positive, backs the private calculation engine
+	// with a tiered TCAM+SRAM store (tcam.NewTiered) instead of a pure TCAM
+	// table: the TCAM tier is bounded at this many rows and the rest of the
+	// CalcEntries/CalcCapacity budget spills into a dense SRAM predecessor
+	// structure with identical resolution semantics. After each committed
+	// round the control plane re-ranks tier placement from the same per-bin
+	// hit registers Algorithm 2 reads, keeping the hottest rows in TCAM.
+	// This is how a 128-row TCAM slice serves a 1280-entry population at
+	// unchanged TCAM cost. 0 keeps the pure TCAM table.
+	TieredTCAMEntries int
 	// ThBalance is Algorithm 2's rebalance threshold (paper: 0.20).
 	ThBalance float64
 	// ThExpansion is the monitoring-growth threshold (paper: 2).
@@ -115,6 +125,19 @@ func (c *Config) normalise() error {
 	}
 	if c.CalcCapacity != 0 && c.CalcCapacity < c.CalcEntries {
 		return fmt.Errorf("%w: calc capacity %d below budget %d", ErrConfig, c.CalcCapacity, c.CalcEntries)
+	}
+	if c.TieredTCAMEntries < 0 {
+		return fmt.Errorf("%w: tiered TCAM entries %d", ErrConfig, c.TieredTCAMEntries)
+	}
+	if c.TieredTCAMEntries > 0 {
+		capacity := c.CalcEntries
+		if c.CalcCapacity > 0 {
+			capacity = c.CalcCapacity
+		}
+		if c.TieredTCAMEntries > capacity {
+			return fmt.Errorf("%w: tiered TCAM slice %d above calc capacity %d",
+				ErrConfig, c.TieredTCAMEntries, capacity)
+		}
 	}
 	if c.MaxMonitorEntries == 0 {
 		c.MaxMonitorEntries = 4 * c.MonitorEntries
@@ -183,6 +206,18 @@ type SyncReport struct {
 	// its classification and repair accounting (summed across variables).
 	AuditRan bool
 	Audit    controlplane.AuditReport
+	// TierPlaced reports that a tiered calculation store re-ranked its row
+	// placement this round; TierPromotions/TierDemotions count the rows moved
+	// between the TCAM and SRAM tiers, and SRAMWrites the SRAM row writes of
+	// the round (tier moves plus populate-time spills), charged at
+	// CostModel.PerSRAMWrite and counted separately from Writes.
+	// TierPlaceFailed flags a placement pass that errored; the moves that
+	// landed before the failure are still accounted.
+	TierPlaced      bool
+	TierPlaceFailed bool
+	TierPromotions  int
+	TierDemotions   int
+	SRAMWrites      int
 	// Health is the controller's driver-health verdict after the round (for
 	// a binary system, the worse of the two variables).
 	Health controlplane.Health
@@ -343,10 +378,21 @@ func (p plainTarget) AuditCalc(repair bool) (controlplane.AuditReport, error) {
 	return controlplane.AuditReport{}, nil
 }
 
+// PlaceTiers forwards the tier-placement seam through the veil:
+// DisableIncremental hides delta population, not the tiered store.
+func (p plainTarget) PlaceTiers(tr *trie.Trie) (controlplane.TierMoves, bool, error) {
+	if tp, ok := p.Target.(controlplane.TierPlacer); ok {
+		return tp.PlaceTiers(tr)
+	}
+	return controlplane.TierMoves{}, false, nil
+}
+
 var (
 	_ controlplane.DeltaTarget     = (*unaryTarget)(nil)
 	_ controlplane.AuditableTarget = (*unaryTarget)(nil)
+	_ controlplane.TierPlacer      = (*unaryTarget)(nil)
 	_ controlplane.AuditableTarget = plainTarget{}
+	_ controlplane.TierPlacer      = plainTarget{}
 )
 
 // UnarySystem is ADA deployed for a single-operand operation.
@@ -367,7 +413,19 @@ func NewUnary(cfg Config, op arith.UnaryOp) (*UnarySystem, error) {
 	if cfg.CalcCapacity > 0 {
 		capacity = cfg.CalcCapacity
 	}
-	engine, err := arith.NewUnaryEngine(fmt.Sprintf("ada.%v.calc", op), cfg.Width, capacity, nil)
+	var (
+		engine *arith.UnaryEngine
+		err    error
+	)
+	if cfg.TieredTCAMEntries > 0 {
+		store, terr := tcam.NewTiered(fmt.Sprintf("ada.%v.calc", op), cfg.TieredTCAMEntries, capacity, cfg.Width)
+		if terr != nil {
+			return nil, terr
+		}
+		engine, err = arith.NewUnaryEngineOn(store, nil)
+	} else {
+		engine, err = arith.NewUnaryEngine(fmt.Sprintf("ada.%v.calc", op), cfg.Width, capacity, nil)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -396,6 +454,11 @@ func newUnaryOn(name string, cfg Config, op arith.UnaryOp, engine *arith.UnaryEn
 	// Initial population from the uniform trie: equal entries everywhere.
 	if _, _, err := target.Populate(ctl.Trie(), cfg.CalcEntries); err != nil {
 		return nil, err
+	}
+	// The construction-time populate is not part of any round; drop its spill
+	// accounting the same way its TCAM write count is dropped above.
+	if ts, ok := engine.Store().(*tcam.TieredStore); ok {
+		ts.TakeSRAMWrites()
 	}
 	return &UnarySystem{cfg: cfg, op: op, engine: engine, ctl: ctl}, nil
 }
@@ -445,20 +508,25 @@ func (s *UnarySystem) SyncCtx(ctx context.Context) (SyncReport, error) {
 		return SyncReport{}, err
 	}
 	return SyncReport{
-		Delay:          rep.Delay,
-		Reads:          rep.Reads,
-		Writes:         rep.RegisterWrites + rep.TCAMWrites,
-		Rebalances:     rep.Rebalances,
-		Computed:       rep.Computed,
-		Reused:         rep.Reused,
-		Expanded:       rep.Expanded,
-		Degraded:       rep.Degraded,
-		DegradedReason: rep.DegradedReason,
-		Retries:        rep.Retries,
-		DriverErrors:   rep.DriverErrors,
-		AuditRan:       rep.AuditRan,
-		Audit:          rep.Audit,
-		Health:         rep.Health,
+		Delay:           rep.Delay,
+		Reads:           rep.Reads,
+		Writes:          rep.RegisterWrites + rep.TCAMWrites,
+		Rebalances:      rep.Rebalances,
+		Computed:        rep.Computed,
+		Reused:          rep.Reused,
+		Expanded:        rep.Expanded,
+		Degraded:        rep.Degraded,
+		DegradedReason:  rep.DegradedReason,
+		Retries:         rep.Retries,
+		DriverErrors:    rep.DriverErrors,
+		AuditRan:        rep.AuditRan,
+		Audit:           rep.Audit,
+		Health:          rep.Health,
+		TierPlaced:      rep.TierPlaced,
+		TierPlaceFailed: rep.TierPlaceFailed,
+		TierPromotions:  rep.TierPromotions,
+		TierDemotions:   rep.TierDemotions,
+		SRAMWrites:      rep.SRAMWrites,
 	}, nil
 }
 
@@ -579,7 +647,19 @@ func NewBinary(cfg Config, op arith.BinaryOp) (*BinarySystem, error) {
 	if cfg.CalcCapacity > 0 {
 		capacity = cfg.CalcCapacity
 	}
-	engine, err := arith.NewBinaryEngine(fmt.Sprintf("ada.%v.calc", op), cfg.Width, capacity, nil)
+	var (
+		engine *arith.BinaryEngine
+		err    error
+	)
+	if cfg.TieredTCAMEntries > 0 {
+		store, terr := tcam.NewTiered(fmt.Sprintf("ada.%v.calc", op), cfg.TieredTCAMEntries, capacity, cfg.Width, cfg.Width)
+		if terr != nil {
+			return nil, terr
+		}
+		engine, err = arith.NewBinaryEngineOn(store, nil)
+	} else {
+		engine, err = arith.NewBinaryEngine(fmt.Sprintf("ada.%v.calc", op), cfg.Width, capacity, nil)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -614,6 +694,10 @@ func newBinaryOn(name string, cfg Config, op arith.BinaryOp, engine *arith.Binar
 		rep: cfg.Representative, budget: cfg.CalcEntries}
 	if _, _, _, err := s.populate(); err != nil {
 		return nil, err
+	}
+	// Construction-time spills are not round work (see newUnaryOn).
+	if ts, ok := engine.Store().(*tcam.TieredStore); ok {
+		ts.TakeSRAMWrites()
 	}
 	return s, nil
 }
@@ -853,6 +937,21 @@ func (s *BinarySystem) SyncCtx(ctx context.Context) (SyncReport, error) {
 	out.Delay += time.Duration(calcWrites)*s.cfg.Cost.PerTCAMWrite +
 		time.Duration(computed)*s.cfg.Cost.PerEntryCompute +
 		time.Duration(reused)*s.cfg.Cost.PerEntryReused
+	// Tier placement: the joint calculation table is not owned by either
+	// variable's controller, so — like the joint audit above — the placement
+	// pass runs here, after a committed populate, scoring each row by the
+	// product of its operands' marginal hit mass. Failure is non-fatal; the
+	// moves that landed are still charged.
+	if moves, placed, perr := s.placeTiers(); placed {
+		out.TierPlaced = true
+		out.TierPlaceFailed = perr != nil
+		out.TierPromotions = moves.Promotions
+		out.TierDemotions = moves.Demotions
+		out.SRAMWrites = moves.SRAMWrites
+		out.Writes += moves.TCAMWrites
+		out.Delay += time.Duration(moves.TCAMWrites)*s.cfg.Cost.PerTCAMWrite +
+			time.Duration(moves.SRAMWrites)*s.cfg.Cost.PerSRAMWrite
+	}
 	s.roundsSinceAudit++
 	return out, nil
 }

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// shortTieredBenchConfig shrinks the sweep so CI's short mode stays fast
+// while keeping the acceptance shape: the tiered budgets still extend ≥10×
+// past the largest pure budget on an unchanged TCAM slice.
+func shortTieredBenchConfig() TieredBenchConfig {
+	cfg := DefaultTieredBenchConfig()
+	cfg.Width = 12
+	cfg.PureBudgets = []int{8, 32}
+	cfg.TieredBudgets = []int{320}
+	cfg.TieredTCAM = 32
+	cfg.Rounds = 6
+	cfg.SamplesPerRound = 1500
+	cfg.EvalSamples = 4000
+	return cfg
+}
+
+// TestTieredBenchAcceptance runs the issue's acceptance sweep: the error
+// curve must keep improving at budgets ≥10× past what the TCAM slice alone
+// could hold, at unchanged ternary capacity, and the tiered store must hold
+// populations a pure TCAM of the same slice could never fit.
+func TestTieredBenchAcceptance(t *testing.T) {
+	cfg := DefaultTieredBenchConfig()
+	if testing.Short() {
+		cfg = shortTieredBenchConfig()
+	}
+	maxPure := 0
+	for _, b := range cfg.PureBudgets {
+		if b > maxPure {
+			maxPure = b
+		}
+	}
+	maxTiered := 0
+	for _, b := range cfg.TieredBudgets {
+		if b > maxTiered {
+			maxTiered = b
+		}
+	}
+	if maxTiered < 10*maxPure {
+		t.Fatalf("config regression: tiered sweep tops out at %d, want ≥10× the pure max %d", maxTiered, maxPure)
+	}
+	rows, err := RunTieredBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", RenderTieredBench(rows))
+	var pureBest, tieredBest TieredBenchRow
+	for _, r := range rows {
+		switch r.Mode {
+		case "pure":
+			if r.TCAMRows != r.Budget {
+				t.Errorf("pure row at budget %d reports %d TCAM rows", r.Budget, r.TCAMRows)
+			}
+			if r.SRAMWrites != 0 || r.Promotions != 0 || r.ColdRows != 0 {
+				t.Errorf("pure row at budget %d carries tier accounting: %+v", r.Budget, r)
+			}
+			if pureBest.Mode == "" || r.Budget > pureBest.Budget {
+				pureBest = r
+			}
+		case "tiered":
+			if r.TCAMRows != cfg.TieredTCAM {
+				t.Errorf("tiered row at budget %d consumes %d TCAM rows, want the pinned slice %d",
+					r.Budget, r.TCAMRows, cfg.TieredTCAM)
+			}
+			if r.HotRows > cfg.TieredTCAM {
+				t.Errorf("tiered row at budget %d holds %d hot rows, above the %d-row slice",
+					r.Budget, r.HotRows, cfg.TieredTCAM)
+			}
+			if r.HotRows+r.ColdRows != r.Budget {
+				t.Errorf("tiered row at budget %d installed %d+%d rows",
+					r.Budget, r.HotRows, r.ColdRows)
+			}
+			if r.Budget > cfg.TieredTCAM && r.ColdRows == 0 {
+				t.Errorf("tiered row at budget %d spilled nothing to SRAM", r.Budget)
+			}
+			if tieredBest.Mode == "" || r.Budget > tieredBest.Budget {
+				tieredBest = r
+			}
+		default:
+			t.Errorf("unknown mode %q", r.Mode)
+		}
+	}
+	// The point of the tentpole: extending the budget past the TCAM slice
+	// must keep buying accuracy at unchanged ternary capacity.
+	if tieredBest.MeanRelErr >= pureBest.MeanRelErr {
+		t.Errorf("tiered budget %d error %.3f%% not below pure budget %d error %.3f%%",
+			tieredBest.Budget, tieredBest.MeanRelErr, pureBest.Budget, pureBest.MeanRelErr)
+	}
+}
+
+// TestTieredDifferential proves bit-identical arithmetic: tiered vs pure at
+// the same effective budget, identical workloads, fingerprint parity and
+// identical evaluations after every control round.
+func TestTieredDifferential(t *testing.T) {
+	cfg := shortTieredBenchConfig()
+	if !testing.Short() {
+		cfg = DefaultTieredBenchConfig()
+		cfg.Rounds = 8
+	}
+	budget := cfg.TieredBudgets[len(cfg.TieredBudgets)-1]
+	rounds, err := TieredDifferential(cfg, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != cfg.Rounds {
+		t.Fatalf("compared %d rounds, want %d", rounds, cfg.Rounds)
+	}
+}

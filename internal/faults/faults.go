@@ -551,6 +551,33 @@ func (d *Driver) PopulateCalcDelta(tr *trie.Trie, budget int) (int, int, int, er
 	return writes, computed, reused, nil
 }
 
+// PlaceTiers implements controlplane.TierPlacer with the same transient
+// write faults as the populate paths. An ack drop fires after the inner
+// placement, so the moves that landed are still reported with the error —
+// the controller charges them even on a failed call.
+func (d *Driver) PlaceTiers(tr *trie.Trie) (controlplane.TierMoves, bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tp, ok := d.inner.(controlplane.TierPlacer)
+	if !ok {
+		return controlplane.TierMoves{}, false, nil
+	}
+	if err := d.in.opStart(d); err != nil {
+		return controlplane.TierMoves{}, false, err
+	}
+	if d.in.roll(d.in.prof.WriteFailure, &d.in.stats.WriteFailures) {
+		return controlplane.TierMoves{}, false, fmt.Errorf("%w: tier placement", ErrInjected)
+	}
+	moves, placed, err := tp.PlaceTiers(tr)
+	if err != nil {
+		return moves, placed, err
+	}
+	if d.in.roll(d.in.prof.AckDrop, &d.in.stats.AckDrops) {
+		return moves, placed, fmt.Errorf("%w: tier placement", ErrAckDropped)
+	}
+	return moves, placed, nil
+}
+
 // ParseProfile parses a compact comma-separated key=value fault spec, e.g.
 // "seed=7,write=0.05,stale=0.01,outage=0.02,outageops=6,latency=20us,spike=400us,spikeprob=0.05".
 // Keys: seed, write, row, drop, stale, outage, outageops, pressure, latency

@@ -1,0 +1,149 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/ada-repro/ada/internal/bitstr"
+)
+
+func oneBinMonitor(t *testing.T, bits, stripes int) *Monitor {
+	t.Helper()
+	opts := []Option{WithRegisterBits(bits)}
+	if stripes > 0 {
+		opts = append(opts, WithStripes(stripes))
+	}
+	m, err := New("bound", 8, 0, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _ := bitstr.Root(8)
+	if _, err := m.Install([]bitstr.Prefix{root}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSaturationExactBoundary pins the off-by-one: a register holding exactly
+// 2^bits−1 increments is full but NOT saturated — no increment was lost — and
+// the very next increment is the first one dropped.
+func TestSaturationExactBoundary(t *testing.T) {
+	for _, bits := range []int{1, 3, 4} {
+		max := uint64(1)<<uint(bits) - 1
+		m := oneBinMonitor(t, bits, 0)
+
+		for i := uint64(0); i < max; i++ {
+			m.Observe(uint64(i % 256))
+		}
+		if snap := m.Snapshot(); snap[0] != max {
+			t.Fatalf("bits=%d: snapshot at exactly max = %v, want [%d]", bits, snap, max)
+		}
+		if s := m.Stats().Saturations; s != 0 {
+			t.Fatalf("bits=%d: saturations at exactly max = %d, want 0", bits, s)
+		}
+
+		m.Observe(0) // one past the boundary
+		if snap := m.Snapshot(); snap[0] != max {
+			t.Fatalf("bits=%d: snapshot one past max = %v, want clamp at [%d]", bits, snap, max)
+		}
+		if s := m.Stats().Saturations; s != 1 {
+			t.Fatalf("bits=%d: saturations one past max = %d, want exactly 1", bits, s)
+		}
+
+		// Draining folds exactly that one lost increment, once.
+		if snap := m.SnapshotAndReset(); snap[0] != max {
+			t.Fatalf("bits=%d: drain = %v, want [%d]", bits, snap, max)
+		}
+		if s := m.Stats().Saturations; s != 1 {
+			t.Fatalf("bits=%d: saturations after drain = %d, want 1", bits, s)
+		}
+		if snap := m.Snapshot(); snap[0] != 0 {
+			t.Fatalf("bits=%d: register not zeroed: %v", bits, snap)
+		}
+	}
+}
+
+// TestSaturationBoundaryAcrossStripes drives the same boundary through the
+// batch path with every increment on a different stripe: each stripe is far
+// below the register limit, so only the merge-time clamp can see the
+// overflow. The merged view must behave exactly like a single register.
+func TestSaturationBoundaryAcrossStripes(t *testing.T) {
+	const bits, stripes = 5, 4 // max 31, spread over 4 stripes
+	max := uint64(1)<<bits - 1
+	m := oneBinMonitor(t, bits, stripes)
+
+	// 31 increments in 31 one-sample batches: lane() round-robins, so every
+	// stripe holds ~8 — nowhere near 31.
+	for i := uint64(0); i < max; i++ {
+		m.ObserveAll([]uint64{i % 256})
+	}
+	if snap := m.Snapshot(); snap[0] != max {
+		t.Fatalf("merged snapshot at exactly max = %v, want [%d]", snap, max)
+	}
+	if s := m.Stats().Saturations; s != 0 {
+		t.Fatalf("live saturations at exactly max = %d, want 0", s)
+	}
+	m.ObserveAll([]uint64{0})
+	if s := m.Stats().Saturations; s != 1 {
+		t.Fatalf("live saturations one past max = %d, want 1", s)
+	}
+	if snap := m.SnapshotAndReset(); snap[0] != max {
+		t.Fatalf("drain = %v, want [%d]", snap, max)
+	}
+	if s := m.Stats().Saturations; s != 1 {
+		t.Fatalf("saturations after drain = %d, want 1", s)
+	}
+}
+
+// TestStripedDrainConservation: concurrent striped observers racing
+// SnapshotAndReset must neither lose nor double-count increments when the
+// register is wide enough not to clamp — the drains plus the residual must
+// sum to exactly the number of observations.
+func TestStripedDrainConservation(t *testing.T) {
+	const (
+		goroutines = 6
+		perG       = 5000
+	)
+	m := oneBinMonitor(t, 64, goroutines)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var drained uint64
+	var drainWG sync.WaitGroup
+	drainWG.Add(1)
+	go func() {
+		defer drainWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				drained += m.SnapshotAndReset()[0]
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			batch := make([]uint64, 10)
+			for i := range batch {
+				batch[i] = uint64((g + i) % 256)
+			}
+			for n := 0; n < perG/len(batch); n++ {
+				m.ObserveAll(batch)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	drainWG.Wait()
+	drained += m.SnapshotAndReset()[0]
+
+	if want := uint64(goroutines * perG); drained != want {
+		t.Fatalf("drains collected %d increments, want %d", drained, want)
+	}
+	if s := m.Stats().Saturations; s != 0 {
+		t.Fatalf("64-bit registers reported %d saturations", s)
+	}
+}

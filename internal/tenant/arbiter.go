@@ -54,14 +54,17 @@ type ArbiterConfig struct {
 	MinMove int
 }
 
+// withDefaults fills zero fields and clamps nonsense: a negative floor,
+// move fraction, or hysteresis is treated the same as unset rather than
+// allowed to drive allocations negative.
 func (c ArbiterConfig) withDefaults() ArbiterConfig {
-	if c.Floor == 0 {
+	if c.Floor <= 0 {
 		c.Floor = 8
 	}
-	if c.MaxMoveFrac == 0 {
+	if c.MaxMoveFrac <= 0 {
 		c.MaxMoveFrac = 0.25
 	}
-	if c.MinMove == 0 {
+	if c.MinMove <= 0 {
 		c.MinMove = 2
 	}
 	return c
@@ -141,11 +144,17 @@ func (a *Arbiter) settle(members []Member) []Move {
 			continue
 		}
 		grant := want - cur
+		if grant < a.cfg.MinMove {
+			// The remainder of the desire is below the hysteresis band:
+			// consider it satisfied rather than dribbling 1-entry grants.
+			delete(a.desired, m.TenantName())
+			continue
+		}
 		if free := a.part.Headroom(); grant > free {
 			grant = free
 		}
-		if grant <= 0 {
-			continue
+		if grant < a.cfg.MinMove {
+			continue // wait for victims to free real headroom
 		}
 		if err := m.SetBudget(cur + grant); err != nil {
 			continue // headroom raced away; retry next round
@@ -189,6 +198,11 @@ func (a *Arbiter) rebalance(members []Member, rep *Report) error {
 		cache[i] = make(map[int]Signal)
 	}
 	at := func(i, budget int) (Signal, error) {
+		if budget < 1 {
+			// Pressure oracles divide residual error by the budget; never
+			// probe them at zero entries.
+			budget = 1
+		}
 		if sig, ok := cache[i][budget]; ok {
 			return sig, nil
 		}

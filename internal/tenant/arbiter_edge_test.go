@@ -1,0 +1,148 @@
+package tenant
+
+import "testing"
+
+// zeroMember reports no pressure at any budget — an idle tenant.
+type zeroMember struct{ fakeMember }
+
+func (z *zeroMember) Pressure(int) (Signal, error) { return Signal{}, nil }
+
+func openMember(t *testing.T, p *Partition, name string, quota int, mass float64) *fakeMember {
+	t.Helper()
+	s, err := p.Open(name, []int{8}, quota)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fakeMember{name: name, p: p, s: s, mass: mass, budget: quota}
+}
+
+// TestArbiterBudgetBelowFloors pins the small-partition edge: when the total
+// budget cannot honour the floor for every member, a rebalance must keep the
+// current split untouched instead of driving allocations to zero or negative.
+func TestArbiterBudgetBelowFloors(t *testing.T) {
+	p := mustPartition(t, 12, 8, 8)
+	a := openMember(t, p, "a", 6, 900)
+	b := openMember(t, p, "b", 6, 10)
+	arb := NewArbiter(p, ArbiterConfig{Every: 1, Floor: 8})
+	for round := 0; round < 4; round++ {
+		rep, err := arb.RoundDone([]Member{a, b})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(rep.Moves) != 0 {
+			t.Fatalf("round %d moved budget with total 12 < 2×floor 8: %+v", round, rep.Moves)
+		}
+	}
+	if a.budget != 6 || b.budget != 6 {
+		t.Fatalf("budgets drifted to %d/%d under an unsatisfiable floor", a.budget, b.budget)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArbiterAllZeroPressures: idle tenants give the waterfill no gradient.
+// The rebalance must terminate, keep the budget fully allocated, and not
+// thrash the (already fair) split.
+func TestArbiterAllZeroPressures(t *testing.T) {
+	p := mustPartition(t, 64, 8, 8)
+	a := &zeroMember{*openMember(t, p, "a", 32, 0)}
+	b := &zeroMember{*openMember(t, p, "b", 32, 0)}
+	arb := NewArbiter(p, ArbiterConfig{Every: 1, Floor: 8})
+	for round := 0; round < 3; round++ {
+		rep, err := arb.RoundDone([]Member{a, b})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !rep.Rebalanced {
+			t.Fatalf("round %d did not rebalance with Every=1", round)
+		}
+		if len(rep.Moves) != 0 {
+			t.Fatalf("round %d reshuffled idle tenants: %+v", round, rep.Moves)
+		}
+	}
+	if a.budget+b.budget != 64 {
+		t.Fatalf("budgets sum to %d, want 64", a.budget+b.budget)
+	}
+}
+
+// TestArbiterSingleMember: with one tenant there is nobody to take budget
+// from or give it to; every rebalance must terminate with the budget intact.
+func TestArbiterSingleMember(t *testing.T) {
+	p := mustPartition(t, 48, 8, 8)
+	m := openMember(t, p, "only", 48, 500)
+	arb := NewArbiter(p, ArbiterConfig{Every: 1})
+	for round := 0; round < 5; round++ {
+		rep, err := arb.RoundDone([]Member{m})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(rep.Moves) != 0 {
+			t.Fatalf("round %d moved the sole tenant's budget: %+v", round, rep.Moves)
+		}
+	}
+	if m.budget != 48 {
+		t.Fatalf("sole tenant budget drifted to %d", m.budget)
+	}
+}
+
+// TestArbiterNeverGrantsBelowMinMove: settle must not dribble sub-hysteresis
+// grants when the freed headroom trickles in below MinMove.
+func TestArbiterNeverGrantsBelowMinMove(t *testing.T) {
+	p := mustPartition(t, 64, 8, 8)
+	hot := openMember(t, p, "hot", 32, 900)
+	cold := openMember(t, p, "cold", 32, 1)
+	const minMove = 4
+	arb := NewArbiter(p, ArbiterConfig{Every: 1, Floor: 8, MinMove: minMove})
+	for round := 0; round < 8; round++ {
+		for _, m := range []*fakeMember{hot, cold} {
+			m.commit(t)
+		}
+		rep, err := arb.RoundDone([]Member{hot, cold})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for _, mv := range rep.Moves {
+			if d := mv.To - mv.From; d > -minMove && d < minMove {
+				t.Fatalf("round %d: move %+v smaller than MinMove %d", round, mv, minMove)
+			}
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if hot.budget <= 32 {
+		t.Fatalf("hot budget = %d, want growth despite hysteresis", hot.budget)
+	}
+}
+
+// TestArbiterNegativeConfigClamped: negative knobs behave as unset, not as
+// licences for negative floors or reversed damping.
+func TestArbiterNegativeConfigClamped(t *testing.T) {
+	cfg := ArbiterConfig{Every: 1, Floor: -3, MaxMoveFrac: -0.5, MinMove: -2}.withDefaults()
+	if cfg.Floor != 8 || cfg.MaxMoveFrac != 0.25 || cfg.MinMove != 2 {
+		t.Fatalf("withDefaults() = %+v, want clamped defaults", cfg)
+	}
+
+	p := mustPartition(t, 64, 8, 8)
+	hot := openMember(t, p, "hot", 32, 900)
+	cold := openMember(t, p, "cold", 32, 1)
+	arb := NewArbiter(p, ArbiterConfig{Every: 1, Floor: -3, MaxMoveFrac: -0.5, MinMove: -2})
+	for round := 0; round < 6; round++ {
+		for _, m := range []*fakeMember{hot, cold} {
+			m.commit(t)
+		}
+		if _, err := arb.RoundDone([]Member{hot, cold}); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if hot.budget < 1 || cold.budget < 1 {
+			t.Fatalf("round %d: budgets %d/%d went non-positive", round, hot.budget, cold.budget)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if cold.budget < 8 {
+		t.Fatalf("cold budget %d fell below the clamped floor 8", cold.budget)
+	}
+}
