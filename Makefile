@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short vet bench bench-lookup bench-round bench-tenant bench-dataplane bench-recovery bench-tiered bench-compare bench-all chaos experiments examples cover clean
+.PHONY: all build test test-short vet bench bench-lookup bench-round bench-tenant bench-dataplane bench-recovery bench-tiered bench-fabric bench-compare bench-all chaos experiments examples cover clean
 
 all: build vet test
 
@@ -64,6 +64,13 @@ bench-tiered:
 	$(GO) test -run 'TestTieredBenchAcceptance|TestTieredDifferential' -v ./internal/experiments
 	$(GO) run ./cmd/adabench -tiered-out BENCH_tiered.json tiered
 
+# Sharded multi-switch fabric: elastic rebalancing vs static placement at
+# 64 switches, the replay-scaling grid, and round latency under per-switch
+# faults, plus the committed BENCH_fabric.json artefact.
+bench-fabric:
+	$(GO) test -run TestFabricBenchElasticBeatsStatic -v ./internal/experiments
+	$(GO) run ./cmd/adabench -fabric-out BENCH_fabric.json fabric
+
 # A/B comparison capture for benchstat. Run once before a change and once
 # after, then diff:
 #   make bench-compare OUT=before.txt
@@ -76,7 +83,7 @@ bench-compare:
 	$(GO) test -bench . -benchmem -count 6 -run '^$$' ./internal/tcam ./internal/core ./internal/experiments | tee $(OUT)
 
 # All committed benchmark baselines in one go.
-bench-all: bench-lookup bench-round bench-tenant bench-dataplane bench-recovery bench-tiered
+bench-all: bench-lookup bench-round bench-tenant bench-dataplane bench-recovery bench-tiered bench-fabric
 
 # Regenerate every evaluation table/figure as text.
 experiments:

@@ -2,31 +2,37 @@
 //
 // Usage:
 //
-//	adabench [-parallel N] [-lookup-out FILE] [-round-out FILE] [-tenant-out FILE] [-dataplane-out FILE] [-recovery-out FILE] [-tiered-out FILE] [experiment...]
+//	adabench [-parallel N] [-lookup-out FILE] [-round-out FILE] [-tenant-out FILE] [-dataplane-out FILE] [-recovery-out FILE] [-tiered-out FILE] [-fabric-out FILE] [experiment...]
 //
-// Experiments: dataplane fig1a fig1b fig1c fig5 fig6 fig7a fig7b fig7c fig8
-// fig9 fig10 lookup recovery roundbench table2 tenant tiered xcp all
-// (default: all). Each prints the same rows/series the paper reports; see
-// EXPERIMENTS.md for the paper-vs-measured record. recovery is the failure
-// model v2 experiment: silent TCAM corruption against the read-back audit,
-// measuring detection latency, anti-entropy repair writes vs full
+// Experiments: dataplane fabric fig1a fig1b fig1c fig5 fig6 fig7a fig7b
+// fig7c fig8 fig9 fig10 lookup recovery roundbench table2 tenant tiered xcp
+// all (default: all). Each prints the same rows/series the paper reports;
+// see EXPERIMENTS.md for the paper-vs-measured record. recovery is the
+// failure model v2 experiment: silent TCAM corruption against the read-back
+// audit, measuring detection latency, anti-entropy repair writes vs full
 // repopulation, and the arithmetic error of the corruption window. tiered
 // sweeps error vs calculation budget for the tiered TCAM+SRAM store against
 // a pure TCAM table: the tiered budgets extend 10× past the TCAM slice at
 // unchanged ternary capacity, and a fingerprint differential proves the
-// tiering is bit-identical to the pure reference.
+// tiering is bit-identical to the pure reference. fabric shards dozens of
+// drifting tenants across a 64-switch fabric and compares elastic
+// rebalancing (switch-local arbiters plus cross-switch migration) against
+// static equal placement, reporting aggregate error, per-switch round
+// latency under injected faults, and the replay-scaling grid.
 //
 // -parallel sets the replay worker count for the experiments that feed
-// operand streams through the monitoring path (fig7c, fig9, dataplane); 0
-// uses all cores, 1 restores the sequential replay. Results are worker-count
-// independent — register increments are commutative. -lookup-out writes the
-// lookup microbenchmark rows as JSON (the committed BENCH_lookup.json
-// baseline) in addition to printing the table; -round-out does the same for
-// the control-round benchmark (BENCH_round.json), -tenant-out for the
-// multi-tenant sharing benchmark (BENCH_tenant.json), -dataplane-out for
-// the data-plane throughput benchmark (BENCH_dataplane.json), -recovery-out
-// for the corruption-recovery benchmark (BENCH_recovery.json), and
-// -tiered-out for the tiered-store budget sweep (BENCH_tiered.json).
+// operand streams through the monitoring path (fig7c, fig9, dataplane,
+// fabric); 0 uses all cores, 1 restores the sequential replay. Results are
+// worker-count independent — register increments are commutative.
+// -lookup-out writes the lookup microbenchmark rows as JSON (the committed
+// BENCH_lookup.json baseline) in addition to printing the table; -round-out
+// does the same for the control-round benchmark (BENCH_round.json),
+// -tenant-out for the multi-tenant sharing benchmark (BENCH_tenant.json),
+// -dataplane-out for the data-plane throughput benchmark
+// (BENCH_dataplane.json), -recovery-out for the corruption-recovery
+// benchmark (BENCH_recovery.json), -tiered-out for the tiered-store budget
+// sweep (BENCH_tiered.json), and -fabric-out for the sharded-fabric
+// benchmark (BENCH_fabric.json).
 //
 // Invalid flag values (e.g. a negative -parallel) are usage errors: adabench
 // prints the usage text and exits with status 2; experiment failures exit 1.
@@ -50,6 +56,7 @@ var (
 	dataOut   = flag.String("dataplane-out", "", "write data-plane throughput benchmark rows as JSON to this file")
 	recovOut  = flag.String("recovery-out", "", "write corruption-recovery benchmark rows as JSON to this file")
 	tieredOut = flag.String("tiered-out", "", "write tiered-store budget sweep rows as JSON to this file")
+	fabricOut = flag.String("fabric-out", "", "write sharded-fabric benchmark result as JSON to this file")
 )
 
 // validateFlags rejects flag values that parse but make no sense; main
@@ -193,6 +200,22 @@ var runners = map[string]func() (string, error){
 			}
 		}
 		return experiments.RenderTieredBench(rows), nil
+	},
+	"fabric": func() (string, error) {
+		cfg := experiments.DefaultFabricBenchConfig()
+		if *parallel > 0 {
+			cfg.Workers = *parallel
+		}
+		res, err := experiments.RunFabricBench(cfg)
+		if err != nil {
+			return "", err
+		}
+		if *fabricOut != "" {
+			if err := experiments.WriteFabricBenchJSON(*fabricOut, res); err != nil {
+				return "", err
+			}
+		}
+		return experiments.RenderFabricBench(res), nil
 	},
 	"tenant": func() (string, error) {
 		res, err := experiments.RunTenantBench(experiments.DefaultTenantBenchConfig())

@@ -14,6 +14,15 @@
 // between rounds, and each audit's verdict (corrupted/ghost/missing rows and
 // repair writes) is printed per round.
 //
+// With -fabric N the trace is instead fanned across an N-switch sharded
+// fabric: -fabric-tenants clones of the operation are consistent-hashed over
+// the switches (-calc is each switch's physical capacity, split equally among
+// its tenants), the stream is round-robined across the tenants and replayed
+// through the zero-allocation fan-out, and -fabric-workers concurrent control
+// rounds run per fabric round. With -fabric-migrate M > 0 the fabric arbiter
+// may migrate tenants toward spare capacity every M rounds; -faults wraps
+// every switch driver in its own deterministically re-seeded injector.
+//
 // Usage:
 //
 //	adactl -op square -width 16 -monitor 12 -calc 64 < trace.txt
@@ -21,14 +30,19 @@
 //	adactl -op square -faults default < trace.txt
 //	adactl -op square -faults "seed=7,write=0.2,stale=0.05" -values 9,9,9,200
 //	adactl -op square -faults "seed=7,corrupt=0.5,ghost=0.2" -audit 2 < trace.txt
+//	adactl -op square -fabric 8 -fabric-tenants 6 -calc 128 < trace.txt
+//	adactl -op sqrt -fabric 4 -faults outages -rounds 6 < trace.txt
 //
 // Invalid flag values (zero or negative budgets, a width outside [1, 64], a
-// threshold outside [0, 1], a malformed fault profile) are usage errors:
-// adactl reports them and exits with status 2; runtime failures exit 1.
+// threshold outside [0, 1], a malformed fault profile, a negative fabric
+// size, fabric sub-flags without -fabric, -audit or a width above 32 with
+// -fabric) are usage errors: adactl reports them and exits with status 2;
+// runtime failures exit 1.
 package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -37,11 +51,14 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/ada-repro/ada/internal/arith"
 	"github.com/ada-repro/ada/internal/controlplane"
 	"github.com/ada-repro/ada/internal/core"
+	"github.com/ada-repro/ada/internal/fabric"
 	"github.com/ada-repro/ada/internal/faults"
+	"github.com/ada-repro/ada/internal/netsim"
 	"github.com/ada-repro/ada/internal/population"
 	"github.com/ada-repro/ada/internal/stats"
 	"github.com/ada-repro/ada/internal/trie"
@@ -82,9 +99,25 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		values    = fs.String("values", "", "comma-separated operand values (default: read stdin)")
 		faultSpec = fs.String("faults", "", `replay through a fault-injected driver: "default", "outages", or "seed=7,write=0.05,stale=0.01,..."`)
 		auditN    = fs.Int("audit", 0, "with -faults: read-back audit of the calculation TCAM every N rounds (0 = off)")
+		fabricN   = fs.Int("fabric", 0, "fan the trace across an N-switch sharded fabric (0 = single-switch mode)")
+		fabricT   = fs.Int("fabric-tenants", 4, "with -fabric: tenant clones consistent-hashed over the switches")
+		fabricW   = fs.Int("fabric-workers", 2, "with -fabric: concurrent control rounds per fabric round")
+		fabricM   = fs.Int("fabric-migrate", 2, "with -fabric: fabric arbiter migration cadence in rounds (0 = static placement)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return usagef("%v", err)
+	}
+	if *fabricN == 0 {
+		var stray string
+		fs.Visit(func(fl *flag.Flag) {
+			switch fl.Name {
+			case "fabric-tenants", "fabric-workers", "fabric-migrate":
+				stray = fl.Name
+			}
+		})
+		if stray != "" {
+			return usagef("-%s requires -fabric", stray)
+		}
 	}
 	switch {
 	case *width < 1 || *width > 64:
@@ -99,6 +132,22 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return usagef("-th-balance must be in [0, 1], got %v", *thBalance)
 	case *auditN < 0:
 		return usagef("-audit must be >= 0, got %d", *auditN)
+	case *fabricN < 0:
+		return usagef("-fabric must be >= 0, got %d", *fabricN)
+	}
+	if *fabricN > 0 {
+		switch {
+		case *fabricT < 1:
+			return usagef("-fabric-tenants must be >= 1, got %d", *fabricT)
+		case *fabricW < 1:
+			return usagef("-fabric-workers must be >= 1, got %d", *fabricW)
+		case *fabricM < 0:
+			return usagef("-fabric-migrate must be >= 0, got %d", *fabricM)
+		case *auditN != 0:
+			return usagef("-audit is not supported with -fabric (the audit is the single-switch closed loop)")
+		case *width > 32:
+			return usagef("-fabric packs operands with their tenant index; -width must be <= 32, got %d", *width)
+		}
 	}
 
 	ops := map[string]arith.UnaryOp{
@@ -118,6 +167,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("empty trace")
 	}
 
+	if *fabricN > 0 {
+		return runFabric(stdout, op, *width, *monitorN, *calcN, *rounds,
+			*thBalance, *faultSpec, *fabricN, *fabricT, *fabricW, *fabricM, trace)
+	}
 	if *faultSpec != "" {
 		return runFaulty(stdout, op, *width, *monitorN, *calcN, *rounds, *auditN, *thBalance, *faultSpec, trace)
 	}
@@ -270,6 +323,158 @@ func runFaulty(stdout io.Writer, op arith.UnaryOp, width, monitorN, calcN, round
 	fmt.Fprintln(stdout, mon.String())
 	fmt.Fprintf(stdout, "calculation TCAM: %d entries installed (generation %d)\n",
 		sys.Engine().Table().Len(), sys.Engine().Table().Generation())
+	return nil
+}
+
+// runFabric fans the trace across a sharded multi-switch fabric: tenant
+// clones of op are consistent-hashed over the switches with equal splits of
+// each switch's -calc capacity, the stream is round-robined across the
+// tenants, replayed through the zero-allocation sharded fan-out, and synced
+// with concurrent per-switch control rounds. With migrateEvery > 0 the
+// fabric arbiter may move tenants toward spare capacity; with a fault spec
+// every switch driver runs behind its own deterministically re-seeded
+// injector (disarmed while the fleet mounts, so faults hit steady state).
+func runFabric(stdout io.Writer, op arith.UnaryOp, width, monitorN, calcN, rounds int,
+	thBalance float64, spec string, switches, tenants, workers, migrateEvery int, trace []uint64) error {
+	fcfg := fabric.Config{
+		Switches:      switches,
+		SwitchEntries: calcN,
+		Workers:       workers,
+	}
+	if migrateEvery > 0 {
+		fcfg.Migration = fabric.MigrationConfig{Every: migrateEvery}
+	}
+	var injectors []*faults.Injector
+	if spec != "" {
+		prof, err := faults.ParseProfile(spec)
+		if err != nil {
+			return usagef("bad -faults spec: %v", err)
+		}
+		injectors = make([]*faults.Injector, switches)
+		for i := range injectors {
+			p := prof
+			p.Seed = prof.Seed + int64(i)*101
+			inj, err := faults.New(p)
+			if err != nil {
+				return err
+			}
+			inj.SetArmed(false)
+			injectors[i] = inj
+		}
+		fcfg.WrapDriver = func(sw int, d controlplane.Driver) controlplane.Driver {
+			return injectors[sw].Wrap(d)
+		}
+	}
+	f, err := fabric.New(fcfg)
+	if err != nil {
+		return err
+	}
+
+	// Two-pass placement: precount the ring so each switch's capacity is
+	// split equally among the tenants landing there.
+	ring, err := fabric.NewRing(switches, 0)
+	if err != nil {
+		return err
+	}
+	names := make([]string, tenants)
+	counts := make([]int, switches)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%02d", i)
+		counts[ring.Place(names[i])]++
+	}
+	for _, name := range names {
+		c := core.DefaultConfig(width)
+		c.MonitorEntries = monitorN
+		c.ThBalance = thBalance
+		c.CalcEntries = calcN / counts[ring.Place(name)]
+		if c.CalcEntries < 1 {
+			c.CalcEntries = 1
+		}
+		if _, err := f.AddUnary(name, c, op); err != nil {
+			return err
+		}
+	}
+	for _, inj := range injectors {
+		inj.SetArmed(true)
+	}
+
+	faultNote := ""
+	if spec != "" {
+		faultNote = ", per-switch faults"
+	}
+	tbl := stats.NewTable(
+		fmt.Sprintf("Fabric replay for %v (%d switches x %d tenants, %d samples, %d rounds%s)",
+			op, switches, tenants, len(trace), rounds, faultNote),
+		"round", "samples", "round delay", "occupied", "degraded", "migrations")
+
+	sr := netsim.NewShardedReplay(switches, 256)
+	scratch := make([]fabric.IngestScratch, workers)
+	var snap []int
+	route := func(p uint64) int { return snap[p>>32] }
+	stream := make([]uint64, 0, (len(trace)+rounds-1)/rounds)
+	ctx := context.Background()
+	chunk := (len(trace) + rounds - 1) / rounds
+	for start, round := 0, 1; start < len(trace); start, round = start+chunk, round+1 {
+		end := min(start+chunk, len(trace))
+		stream = stream[:0]
+		for i, v := range trace[start:end] {
+			stream = append(stream, fabric.Pack((start+i)%tenants, v))
+		}
+		snap = f.RouteSnapshot(snap)
+		sr.Replay(workers, stream, route, func(w, shard int, batch []uint64) {
+			f.ObserveEvalPacked(batch, &scratch[w], nil)
+		})
+		rep, err := f.SyncAll(ctx)
+		if err != nil {
+			return err
+		}
+		occupied, degraded := 0, 0
+		for _, sw := range rep.Switches {
+			if sw.Tenants > 0 {
+				occupied++
+			}
+			degraded += sw.Degraded
+		}
+		mig := "-"
+		if len(rep.Migrations) > 0 {
+			parts := make([]string, len(rep.Migrations))
+			for i, m := range rep.Migrations {
+				parts[i] = fmt.Sprintf("%s sw%d->sw%d (%d->%d entries)",
+					m.Tenant, m.From, m.To, m.OldBudget, m.NewBudget)
+			}
+			mig = strings.Join(parts, "; ")
+		}
+		tbl.AddF(round, end-start, rep.MaxDelay, occupied, degraded, mig)
+	}
+	fmt.Fprintln(stdout, tbl.String())
+
+	place, budgets := f.Placement(), f.Budgets()
+	occupied := make(map[int]bool, switches)
+	for _, sw := range place {
+		occupied[sw] = true
+	}
+	pt := stats.NewTable(
+		fmt.Sprintf("Final placement (%d of %d switches occupied)", len(occupied), switches),
+		"tenant", "switch", "entries")
+	for _, name := range names {
+		pt.AddF(name, fmt.Sprintf("sw%02d", place[name]), budgets[name])
+	}
+	fmt.Fprintln(stdout, pt.String())
+
+	if injectors != nil {
+		var writeFails, outageOps, ackDrops uint64
+		var injected time.Duration
+		for _, inj := range injectors {
+			st := inj.Stats()
+			writeFails += st.WriteFailures
+			outageOps += st.OutageOps
+			ackDrops += st.AckDrops
+			injected += st.Injected
+		}
+		fmt.Fprintf(stdout,
+			"injected across %d switch drivers: %d write failures, %d outage ops, %d ack drops, %v latency\n",
+			switches, writeFails, outageOps, ackDrops, injected)
+	}
 	return nil
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -31,6 +32,16 @@ func TestBadFlagsAreUsageErrors(t *testing.T) {
 		{"negative fault rate", []string{"-faults", "seed=7,write=-0.5", "-values", "1"}},
 		{"malformed fault spec", []string{"-faults", "bogus=1", "-values", "1"}},
 		{"unknown flag", []string{"-no-such-flag", "-values", "1"}},
+		{"negative fabric", []string{"-fabric", "-2", "-values", "1"}},
+		{"zero fabric tenants", []string{"-fabric", "4", "-fabric-tenants", "0", "-values", "1"}},
+		{"zero fabric workers", []string{"-fabric", "4", "-fabric-workers", "0", "-values", "1"}},
+		{"negative migrate cadence", []string{"-fabric", "4", "-fabric-migrate", "-1", "-values", "1"}},
+		{"fabric tenants without fabric", []string{"-fabric-tenants", "6", "-values", "1"}},
+		{"fabric workers without fabric", []string{"-fabric-workers", "2", "-values", "1"}},
+		{"fabric migrate without fabric", []string{"-fabric-migrate", "2", "-values", "1"}},
+		{"audit with fabric", []string{"-fabric", "4", "-faults", "default", "-audit", "2", "-values", "1"}},
+		{"fabric width above 32", []string{"-fabric", "4", "-width", "40", "-values", "1"}},
+		{"bad fabric fault spec", []string{"-fabric", "4", "-faults", "bogus=1", "-values", "1"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -152,6 +163,62 @@ func TestRunWithFaultProfile(t *testing.T) {
 
 	if err := run([]string{"-faults", "bogus=1", "-values", "1"}, strings.NewReader(""), &out); err == nil {
 		t.Error("bad fault spec: want error")
+	}
+}
+
+// fabricTrace is a deterministic mixed-range trace long enough for several
+// fabric rounds.
+func fabricTrace() string {
+	var sb strings.Builder
+	for i := 0; i < 240; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", 200+(i*137)%3300)
+	}
+	return sb.String()
+}
+
+func TestRunFabric(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-op", "square", "-width", "12", "-monitor", "8", "-calc", "64", "-rounds", "5",
+		"-fabric", "4", "-fabric-tenants", "3", "-values", fabricTrace(),
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Fabric replay", "4 switches x 3 tenants", "Final placement", "t00", "t02"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in output:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "injected across") {
+		t.Errorf("fault summary printed without -faults:\n%s", s)
+	}
+}
+
+func TestRunFabricWithFaults(t *testing.T) {
+	args := []string{
+		"-op", "sqrt", "-width", "12", "-monitor", "8", "-calc", "96", "-rounds", "4",
+		"-fabric", "2", "-fabric-tenants", "4",
+		"-faults", "seed=7,write=0.3,latency=300us", "-values", fabricTrace(),
+	}
+	var out strings.Builder
+	if err := run(args, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"per-switch faults", "injected across 2 switch drivers", "write failures"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in output:\n%s", want, s)
+		}
+	}
+	// The injectors must actually have fired once armed: at write=0.3 over
+	// four control rounds a zero count means the fault seam was bypassed.
+	if strings.Contains(s, " 0 write failures") {
+		t.Errorf("no write failures injected at write=0.3:\n%s", s)
 	}
 }
 

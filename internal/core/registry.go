@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -138,6 +139,14 @@ func (r *Registry) MountBinary(name string, cfg Config, op arith.BinaryOp) (*Ten
 // headroom and — on its cadence — recomputes the split from fresh pressure
 // signals. Driver failures stay per-tenant Degraded reports, not errors.
 func (r *Registry) Sync() (RegistrySyncReport, error) {
+	return r.SyncCtx(context.Background())
+}
+
+// SyncCtx is Sync with cancellation: a cancelled context aborts each tenant's
+// round between driver operations, and the per-tenant reports come back
+// Degraded with reason "cancelled" (the fabric scheduler's per-round
+// deadline seam).
+func (r *Registry) SyncCtx(ctx context.Context) (RegistrySyncReport, error) {
 	out := RegistrySyncReport{Tenants: make(map[string]SyncReport, len(r.tenants))}
 	reps := make([]SyncReport, len(r.tenants))
 	errs := make([]error, len(r.tenants))
@@ -146,7 +155,7 @@ func (r *Registry) Sync() (RegistrySyncReport, error) {
 		wg.Add(1)
 		go func(i int, t *Tenant) {
 			defer wg.Done()
-			reps[i], errs[i] = t.Sync()
+			reps[i], errs[i] = t.SyncCtx(ctx)
 		}(i, t)
 	}
 	wg.Wait()
@@ -166,6 +175,32 @@ func (r *Registry) Sync() (RegistrySyncReport, error) {
 		return out, err
 	}
 	return out, nil
+}
+
+// Unmount evicts a tenant: its slice's physical rows are deleted in one
+// transactional commit and its reservation leaves the ledger, freeing
+// headroom for the remaining tenants. The evicted system keeps functioning
+// as a detached shell — observations still land in its monitors and lookups
+// simply miss — so concurrent data-plane callers holding the old handle stay
+// safe while the fabric reroutes them. A failed physical delete (injected
+// row faults) leaves the tenant fully mounted.
+func (r *Registry) Unmount(name string) (int, error) {
+	t, ok := r.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("core: unmount: %w: %q", tenant.ErrTenant, name)
+	}
+	writes, err := r.part.Close(name)
+	if err != nil {
+		return 0, err
+	}
+	delete(r.byName, name)
+	for i, tt := range r.tenants {
+		if tt == t {
+			r.tenants = append(r.tenants[:i], r.tenants[i+1:]...)
+			break
+		}
+	}
+	return writes, nil
 }
 
 // Partition exposes the underlying slice manager (validation, headroom).
@@ -210,10 +245,15 @@ func (t *Tenant) Binary() *BinarySystem { return t.binary }
 
 // Sync runs the tenant's own control round.
 func (t *Tenant) Sync() (SyncReport, error) {
+	return t.SyncCtx(context.Background())
+}
+
+// SyncCtx runs the tenant's own control round with cancellation.
+func (t *Tenant) SyncCtx(ctx context.Context) (SyncReport, error) {
 	if t.unary != nil {
-		return t.unary.Sync()
+		return t.unary.SyncCtx(ctx)
 	}
-	return t.binary.Sync()
+	return t.binary.SyncCtx(ctx)
 }
 
 // TenantName implements tenant.Member.

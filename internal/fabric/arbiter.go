@@ -1,0 +1,232 @@
+package fabric
+
+import (
+	"context"
+
+	"github.com/ada-repro/ada/internal/core"
+)
+
+// MigrationConfig tunes the fabric-level arbiter. Where the switch-local
+// arbiter only shuffles budget between tenants already on a switch, the
+// fabric arbiter moves whole tenants toward switches with spare capacity —
+// the cross-switch half of Algorithm 3's error-pressure minimisation.
+type MigrationConfig struct {
+	// Every runs the arbiter after every Nth fabric round; <= 0 disables
+	// migrations (static placement).
+	Every int
+	// MaxMoves caps migrations per arbiter run (default 2).
+	MaxMoves int
+	// MinGainFrac is the minimum fractional error-pressure relief —
+	// (P(cur budget) - P(granted budget)) / P(cur budget) — required to
+	// justify a move (default 0.05). The damping that prevents thrash.
+	MinGainFrac float64
+	// MinBudget is the smallest destination grant worth migrating for
+	// (default 8): a starved destination is no destination.
+	MinBudget int
+	// WarmSamples bounds the synthetic samples replayed into the new home's
+	// monitor from the old home's trie histogram (default 1024).
+	WarmSamples int
+}
+
+func (m MigrationConfig) withDefaults() MigrationConfig {
+	if m.MaxMoves < 1 {
+		m.MaxMoves = 2
+	}
+	if m.MinGainFrac <= 0 {
+		m.MinGainFrac = 0.05
+	}
+	if m.MinBudget < 1 {
+		m.MinBudget = 8
+	}
+	if m.WarmSamples < 1 {
+		m.WarmSamples = 1024
+	}
+	return m
+}
+
+// Migration records one completed tenant move.
+type Migration struct {
+	// Tenant is the moved tenant's name.
+	Tenant string
+	// From and To are the old and new home switches.
+	From, To int
+	// OldBudget and NewBudget are the entry budgets before and after.
+	OldBudget, NewBudget int
+	// GainFrac is the predicted fractional pressure relief that justified
+	// the move.
+	GainFrac float64
+	// Writes counts physical row deletes retiring the old slice.
+	Writes int
+}
+
+// rebalance is the fabric arbiter: up to MaxMoves times, find the switch
+// with the most grantable capacity, probe every tenant's Pressure oracle at
+// the grant it would receive there, and migrate the tenant with the largest
+// predicted relief. Runs after the switch rounds of a fabric round, never
+// concurrently with itself; ingest may proceed concurrently (routing swaps
+// under the fabric lock).
+func (f *Fabric) rebalance(ctx context.Context) []Migration {
+	mc := f.cfg.Migration.withDefaults()
+	var moves []Migration
+	for len(moves) < mc.MaxMoves {
+		m, ok := f.tryMove(ctx, mc)
+		if !ok {
+			break
+		}
+		moves = append(moves, m)
+	}
+	return moves
+}
+
+func (f *Fabric) tryMove(ctx context.Context, mc MigrationConfig) (Migration, bool) {
+	f.mu.RLock()
+	tenants := append([]*Tenant(nil), f.tenants...)
+	homes := make([]int, len(tenants))
+	counts := make([]int, len(f.regs))
+	for i, ft := range tenants {
+		homes[i] = ft.sw
+		counts[ft.sw]++
+	}
+	f.mu.RUnlock()
+
+	// The best destination is the switch offering the largest grant: free
+	// headroom capped at an equal share of capacity among its prospective
+	// population, so one migrant never strip-mines an empty switch and later
+	// moves still find room.
+	dst, grant := -1, 0
+	for sw, reg := range f.regs {
+		g := reg.Partition().Headroom()
+		if share := f.cfg.SwitchEntries / (counts[sw] + 1); g > share {
+			g = share
+		}
+		if g > grant {
+			dst, grant = sw, g
+		}
+	}
+	if dst < 0 || grant < mc.MinBudget {
+		return Migration{}, false
+	}
+
+	// Probe the oracle: predicted pressure relief for each tenant if it
+	// moved to dst with the grant. Only moves toward strictly more entries
+	// are considered — the other direction is the local arbiter's job.
+	best, bestGain, bestFrac := -1, 0.0, 0.0
+	for i, ft := range tenants {
+		if homes[i] == dst {
+			continue
+		}
+		cur := ft.t.Budget()
+		if grant <= cur {
+			continue
+		}
+		sigCur, err := ft.t.Pressure(cur)
+		if err != nil || sigCur.Pressure <= 0 {
+			continue
+		}
+		sigNew, err := ft.t.Pressure(grant)
+		if err != nil {
+			continue
+		}
+		gain := sigCur.Pressure - sigNew.Pressure
+		frac := gain / sigCur.Pressure
+		if frac < mc.MinGainFrac {
+			continue
+		}
+		if gain > bestGain {
+			best, bestGain, bestFrac = i, gain, frac
+		}
+	}
+	if best < 0 {
+		return Migration{}, false
+	}
+
+	ft := tenants[best]
+	m, err := f.migrate(ctx, ft, homes[best], dst, grant, mc)
+	if err != nil {
+		return Migration{}, false
+	}
+	m.GainFrac = bestFrac
+	return m, true
+}
+
+// migrate executes one move transactionally: mount a twin on dst, warm its
+// monitor from the old trie, populate it with one local round, then retire
+// the old slice. A failed retire rolls the twin back and keeps the tenant
+// where it was; a failed mount aborts before anything changed. Routing only
+// swaps after the old slice is gone, so a tenant is never unreachable.
+func (f *Fabric) migrate(ctx context.Context, ft *Tenant, src, dst, grant int, mc MigrationConfig) (Migration, error) {
+	cfg := ft.cfg
+	cfg.CalcEntries = grant
+	dstT, err := f.regs[dst].MountUnary(ft.name, f.mountConfig(dst, cfg), ft.op)
+	if err != nil {
+		return Migration{}, err
+	}
+	oldBudget := ft.t.Budget()
+	warmStart(ft.t, dstT, mc.WarmSamples)
+	if _, err := dstT.SyncCtx(ctx); err != nil {
+		f.regs[dst].Unmount(ft.name) // best-effort rollback
+		return Migration{}, err
+	}
+	writes, err := f.regs[src].Unmount(ft.name)
+	if err != nil {
+		f.regs[dst].Unmount(ft.name) // best-effort rollback
+		return Migration{}, err
+	}
+
+	f.mu.Lock()
+	ft.sw = dst
+	ft.t = dstT
+	ft.cfg.CalcEntries = grant
+	f.mu.Unlock()
+
+	// The local arbiter conserves the sum of member budgets, not capacity:
+	// headroom freed by the departure would never be re-granted on src, so
+	// redistribute it across the stay-behinds explicitly.
+	remaining := f.regs[src].Tenants()
+	if len(remaining) > 0 && oldBudget > 0 {
+		share := oldBudget / len(remaining)
+		extra := oldBudget - share*len(remaining)
+		for i, rt := range remaining {
+			add := share
+			if i == 0 {
+				add += extra
+			}
+			if add > 0 {
+				rt.SetBudget(rt.Budget() + add) // headroom is exactly free; best-effort
+			}
+		}
+	}
+	return Migration{
+		Tenant: ft.name, From: src, To: dst,
+		OldBudget: oldBudget, NewBudget: grant, Writes: writes,
+	}, nil
+}
+
+// warmStart replays the old home's monitoring-trie histogram into the new
+// home's monitor: each leaf contributes its midpoint, weighted by scaled
+// hits and capped near maxSamples total, so the first control round on the
+// new switch sees the operand distribution the old switch had learned
+// instead of starting cold.
+func warmStart(src, dst *core.Tenant, maxSamples int) {
+	leaves := src.Unary().Controller().Trie().Leaves()
+	var total uint64
+	for _, b := range leaves {
+		total += b.Hits
+	}
+	if total == 0 {
+		return
+	}
+	scale := (total + uint64(maxSamples) - 1) / uint64(maxSamples) // >= 1
+	buf := make([]uint64, 0, maxSamples+len(leaves))
+	for _, b := range leaves {
+		n := b.Hits / scale
+		if b.Hits > 0 && n == 0 {
+			n = 1 // keep light bins visible to the first rebalance
+		}
+		v := b.Prefix.Midpoint()
+		for i := uint64(0); i < n; i++ {
+			buf = append(buf, v)
+		}
+	}
+	dst.Unary().ObserveAll(buf)
+}

@@ -1,0 +1,449 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/controlplane"
+	"github.com/ada-repro/ada/internal/core"
+	"github.com/ada-repro/ada/internal/tenant"
+)
+
+// Config parameterises a Fabric: N switches, each a core.Registry over its
+// own physical calculation TCAM, plus the fabric-level control scheduler and
+// migration policy.
+type Config struct {
+	// Switches is the number of simulated switches (one Registry each).
+	Switches int
+	// SwitchEntries is the physical calculation-table capacity per switch.
+	SwitchEntries int
+	// OperandWidths are each switch partition's physical operand widths
+	// (default [16, 16]).
+	OperandWidths []int
+	// TenantIDBits sizes each partition's tenant discriminator (default 8).
+	TenantIDBits int
+	// Workers bounds the control-round worker pool: at most this many
+	// switch rounds run concurrently in one SyncAll (default 4). Rounds for
+	// different switches overlap — the pool is the only serialisation.
+	Workers int
+	// RoundDeadline bounds each switch round's modelled delay. It is plumbed
+	// into every mounted tenant's RetryPolicy.RoundDeadline (controllers
+	// degrade with ReasonDeadline past it), and a switch whose aggregated
+	// round delay exceeds it is flagged DeadlineExceeded in the round report.
+	// 0 = no deadline.
+	RoundDeadline time.Duration
+	// VNodes is the consistent-hash points per switch (default 16).
+	VNodes int
+	// TenantArbiter tunes each switch's local elastic budget arbiter.
+	// Every <= 0 keeps per-switch quotas static (the static baseline).
+	TenantArbiter tenant.ArbiterConfig
+	// Migration tunes the fabric-level arbiter that moves tenants between
+	// switches. Every <= 0 disables migrations (static placement).
+	Migration MigrationConfig
+	// WrapDriver, when set, wraps each tenant controller's switch driver
+	// with the switch index — the hook internal/faults uses to aim
+	// partitions and outages at individual switches.
+	WrapDriver func(sw int, d controlplane.Driver) controlplane.Driver
+}
+
+func (c *Config) normalise() error {
+	if c.Switches < 1 {
+		return fmt.Errorf("fabric: need >= 1 switch, got %d", c.Switches)
+	}
+	if c.SwitchEntries < 1 {
+		return fmt.Errorf("fabric: switch entries %d", c.SwitchEntries)
+	}
+	if c.Workers < 1 {
+		c.Workers = 4
+	}
+	if c.VNodes < 1 {
+		c.VNodes = 16
+	}
+	return nil
+}
+
+// Tenant is one fabric-resident tenant: a dense index (the packed-sample
+// namespace), its current home switch, and the live core.Tenant handle.
+// Routing fields (sw, t) are guarded by the fabric lock; the rest is
+// immutable after AddUnary.
+type Tenant struct {
+	idx  int
+	name string
+	op   arith.UnaryOp
+	cfg  core.Config // mount template; CalcEntries tracks the latest grant
+
+	sw int
+	t  *core.Tenant
+}
+
+// Name returns the tenant's fabric-wide name.
+func (ft *Tenant) Name() string { return ft.name }
+
+// Index returns the tenant's dense index (the high half of packed samples).
+func (ft *Tenant) Index() int { return ft.idx }
+
+// Fabric is the sharded multi-switch deployment: per-switch registries, the
+// consistent-hash placement ring, the packed-sample ingest path, the
+// concurrent round scheduler, and the migration arbiter.
+type Fabric struct {
+	cfg  Config
+	ring *Ring
+	regs []*core.Registry
+
+	mu      sync.RWMutex // guards tenants' routing fields + byName
+	tenants []*Tenant
+	byName  map[string]*Tenant
+
+	round int // completed SyncAll rounds
+}
+
+// New builds the fabric: Switches registries, each over its own physical
+// table, and the placement ring.
+func New(cfg Config) (*Fabric, error) {
+	if err := cfg.normalise(); err != nil {
+		return nil, err
+	}
+	ring, err := NewRing(cfg.Switches, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fabric{
+		cfg:    cfg,
+		ring:   ring,
+		regs:   make([]*core.Registry, cfg.Switches),
+		byName: make(map[string]*Tenant),
+	}
+	for i := range f.regs {
+		reg, err := core.NewRegistry(core.SharedConfig{
+			Name:          fmt.Sprintf("fabric.sw%02d", i),
+			TotalEntries:  cfg.SwitchEntries,
+			OperandWidths: cfg.OperandWidths,
+			TenantIDBits:  cfg.TenantIDBits,
+			Arbiter:       cfg.TenantArbiter,
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.regs[i] = reg
+	}
+	return f, nil
+}
+
+// mountConfig specialises a tenant config for one switch: the per-switch
+// driver wrap and the fabric round deadline.
+func (f *Fabric) mountConfig(sw int, cfg core.Config) core.Config {
+	userWrap := cfg.WrapDriver
+	fabWrap := f.cfg.WrapDriver
+	if fabWrap != nil || userWrap != nil {
+		cfg.WrapDriver = func(d controlplane.Driver) controlplane.Driver {
+			if userWrap != nil {
+				d = userWrap(d)
+			}
+			if fabWrap != nil {
+				d = fabWrap(sw, d)
+			}
+			return d
+		}
+	}
+	if f.cfg.RoundDeadline > 0 && cfg.Retry.RoundDeadline == 0 {
+		cfg.Retry.RoundDeadline = f.cfg.RoundDeadline
+	}
+	return cfg
+}
+
+// AddUnary places the tenant on the ring and mounts it there with
+// cfg.CalcEntries initial budget. Returns the home switch index.
+func (f *Fabric) AddUnary(name string, cfg core.Config, op arith.UnaryOp) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.byName[name]; dup {
+		return 0, fmt.Errorf("fabric: duplicate tenant %q", name)
+	}
+	sw := f.ring.Place(name)
+	t, err := f.regs[sw].MountUnary(name, f.mountConfig(sw, cfg), op)
+	if err != nil {
+		return 0, fmt.Errorf("fabric: mount %q on switch %d: %w", name, sw, err)
+	}
+	ft := &Tenant{idx: len(f.tenants), name: name, op: op, cfg: cfg, sw: sw, t: t}
+	f.tenants = append(f.tenants, ft)
+	f.byName[name] = ft
+	return sw, nil
+}
+
+// NumSwitches returns the switch count.
+func (f *Fabric) NumSwitches() int { return len(f.regs) }
+
+// NumTenants returns the tenant count.
+func (f *Fabric) NumTenants() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.tenants)
+}
+
+// Registry exposes switch sw's registry (fault attachment, inspection).
+func (f *Fabric) Registry(sw int) *core.Registry { return f.regs[sw] }
+
+// Tenant returns the live core handle and home switch for a tenant name.
+func (f *Fabric) Tenant(name string) (*core.Tenant, int, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	ft, ok := f.byName[name]
+	if !ok {
+		return nil, 0, false
+	}
+	return ft.t, ft.sw, true
+}
+
+// RouteSnapshot appends each tenant's current home switch, indexed by dense
+// tenant index, reusing dst. Replay workers route packed samples with it;
+// a snapshot taken before a migration stays safe — the fabric dispatches by
+// tenant handle, so stale-routed samples still reach the tenant's live home.
+func (f *Fabric) RouteSnapshot(dst []int) []int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	dst = dst[:0]
+	for _, ft := range f.tenants {
+		dst = append(dst, ft.sw)
+	}
+	return dst
+}
+
+// Pack encodes a tenant-index/operand pair as one packed sample.
+func Pack(tidx int, v uint64) uint64 { return uint64(tidx)<<32 | (v & 0xffffffff) }
+
+// IngestScratch is caller-owned scratch for ObserveEvalPacked: per-tenant
+// regroup buffers, the shared eval output buffer, and the engine scratch.
+// One scratch per replay worker keeps the steady-state ingest path
+// allocation-free.
+type IngestScratch struct {
+	xs    [][]uint64 // per dense tenant index
+	order []int      // tenant indices touched by the current batch
+	dst   []uint64
+	sc    arith.Scratch
+}
+
+// ObserveEvalPacked ingests one batch of packed samples (tidx<<32|operand):
+// regroups by tenant, then per tenant observes the operands into its
+// monitors and evaluates them through its calculation engine — the PR 5
+// data-plane hot path. Returns the batch's total lookup misses. If fn is
+// non-nil it receives each tenant group's operands and approximate outputs
+// (valid only during the call) — the benchmark's error-measurement hook.
+func (f *Fabric) ObserveEvalPacked(batch []uint64, sc *IngestScratch, fn func(tidx int, xs, approx []uint64)) int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if n := len(f.tenants); len(sc.xs) < n {
+		sc.xs = append(sc.xs, make([][]uint64, n-len(sc.xs))...)
+	}
+	sc.order = sc.order[:0]
+	for _, p := range batch {
+		tidx := int(p >> 32)
+		if tidx >= len(f.tenants) {
+			continue // sample for a tenant this fabric doesn't know
+		}
+		if len(sc.xs[tidx]) == 0 {
+			sc.order = append(sc.order, tidx)
+		}
+		sc.xs[tidx] = append(sc.xs[tidx], p&0xffffffff)
+	}
+	misses := 0
+	for _, tidx := range sc.order {
+		xs := sc.xs[tidx]
+		dst, m := f.tenants[tidx].t.Unary().ObserveEvalAll(sc.dst[:0], xs, &sc.sc)
+		sc.dst = dst[:0]
+		misses += m
+		if fn != nil {
+			fn(tidx, xs, dst)
+		}
+		sc.xs[tidx] = xs[:0]
+	}
+	return misses
+}
+
+// SwitchRound is one switch's slice of a fabric round.
+type SwitchRound struct {
+	// Switch is the switch index.
+	Switch int
+	// Tenants is the tenant count at round time.
+	Tenants int
+	// Delay is the switch round's modelled convergence delay: the max over
+	// its tenant rounds, which run concurrently inside the registry.
+	Delay time.Duration
+	// Degraded counts tenant rounds that aborted on driver failure.
+	Degraded int
+	// DeadlineExceeded reports Delay above the fabric RoundDeadline.
+	DeadlineExceeded bool
+	// Writes sums register resets and TCAM entries written.
+	Writes int
+	// Err is a non-degrade round failure (empty = ok).
+	Err string
+	// Arbiter is the switch-local budget arbiter's verdict.
+	Arbiter tenant.Report
+}
+
+// Round is one fabric-wide control round: every occupied switch's round run
+// on the worker pool, plus any migrations the fabric arbiter decided.
+type Round struct {
+	// Seq is the 1-based fabric round number.
+	Seq int
+	// Switches holds per-switch results, indexed by switch.
+	Switches []SwitchRound
+	// MaxDelay is the fabric round's modelled makespan given the worker
+	// pool: switch delays are scheduled LPT onto Workers lanes and the
+	// longest lane is the round's wall-model.
+	MaxDelay time.Duration
+	// Migrations lists tenant moves performed after the switch rounds.
+	Migrations []Migration
+}
+
+// SyncAll runs one control round on every occupied switch concurrently,
+// bounded by cfg.Workers, then — on the migration cadence — lets the fabric
+// arbiter move tenants. Rounds for different switches overlap: the worker
+// pool is the only serialisation between them. Driver failures surface as
+// per-tenant degrades inside SwitchRound, not errors.
+func (f *Fabric) SyncAll(ctx context.Context) (Round, error) {
+	f.mu.RLock()
+	occupied := make([]int, 0, len(f.regs))
+	counts := make([]int, len(f.regs))
+	for _, ft := range f.tenants {
+		counts[ft.sw]++
+	}
+	for sw, n := range counts {
+		if n > 0 {
+			occupied = append(occupied, sw)
+		}
+	}
+	f.mu.RUnlock()
+
+	out := Round{Seq: f.round + 1, Switches: make([]SwitchRound, len(f.regs))}
+	for sw := range out.Switches {
+		out.Switches[sw] = SwitchRound{Switch: sw, Tenants: counts[sw]}
+	}
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	workers := f.cfg.Workers
+	if workers > len(occupied) {
+		workers = len(occupied)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sw := range work {
+				rep, err := f.regs[sw].SyncCtx(ctx)
+				sr := &out.Switches[sw]
+				if err != nil {
+					sr.Err = err.Error()
+				}
+				for _, tr := range rep.Tenants {
+					if tr.Delay > sr.Delay {
+						sr.Delay = tr.Delay
+					}
+					if tr.Degraded {
+						sr.Degraded++
+					}
+					sr.Writes += tr.Writes
+				}
+				sr.Arbiter = rep.Arbiter
+				if f.cfg.RoundDeadline > 0 && sr.Delay > f.cfg.RoundDeadline {
+					sr.DeadlineExceeded = true
+				}
+			}
+		}()
+	}
+	for _, sw := range occupied {
+		select {
+		case work <- sw:
+		case <-ctx.Done():
+			close(work)
+			wg.Wait()
+			return out, ctx.Err()
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	delays := make([]time.Duration, 0, len(occupied))
+	for _, sw := range occupied {
+		delays = append(delays, out.Switches[sw].Delay)
+	}
+	out.MaxDelay = Makespan(delays, f.cfg.Workers)
+
+	f.round++
+	out.Seq = f.round
+	if f.cfg.Migration.Every > 0 && f.round%f.cfg.Migration.Every == 0 {
+		out.Migrations = f.rebalance(ctx)
+	}
+	return out, nil
+}
+
+// Makespan schedules the given modelled delays onto `workers` lanes with
+// longest-processing-time-first greedy assignment and returns the longest
+// lane — the modelled wall time of running them on a bounded pool. This is
+// the fabric's round-latency and replay-throughput scaling model: on a
+// machine with fewer cores than workers the wall clock cannot show the
+// overlap, but the modelled makespan is deterministic and matches what the
+// pool's schedule would cost with real lanes.
+func Makespan(delays []time.Duration, workers int) time.Duration {
+	if len(delays) == 0 {
+		return 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(delays) {
+		workers = len(delays)
+	}
+	sorted := append([]time.Duration(nil), delays...)
+	for i := 1; i < len(sorted); i++ { // insertion sort, descending
+		d := sorted[i]
+		j := i - 1
+		for j >= 0 && sorted[j] < d {
+			sorted[j+1] = sorted[j]
+			j--
+		}
+		sorted[j+1] = d
+	}
+	lanes := make([]time.Duration, workers)
+	for _, d := range sorted {
+		min := 0
+		for i := 1; i < workers; i++ {
+			if lanes[i] < lanes[min] {
+				min = i
+			}
+		}
+		lanes[min] += d
+	}
+	max := lanes[0]
+	for _, l := range lanes[1:] {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Budgets snapshots every tenant's current entry budget by name.
+func (f *Fabric) Budgets() map[string]int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make(map[string]int, len(f.tenants))
+	for _, ft := range f.tenants {
+		out[ft.name] = ft.t.Budget()
+	}
+	return out
+}
+
+// Placement snapshots tenant name → home switch.
+func (f *Fabric) Placement() map[string]int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make(map[string]int, len(f.tenants))
+	for _, ft := range f.tenants {
+		out[ft.name] = ft.sw
+	}
+	return out
+}

@@ -1,0 +1,525 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/controlplane"
+	"github.com/ada-repro/ada/internal/faults"
+	"github.com/ada-repro/ada/internal/netsim"
+	"github.com/ada-repro/ada/internal/tcam"
+	"github.com/ada-repro/ada/internal/tenant"
+
+	"github.com/ada-repro/ada/internal/core"
+)
+
+func tenantCfg(budget int) core.Config {
+	cfg := core.DefaultConfig(12)
+	cfg.MonitorEntries = 8
+	cfg.CalcEntries = budget
+	return cfg
+}
+
+// triangular samples a peaked operand distribution in [0, 1<<12).
+func triangular(rng *rand.Rand, peak, spread uint64) uint64 {
+	d := int64(rng.Uint64()%spread) - int64(rng.Uint64()%spread)
+	v := int64(peak) + d
+	if v < 0 {
+		v = 0
+	}
+	if v >= 1<<12 {
+		v = 1<<12 - 1
+	}
+	return uint64(v)
+}
+
+// placeOn probes the ring for count names that land on the wanted switch.
+func placeOn(t *testing.T, r *Ring, sw, count int) []string {
+	t.Helper()
+	var names []string
+	for i := 0; len(names) < count && i < 100000; i++ {
+		n := fmt.Sprintf("probe-%d", i)
+		if r.Place(n) == sw {
+			names = append(names, n)
+		}
+	}
+	if len(names) < count {
+		t.Fatalf("could not find %d names on switch %d", count, sw)
+	}
+	return names
+}
+
+func TestRingDeterministicAndSpread(t *testing.T) {
+	r1, err := NewRing(8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRing(8, 32)
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		n := fmt.Sprintf("tenant-%02d", i)
+		if r1.Place(n) != r2.Place(n) {
+			t.Fatalf("placement not deterministic for %q", n)
+		}
+		seen[r1.Place(n)] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("64 names landed on only %d of 8 switches", len(seen))
+	}
+	for i := 0; i < 64; i++ {
+		if sw := r1.Place(fmt.Sprintf("tenant-%02d", i)); sw < 0 || sw >= 8 {
+			t.Fatalf("placement out of range: %d", sw)
+		}
+	}
+}
+
+func TestMakespan(t *testing.T) {
+	d := []time.Duration{4, 3, 3, 2}
+	cases := []struct {
+		workers int
+		want    time.Duration
+	}{{1, 12}, {2, 6}, {4, 4}, {8, 4}, {0, 12}}
+	for _, c := range cases {
+		if got := Makespan(d, c.workers); got != c.want {
+			t.Errorf("Makespan(workers=%d) = %d, want %d", c.workers, got, c.want)
+		}
+	}
+	if got := Makespan(nil, 4); got != 0 {
+		t.Errorf("empty makespan = %d", got)
+	}
+}
+
+// TestFabricIngestSyncAdapts drives the full loop: packed ingest through
+// ShardedReplay, concurrent switch rounds, then a second measured pass whose
+// mean relative error must improve once the populations have adapted to the
+// observed (peaked) distributions — mounting installs a uniform initial
+// population, so the gain is the fabric's whole point.
+func TestFabricIngestSyncAdapts(t *testing.T) {
+	f, err := New(Config{
+		Switches: 4, SwitchEntries: 256, Workers: 2, VNodes: 16,
+		TenantArbiter: tenant.ArbiterConfig{Every: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []arith.UnaryOp{arith.OpSquare, arith.OpSqrt, arith.OpRecip}
+	tenantOps := make([]arith.UnaryOp, 6)
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("tenant-%02d", i)
+		tenantOps[i] = ops[i%len(ops)]
+		if _, err := f.AddUnary(name, tenantCfg(32), tenantOps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	stream := make([]uint64, 0, 6*2000)
+	for s := 0; s < 2000; s++ {
+		for ti := 0; ti < 6; ti++ {
+			stream = append(stream, Pack(ti, triangular(rng, uint64(300+500*ti), 200)))
+		}
+	}
+
+	snap := f.RouteSnapshot(nil)
+	route := func(p uint64) int { return snap[p>>32] }
+	workers := 2
+	scratch := make([]IngestScratch, workers)
+	var mu sync.Mutex
+	ingest := func() float64 {
+		var errSum float64
+		var samples int
+		sr := netsim.NewShardedReplay(f.NumSwitches(), 256)
+		sr.Replay(workers, stream, route, func(w, shard int, batch []uint64) {
+			var local float64
+			n := 0
+			f.ObserveEvalPacked(batch, &scratch[w], func(tidx int, xs, approx []uint64) {
+				for i, x := range xs {
+					exact := tenantOps[tidx].Exact(x)
+					diff := float64(approx[i]) - float64(exact)
+					if diff < 0 {
+						diff = -diff
+					}
+					den := float64(exact)
+					if den < 1 {
+						den = 1
+					}
+					local += diff / den
+					n++
+				}
+			})
+			mu.Lock()
+			errSum += local
+			samples += n
+			mu.Unlock()
+		})
+		return errSum / float64(samples)
+	}
+
+	before := ingest()
+	for r := 0; r < 3; r++ {
+		round, err := f.SyncAll(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round.Seq != r+1 {
+			t.Fatalf("round seq = %d, want %d", round.Seq, r+1)
+		}
+		if round.MaxDelay <= 0 && r == 0 {
+			t.Fatal("first round reported zero modelled delay")
+		}
+		ingest() // keep feeding so later rounds see fresh registers
+	}
+	after := ingest()
+	if after >= before*0.8 {
+		t.Fatalf("mean error %.4f -> %.4f after sync, want >20%% improvement", before, after)
+	}
+}
+
+// handshakeDriver blocks switch 0's register read until switch 1's round
+// has started — it only completes when rounds for distinct switches overlap.
+type handshakeDriver struct {
+	controlplane.Driver
+	sw      int
+	started chan struct{} // closed when switch 1 starts
+	once    *sync.Once
+}
+
+func (d *handshakeDriver) ReadRegisters() ([]uint64, error) {
+	if d.sw == 1 {
+		d.once.Do(func() { close(d.started) })
+	} else if d.sw == 0 {
+		select {
+		case <-d.started:
+		case <-time.After(30 * time.Second):
+			return nil, errors.New("handshake timeout: rounds serialized")
+		}
+	}
+	return d.Driver.ReadRegisters()
+}
+
+// TestFabricRoundsOverlap proves rounds for different switches overlap on
+// the worker pool instead of serializing: switch 0's driver refuses to make
+// progress until switch 1's round is in flight.
+func TestFabricRoundsOverlap(t *testing.T) {
+	started := make(chan struct{})
+	var once sync.Once
+	f, err := New(Config{
+		Switches: 2, SwitchEntries: 128, Workers: 2, VNodes: 16,
+		WrapDriver: func(sw int, d controlplane.Driver) controlplane.Driver {
+			return &handshakeDriver{Driver: d, sw: sw, started: started, once: &once}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := f.ring
+	n0 := placeOn(t, ring, 0, 1)
+	n1 := placeOn(t, ring, 1, 1)
+	if _, err := f.AddUnary(n0[0], tenantCfg(16), arith.OpSquare); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddUnary(n1[0], tenantCfg(16), arith.OpSquare); err != nil {
+		t.Fatal(err)
+	}
+	round, err := f.SyncAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sw := 0; sw < 2; sw++ {
+		if round.Switches[sw].Err != "" || round.Switches[sw].Degraded > 0 {
+			t.Fatalf("switch %d round failed: %+v", sw, round.Switches[sw])
+		}
+	}
+}
+
+// TestFabricDeadline injects fixed driver latency above the fabric round
+// deadline and expects the round flagged (and the controller degraded with
+// the deadline reason via the plumbed RetryPolicy).
+func TestFabricDeadline(t *testing.T) {
+	inj := faults.MustNew(faults.Profile{Seed: 3, Latency: faults.Fixed(5 * time.Millisecond)})
+	f, err := New(Config{
+		Switches: 2, SwitchEntries: 128, Workers: 2, VNodes: 16,
+		RoundDeadline: time.Millisecond,
+		WrapDriver: func(sw int, d controlplane.Driver) controlplane.Driver {
+			if sw == 0 {
+				return inj.Wrap(d)
+			}
+			return d
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := placeOn(t, f.ring, 0, 1)
+	if _, err := f.AddUnary(names[0], tenantCfg(16), arith.OpSquare); err != nil {
+		t.Fatal(err)
+	}
+	round, err := f.SyncAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := round.Switches[0]
+	if !sr.DeadlineExceeded {
+		t.Fatalf("switch 0 delay %v under 1ms deadline not flagged: %+v", sr.Delay, sr)
+	}
+	if sr.Degraded == 0 {
+		t.Fatalf("expected deadline-degraded tenant round, got %+v", sr)
+	}
+}
+
+// crowdedFabric builds 2 switches with `n` tenants all on switch 0 and
+// switch 1 empty — the canonical migration setup.
+func crowdedFabric(t *testing.T, n, switchEntries, budget, migrateEvery int) (*Fabric, []string) {
+	t.Helper()
+	f, err := New(Config{
+		Switches: 2, SwitchEntries: switchEntries, Workers: 2, VNodes: 16,
+		TenantArbiter: tenant.ArbiterConfig{Every: 2},
+		Migration:     MigrationConfig{Every: migrateEvery, MaxMoves: 1, MinBudget: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := placeOn(t, f.ring, 0, n)
+	for _, name := range names {
+		if _, err := f.AddUnary(name, tenantCfg(budget), arith.OpSquare); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f, names
+}
+
+func feedFabric(t *testing.T, f *Fabric, samples int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var sc IngestScratch
+	n := f.NumTenants()
+	batch := make([]uint64, 0, 512)
+	for s := 0; s < samples; s++ {
+		for ti := 0; ti < n; ti++ {
+			batch = append(batch, Pack(ti, triangular(rng, uint64(200+700*ti), 600)))
+			if len(batch) == cap(batch) {
+				f.ObserveEvalPacked(batch, &sc, nil)
+				batch = batch[:0]
+			}
+		}
+	}
+	if len(batch) > 0 {
+		f.ObserveEvalPacked(batch, &sc, nil)
+	}
+}
+
+// TestFabricMigration crowds switch 0 and expects the fabric arbiter to move
+// a tenant to empty switch 1 with a larger budget, redistribute the freed
+// budget to the stay-behinds, and keep both partitions valid.
+func TestFabricMigration(t *testing.T) {
+	f, names := crowdedFabric(t, 3, 96, 32, 1)
+	feedFabric(t, f, 1500, 11)
+
+	var migrated []Migration
+	for r := 0; r < 3 && len(migrated) == 0; r++ {
+		round, err := f.SyncAll(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		migrated = append(migrated, round.Migrations...)
+		if r < 2 {
+			feedFabric(t, f, 300, int64(20+r))
+		}
+	}
+	if len(migrated) == 0 {
+		t.Fatal("no migration after 3 rounds on a crowded switch")
+	}
+	m := migrated[0]
+	if m.From != 0 || m.To != 1 {
+		t.Fatalf("migration %+v, want 0 -> 1", m)
+	}
+	if m.NewBudget <= m.OldBudget {
+		t.Fatalf("migration did not grow budget: %+v", m)
+	}
+	if _, sw, ok := f.Tenant(m.Tenant); !ok || sw != 1 {
+		t.Fatalf("routing not swapped: sw=%d ok=%v", sw, ok)
+	}
+	if _, ok := f.Registry(0).Tenant(m.Tenant); ok {
+		t.Fatal("tenant still mounted on old switch")
+	}
+	if _, ok := f.Registry(1).Tenant(m.Tenant); !ok {
+		t.Fatal("tenant not mounted on new switch")
+	}
+	// Freed budget redistributed: stay-behind budgets sum to the old total.
+	budgets := f.Budgets()
+	staySum := 0
+	for _, name := range names {
+		if name != m.Tenant {
+			staySum += budgets[name]
+		}
+	}
+	if staySum != 3*32 {
+		t.Fatalf("stay-behind budgets sum %d, want %d (freed budget redistributed)", staySum, 96)
+	}
+	for sw := 0; sw < 2; sw++ {
+		if err := f.Registry(sw).Partition().Validate(); err != nil {
+			t.Fatalf("switch %d invariants: %v", sw, err)
+		}
+	}
+	// Data still flows to the migrated tenant through the new home.
+	feedFabric(t, f, 100, 31)
+}
+
+// TestFabricMigrationRollback fails the old home's row deletes mid-migration
+// and expects the move rolled back: twin unmounted, placement unchanged,
+// then a clean retry succeeds once the fault clears.
+func TestFabricMigrationRollback(t *testing.T) {
+	f, _ := crowdedFabric(t, 3, 96, 32, 3)
+	feedFabric(t, f, 1500, 17)
+	ctx := context.Background()
+	for r := 0; r < 2; r++ { // rounds 1-2: populate cleanly
+		if _, err := f.SyncAll(ctx); err != nil {
+			t.Fatal(err)
+		}
+		feedFabric(t, f, 300, int64(40+r))
+	}
+	boom := errors.New("boom")
+	f.Registry(0).Partition().SetWriteHook(func(op tcam.WriteOp) error {
+		if op == tcam.WriteDelete {
+			return boom
+		}
+		return nil
+	})
+	round, err := f.SyncAll(ctx) // round 3: migration attempt, Close fails
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(round.Migrations) != 0 {
+		t.Fatalf("migration reported despite failed retire: %+v", round.Migrations)
+	}
+	if got := len(f.Registry(1).Tenants()); got != 0 {
+		t.Fatalf("twin left mounted on destination after rollback: %d tenants", got)
+	}
+	for name, sw := range f.Placement() {
+		if sw != 0 {
+			t.Fatalf("tenant %q rerouted despite rollback", name)
+		}
+	}
+	if err := f.Registry(0).Partition().Validate(); err != nil {
+		t.Fatalf("source invariants after rollback: %v", err)
+	}
+
+	f.Registry(0).Partition().SetWriteHook(nil)
+	migrated := false
+	for r := 0; r < 3 && !migrated; r++ {
+		round, err := f.SyncAll(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		migrated = migrated || len(round.Migrations) > 0
+		feedFabric(t, f, 200, int64(50+r))
+	}
+	if !migrated {
+		t.Fatal("no migration after fault cleared")
+	}
+}
+
+// TestFabricSoak hammers concurrent packed ingest against fabric rounds with
+// migrations enabled — the race-detector target for the fabric.
+func TestFabricSoak(t *testing.T) {
+	f, err := New(Config{
+		Switches: 4, SwitchEntries: 128, Workers: 2, VNodes: 16,
+		TenantArbiter: tenant.ArbiterConfig{Every: 2},
+		Migration:     MigrationConfig{Every: 2, MaxMoves: 1, MinBudget: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := f.AddUnary(fmt.Sprintf("soak-%02d", i), tenantCfg(16), arith.OpSquare); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rounds := 6
+	if testing.Short() {
+		rounds = 3
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			var sc IngestScratch
+			batch := make([]uint64, 0, 256)
+			var snap []int
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap = f.RouteSnapshot(snap)
+				batch = batch[:0]
+				for i := 0; i < 256; i++ {
+					ti := rng.Intn(len(snap))
+					batch = append(batch, Pack(ti, triangular(rng, uint64(300+400*ti), 500)))
+				}
+				f.ObserveEvalPacked(batch, &sc, nil)
+			}
+		}(w)
+	}
+	for r := 0; r < rounds; r++ {
+		if _, err := f.SyncAll(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for sw := 0; sw < f.NumSwitches(); sw++ {
+		if err := f.Registry(sw).Partition().Validate(); err != nil {
+			t.Fatalf("switch %d invariants after soak: %v", sw, err)
+		}
+	}
+}
+
+// TestShardedReplayIngestAllocs checks the steady-state fan-out + packed
+// ingest path allocates nothing per replay pass.
+func TestShardedReplayIngestAllocs(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("allocation accounting differs under the race detector")
+	}
+	f, err := New(Config{Switches: 2, SwitchEntries: 128, Workers: 1, VNodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.AddUnary(fmt.Sprintf("alloc-%d", i), tenantCfg(16), arith.OpSquare); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	stream := make([]uint64, 4096)
+	for i := range stream {
+		stream[i] = Pack(rng.Intn(3), triangular(rng, 500, 300))
+	}
+	snap := f.RouteSnapshot(nil)
+	route := func(p uint64) int { return snap[p>>32] }
+	sr := netsim.NewShardedReplay(2, 256)
+	var sc IngestScratch
+	fn := func(w, shard int, batch []uint64) {
+		f.ObserveEvalPacked(batch, &sc, nil)
+	}
+	pass := func() {
+		sr.Replay(1, stream, route, fn)
+	}
+	pass() // warm up buffers
+	if _, err := f.SyncAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	pass()
+	if avg := testing.AllocsPerRun(5, pass); avg > 0.5 {
+		t.Fatalf("sharded ingest allocates %.1f allocs/pass, want 0", avg)
+	}
+}

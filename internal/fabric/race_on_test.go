@@ -1,0 +1,8 @@
+//go:build race
+
+package fabric
+
+// raceDetectorEnabled reports whether the race detector is instrumenting
+// this test binary; its runtime charges bookkeeping allocations, so
+// allocation assertions relax under it.
+const raceDetectorEnabled = true

@@ -1,0 +1,92 @@
+// Package fabric shards ADA's operand/tenant space across a fat-tree of
+// simulated switches, each running its own core.Registry, and layers a
+// fabric-level controller on top: per-switch control rounds scheduled
+// concurrently on a bounded worker pool with per-round deadlines, plus a
+// fabric arbiter that migrates tenants between switches using the same
+// per-tenant Pressure oracle the local budget arbiter reads. All
+// cross-switch control traffic flows through the per-switch
+// controlplane.Driver seam, so injected partitions and outages hit
+// individual switches without touching their neighbours.
+package fabric
+
+import (
+	"fmt"
+	"sort"
+)
+
+// fnv1a is FNV-1a over a string — the ring's only hash. Deterministic across
+// runs and platforms so placement (and therefore every benchmark artefact)
+// is reproducible.
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return mix(h)
+}
+
+// mix is the splitmix64 finalizer. Raw FNV-1a of short sequential names
+// ("tenant-00", "tenant-01", …) differs mostly in the low bits, so the
+// hashes cluster in one narrow ring region and one switch owns them all;
+// the avalanche pass spreads them over the whole ring.
+func mix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Ring is a consistent-hash ring over switch indices. Each switch owns
+// VNodes points on the ring; a tenant lands on the switch owning the first
+// point clockwise of its name hash. Adding or removing one switch moves only
+// ~1/N of tenants, which keeps warm-started migrations cheap when the
+// fabric grows.
+type Ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	sw   int
+}
+
+// NewRing builds a ring of switches*vnodes points.
+func NewRing(switches, vnodes int) (*Ring, error) {
+	if switches < 1 {
+		return nil, fmt.Errorf("fabric: ring needs >= 1 switch, got %d", switches)
+	}
+	if vnodes < 1 {
+		vnodes = 16
+	}
+	r := &Ring{points: make([]ringPoint, 0, switches*vnodes)}
+	for sw := 0; sw < switches; sw++ {
+		for v := 0; v < vnodes; v++ {
+			h := fnv1a(fmt.Sprintf("switch-%d#%d", sw, v))
+			r.points = append(r.points, ringPoint{hash: h, sw: sw})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].sw < r.points[j].sw
+	})
+	return r, nil
+}
+
+// Place returns the switch owning the tenant name.
+func (r *Ring) Place(name string) int {
+	h := fnv1a(name)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: first point clockwise of the top of the ring
+	}
+	return r.points[i].sw
+}

@@ -106,3 +106,86 @@ func ReplayBatched(workers, batchSize int, vs []uint64, fn func(worker int, batc
 	}
 	wg.Wait()
 }
+
+// ShardedReplay fans one sample stream across shards (e.g. the switches of
+// a fabric) from several workers at once. Each worker owns a contiguous
+// slice of the stream, routes every sample to a shard, and accumulates
+// per-shard batches in buffers owned by that (worker, shard) pair — flushed
+// to fn whenever one reaches batchSize and at end of stream. The buffers
+// live on the ShardedReplay and are reused across Replay calls, so the
+// steady-state fan-out path allocates nothing; fn receives batches for
+// distinct workers concurrently and must tolerate that (distinct shards may
+// also arrive concurrently — from distinct workers).
+type ShardedReplay struct {
+	shards    int
+	batchSize int
+	bufs      [][][]uint64 // [worker][shard] reused batch buffers
+}
+
+// NewShardedReplay sizes the fan-out: shards is the routing-target count,
+// batchSize the flush threshold (<= 0 selects 1024).
+func NewShardedReplay(shards, batchSize int) *ShardedReplay {
+	if shards < 1 {
+		shards = 1
+	}
+	if batchSize <= 0 {
+		batchSize = 1024
+	}
+	return &ShardedReplay{shards: shards, batchSize: batchSize}
+}
+
+// Replay routes vs across shards from `workers` goroutines. route maps a
+// sample to its shard (must be pure and in [0, shards)); fn consumes one
+// worker's batch for one shard. Every sample is delivered exactly once, in
+// stream order within a (worker, shard) pair.
+func (r *ShardedReplay) Replay(workers int, vs []uint64, route func(uint64) int, fn func(worker, shard int, batch []uint64)) {
+	n := len(vs)
+	if n == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	for len(r.bufs) < workers {
+		r.bufs = append(r.bufs, make([][]uint64, r.shards))
+	}
+	if workers == 1 {
+		r.runShard(0, vs, route, fn)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w, lo := 0, 0; lo < n; w, lo = w+1, lo+chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w int, shard []uint64) {
+			defer wg.Done()
+			r.runShard(w, shard, route, fn)
+		}(w, vs[lo:hi])
+	}
+	wg.Wait()
+}
+
+func (r *ShardedReplay) runShard(w int, shard []uint64, route func(uint64) int, fn func(worker, shard int, batch []uint64)) {
+	bufs := r.bufs[w]
+	for _, v := range shard {
+		s := route(v)
+		bufs[s] = append(bufs[s], v)
+		if len(bufs[s]) >= r.batchSize {
+			fn(w, s, bufs[s])
+			bufs[s] = bufs[s][:0]
+		}
+	}
+	for s, b := range bufs {
+		if len(b) > 0 {
+			fn(w, s, b)
+			bufs[s] = b[:0]
+		}
+	}
+}

@@ -141,3 +141,85 @@ func subdivideForBench(p bitstr.Prefix, m int) []bitstr.Prefix {
 	}
 	return out
 }
+
+// benchTieredPair builds a tiered store (tcamRows hot slots) and a pure
+// table holding the same `entries`-row disjoint tiling — the matched
+// populations the tiered-vs-table lookup benchmarks compare.
+func benchTieredPair(b *testing.B, tcamRows, entries, width int) (*TieredStore, *Table) {
+	b.Helper()
+	root, err := bitstr.Root(width)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := make([]Row, 0, entries)
+	for i, p := range subdivideForBench(root, entries) {
+		rows = append(rows, RowFromPrefix(p, uint64(1000+i)))
+	}
+	ts, err := NewTiered("bench-tiered", tcamRows, 0, width)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ts.ApplyRowsAtomic(rows); err != nil {
+		b.Fatal(err)
+	}
+	tb := MustNew("bench-table", 0, width)
+	if _, err := tb.ApplyRowsAtomic(rows); err != nil {
+		b.Fatal(err)
+	}
+	return ts, tb
+}
+
+func benchWidthKeys(n, width int) []uint64 {
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() & (1<<uint(width) - 1)
+	}
+	return keys
+}
+
+// benchmarkTieredIndexBatch measures the tiered combined-snapshot ordinal
+// path: a 128-row TCAM tier fronting an `entries`-row population, against
+// BenchmarkTableIndexBatch* on the identical population in a pure table.
+func benchmarkTieredIndexBatch(b *testing.B, entries int) {
+	const width = 16
+	ts, _ := benchTieredPair(b, 128, entries, width)
+	keys := benchWidthKeys(1024, width)
+	var dst []int32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = ts.LookupIndexBatch(keys, dst)
+	}
+}
+
+func benchmarkTableIndexBatch(b *testing.B, entries int) {
+	const width = 16
+	_, tb := benchTieredPair(b, 128, entries, width)
+	keys := benchWidthKeys(1024, width)
+	var dst []int32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = tb.LookupIndexBatch(keys, dst)
+	}
+}
+
+func BenchmarkTieredIndexBatch128(b *testing.B)  { benchmarkTieredIndexBatch(b, 128) }
+func BenchmarkTieredIndexBatch1280(b *testing.B) { benchmarkTieredIndexBatch(b, 1280) }
+func BenchmarkTableIndexBatch128(b *testing.B)   { benchmarkTableIndexBatch(b, 128) }
+func BenchmarkTableIndexBatch1280(b *testing.B)  { benchmarkTableIndexBatch(b, 1280) }
+
+// BenchmarkTieredSingleBatch covers the satellite fix: the single-field
+// tiered batch path must be allocation-free like the Table path.
+func BenchmarkTieredSingleBatch1280(b *testing.B) {
+	const width = 16
+	ts, _ := benchTieredPair(b, 128, 1280, width)
+	keys := benchWidthKeys(1024, width)
+	var dst []*Entry
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = ts.LookupSingleBatch(keys, dst)
+	}
+}

@@ -105,6 +105,10 @@ type TieredStore struct {
 	sramWrites atomic.Uint64
 	promotions atomic.Uint64
 	demotions  atomic.Uint64
+
+	// residentScratch is placeLocked's reusable TCAM-residency count map,
+	// cleared in place each reconcile instead of reallocated (guarded by mu).
+	residentScratch map[string]int
 }
 
 var (
@@ -270,10 +274,10 @@ func (s *TieredStore) LookupSingleBatch(keys []uint64, dst []*Entry) []*Entry {
 		return dst
 	}
 	sn := s.loadSnap()
-	kbuf := make([]uint64, 1)
+	var kbuf [1]uint64
 	for i, k := range keys {
 		kbuf[0] = k
-		dst[i] = sn.lookup(kbuf)
+		dst[i] = sn.lookup(kbuf[:])
 	}
 	return dst
 }
@@ -312,7 +316,11 @@ func (s *TieredStore) validateRows(rows []Row) error {
 // row order, and everything else spills to SRAM. s.mu must be held.
 func (s *TieredStore) placeLocked(rows []Row) (hotRows, coldRows []Row) {
 	budget := s.hot.capacity
-	resident := make(map[string]int, s.hot.Len())
+	if s.residentScratch == nil {
+		s.residentScratch = make(map[string]int, s.hot.Len())
+	}
+	resident := s.residentScratch
+	clear(resident)
 	for _, e := range s.hot.Entries() {
 		resident[e.key]++
 	}

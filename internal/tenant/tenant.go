@@ -42,6 +42,9 @@ var (
 	ErrQuota = errors.New("tenant: quota exceeds free headroom")
 	// ErrTenant reports an unknown or duplicate tenant name.
 	ErrTenant = errors.New("tenant: unknown or duplicate tenant")
+	// ErrClosed reports a commit against a slice whose tenant has been
+	// closed (e.g. migrated to another switch by the fabric arbiter).
+	ErrClosed = errors.New("tenant: slice closed")
 )
 
 // Config sizes a partition's physical table.
@@ -86,6 +89,9 @@ type Partition struct {
 
 	slices []*Slice
 	byName map[string]*Slice
+	// nextID hands out tenant-ID field values; IDs of closed tenants are
+	// never reused, so a stale engine can never resolve a successor's rows.
+	nextID uint64
 
 	// committing is the slice whose commit currently holds mu; the
 	// physical write hook dispatches per-row faults to it. All physical
@@ -169,7 +175,7 @@ func (p *Partition) Open(name string, widths []int, quota int) (*Slice, error) {
 	if _, ok := p.byName[name]; ok {
 		return nil, fmt.Errorf("%w: %q already open", ErrTenant, name)
 	}
-	id := uint64(len(p.slices) + 1)
+	id := p.nextID + 1
 	if id >= 1<<p.cfg.TenantIDBits {
 		return nil, fmt.Errorf("%w: tenant-ID space exhausted (%d bits)", ErrConfig, p.cfg.TenantIDBits)
 	}
@@ -185,9 +191,55 @@ func (p *Partition) Open(name string, widths []int, quota int) (*Slice, error) {
 		quota:     quota,
 		installed: make(map[string]sliceRow),
 	}
+	p.nextID = id
 	p.slices = append(p.slices, s)
 	p.byName[name] = s
 	return s, nil
+}
+
+// Close evicts a tenant: every physical row the slice holds is deleted in
+// one transactional commit, the slice is marked closed (further commits fail
+// with ErrClosed; lookups simply miss), and its reservation leaves the
+// ledger, freeing headroom immediately. The delete goes through the same
+// write-hook seam as any commit, so injected row faults can make a Close
+// fail — in which case the slice stays open and installed, untouched.
+// Returns the physical row deletes performed.
+func (p *Partition) Close(name string) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrTenant, name)
+	}
+	var keys []string
+	for k := range s.installed {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic physical delete sequence
+	physDel := make([]tcam.Row, 0, len(keys))
+	for _, k := range keys {
+		old := s.installed[k]
+		pr, err := s.physRow(old.fields, old.priority, nil)
+		if err != nil {
+			return 0, err
+		}
+		physDel = append(physDel, pr)
+	}
+	writes, err := s.commitLocked(nil, physDel)
+	if err != nil {
+		return 0, err
+	}
+	s.installed = make(map[string]sliceRow)
+	s.quota = 0
+	s.closed = true
+	delete(p.byName, name)
+	for i, sl := range p.slices {
+		if sl == s {
+			p.slices = append(p.slices[:i], p.slices[i+1:]...)
+			break
+		}
+	}
+	return writes, nil
 }
 
 // headroomLocked is the free capacity the ledger may still grant: physical
@@ -335,10 +387,11 @@ type Slice struct {
 	bandLo int
 	widths []int
 
-	// quota, installed, version, and hook are guarded by p.mu.
+	// quota, installed, version, closed, and hook are guarded by p.mu.
 	quota     int
 	installed map[string]sliceRow
 	version   uint64
+	closed    bool
 	hook      tcam.WriteHook
 }
 
@@ -528,6 +581,9 @@ func (s *Slice) ApplyRowsAtomic(rows []tcam.Row) (int, error) {
 	}
 	s.p.mu.Lock()
 	defer s.p.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("%w: %s", ErrClosed, s.Name())
+	}
 	if len(rows) > s.quota {
 		return 0, &tcam.CapacityError{Table: s.Name(), Capacity: s.quota, Installed: len(s.installed), Requested: len(rows)}
 	}
@@ -587,6 +643,9 @@ func (s *Slice) ApplyDelta(upserts, deletes []tcam.Row) (int, error) {
 	}
 	s.p.mu.Lock()
 	defer s.p.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("%w: %s", ErrClosed, s.Name())
+	}
 	removed := make(map[string]bool, len(deletes))
 	physDel := make([]tcam.Row, 0, len(deletes))
 	for _, r := range deletes {
