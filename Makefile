@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short vet bench bench-lookup bench-round bench-tenant bench-dataplane bench-recovery bench-tiered bench-fabric bench-compare bench-all chaos experiments examples cover clean
+.PHONY: all build test test-short vet bench bench-lookup bench-round bench-tenant bench-dataplane bench-recovery bench-tiered bench-fabric bench-serve bench-compare bench-all chaos experiments examples cover clean
 
 all: build vet test
 
@@ -71,6 +71,14 @@ bench-fabric:
 	$(GO) test -run TestFabricBenchElasticBeatsStatic -v ./internal/experiments
 	$(GO) run ./cmd/adabench -fabric-out BENCH_fabric.json fabric
 
+# Service-mode soak: drift-paced control rounds vs the paper's fixed
+# repopulation cadence over identical streams, with tenant churn, injected
+# faults, a mid-soak crash/restart, and leak/allocation accounting, plus
+# the committed BENCH_serve.json artefact.
+bench-serve:
+	$(GO) test -run TestServeBenchAcceptance -v ./internal/experiments
+	$(GO) run ./cmd/adabench -serve-out BENCH_serve.json serve
+
 # A/B comparison capture for benchstat. Run once before a change and once
 # after, then diff:
 #   make bench-compare OUT=before.txt
@@ -83,7 +91,7 @@ bench-compare:
 	$(GO) test -bench . -benchmem -count 6 -run '^$$' ./internal/tcam ./internal/core ./internal/experiments | tee $(OUT)
 
 # All committed benchmark baselines in one go.
-bench-all: bench-lookup bench-round bench-tenant bench-dataplane bench-recovery bench-tiered bench-fabric
+bench-all: bench-lookup bench-round bench-tenant bench-dataplane bench-recovery bench-tiered bench-fabric bench-serve
 
 # Regenerate every evaluation table/figure as text.
 experiments:

@@ -2,11 +2,16 @@
 //
 // Usage:
 //
-//	adabench [-parallel N] [-lookup-out FILE] [-round-out FILE] [-tenant-out FILE] [-dataplane-out FILE] [-recovery-out FILE] [-tiered-out FILE] [-fabric-out FILE] [experiment...]
+//	adabench [-parallel N] [-lookup-out FILE] [-round-out FILE] [-tenant-out FILE] [-dataplane-out FILE] [-recovery-out FILE] [-tiered-out FILE] [-fabric-out FILE] [-serve-out FILE] [experiment...]
 //
 // Experiments: dataplane fabric fig1a fig1b fig1c fig5 fig6 fig7a fig7b
-// fig7c fig8 fig9 fig10 lookup recovery roundbench table2 tenant tiered xcp
-// all (default: all). Each prints the same rows/series the paper reports;
+// fig7c fig8 fig9 fig10 lookup recovery roundbench serve table2 tenant
+// tiered xcp all (default: all). serve is the service-mode soak: identical
+// phase-shifting workloads run once under the drift-paced pacer (with error
+// SLO and rolling TCAM write budget) and once under the paper's fixed
+// repopulation cadence, comparing round counts, TCAM writes, and error
+// percentiles under tenant churn, injected faults, and a mid-soak
+// crash/restart. Each prints the same rows/series the paper reports;
 // see EXPERIMENTS.md for the paper-vs-measured record. recovery is the
 // failure model v2 experiment: silent TCAM corruption against the read-back
 // audit, measuring detection latency, anti-entropy repair writes vs full
@@ -31,8 +36,9 @@
 // -dataplane-out for the data-plane throughput benchmark
 // (BENCH_dataplane.json), -recovery-out for the corruption-recovery
 // benchmark (BENCH_recovery.json), -tiered-out for the tiered-store budget
-// sweep (BENCH_tiered.json), and -fabric-out for the sharded-fabric
-// benchmark (BENCH_fabric.json).
+// sweep (BENCH_tiered.json), -fabric-out for the sharded-fabric benchmark
+// (BENCH_fabric.json), and -serve-out for the service-mode soak
+// (BENCH_serve.json).
 //
 // Invalid flag values (e.g. a negative -parallel) are usage errors: adabench
 // prints the usage text and exits with status 2; experiment failures exit 1.
@@ -57,6 +63,7 @@ var (
 	recovOut  = flag.String("recovery-out", "", "write corruption-recovery benchmark rows as JSON to this file")
 	tieredOut = flag.String("tiered-out", "", "write tiered-store budget sweep rows as JSON to this file")
 	fabricOut = flag.String("fabric-out", "", "write sharded-fabric benchmark result as JSON to this file")
+	serveOut  = flag.String("serve-out", "", "write service-mode soak benchmark result as JSON to this file")
 )
 
 // validateFlags rejects flag values that parse but make no sense; main
@@ -216,6 +223,18 @@ var runners = map[string]func() (string, error){
 			}
 		}
 		return experiments.RenderFabricBench(res), nil
+	},
+	"serve": func() (string, error) {
+		res, err := experiments.RunServeBench(experiments.DefaultServeBenchConfig())
+		if err != nil {
+			return "", err
+		}
+		if *serveOut != "" {
+			if err := experiments.WriteServeBenchJSON(*serveOut, res); err != nil {
+				return "", err
+			}
+		}
+		return experiments.RenderServeBench(res), nil
 	},
 	"tenant": func() (string, error) {
 		res, err := experiments.RunTenantBench(experiments.DefaultTenantBenchConfig())

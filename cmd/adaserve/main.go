@@ -1,0 +1,330 @@
+// Command adaserve runs the ADA control plane as a long-running service:
+// tenant clones of an operation mount on one shared physical table, a
+// synthetic seeded workload streams through the sharded zero-allocation
+// ingest path, and the pacer triggers control rounds only when a tenant's
+// traffic actually drifts — arbitrated against a per-tenant error SLO, a
+// minimum round spacing, and a rolling TCAM write budget. Prometheus-format
+// metrics and a health probe are served over HTTP when -listen is set.
+//
+// Halfway through a bounded run (-duration) the workload's operand
+// distribution shifts, so a default invocation demonstrates the full loop:
+// quiet steady-state ticks, a burst of drift-triggered rounds at the shift,
+// then convergence back to quiet.
+//
+// Usage:
+//
+//	adaserve -duration 5s -dump-metrics
+//	adaserve -op sqrt -tenants 8 -calc 48 -listen :9090
+//	adaserve -duration 10s -drift 2 -staleness 500ms   # fixed-cadence baseline
+//	adaserve -duration 10s -slo 0.02 -write-budget 256 -budget-window 2s
+//
+// Invalid flag values (zero or negative budgets, a width outside [1, 64], a
+// drift trigger or SLO below zero, a non-positive rate or batch size,
+// -rearm above -drift) are usage errors: adaserve reports them and exits
+// with status 2; runtime failures exit 1. With -duration 0 the service runs
+// until interrupted.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/core"
+	"github.com/ada-repro/ada/internal/serve"
+	"github.com/ada-repro/ada/internal/stats"
+)
+
+// usageError is a flag or argument validation failure: the values parsed
+// but make no sense. main reports it and exits 2 — the conventional
+// usage-error status — while runtime failures keep exiting 1.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...any) error {
+	return usageError{msg: fmt.Sprintf(format, args...)}
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "adaserve:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("adaserve", flag.ContinueOnError)
+	var (
+		opName   = fs.String("op", "square", "operation: square, double, sqrt, log2, recip")
+		width    = fs.Int("width", 12, "operand width in bits")
+		monitorN = fs.Int("monitor", 12, "monitoring TCAM entries per tenant")
+		calcN    = fs.Int("calc", 64, "calculation TCAM entries per tenant")
+		tenants  = fs.Int("tenants", 4, "tenant clones sharing the physical table")
+		shards   = fs.Int("shards", 4, "ingest worker shards")
+		queue    = fs.Int("queue", 64, "per-shard queue depth in batches")
+		tick     = fs.Duration("tick", 100*time.Millisecond, "pacer tick period")
+		drift    = fs.Float64("drift", 0.15, "drift trigger (TV distance; > 1 disables drift = fixed cadence)")
+		rearm    = fs.Float64("rearm", 0, "drift re-arm level (0 = trigger/2)")
+		spacing  = fs.Duration("spacing", 100*time.Millisecond, "minimum spacing between one tenant's rounds")
+		stale    = fs.Duration("staleness", 10*time.Second, "maximum staleness before a forced round (negative disables)")
+		slo      = fs.Float64("slo", 0, "per-tenant mean relative error SLO (0 disables)")
+		budget   = fs.Int("write-budget", 0, "TCAM row writes allowed per budget window (0 = unlimited)")
+		window   = fs.Duration("budget-window", 10*time.Second, "rolling write budget window")
+		listen   = fs.String("listen", "", "serve /metrics and /healthz on this address (empty = no HTTP)")
+		duration = fs.Duration("duration", 0, "run this long then summarise (0 = until interrupt)")
+		rate     = fs.Int("rate", 200, "ingest batches per second per tenant")
+		batchN   = fs.Int("batch", 64, "operands per ingest batch")
+		seed     = fs.Int64("seed", 1, "workload generator seed")
+		dumpMet  = fs.Bool("dump-metrics", false, "write the final Prometheus exposition to stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return usagef("%v", err)
+	}
+	switch {
+	case *width < 1 || *width > 64:
+		return usagef("-width must be in [1, 64], got %d", *width)
+	case *monitorN < 1:
+		return usagef("-monitor must be >= 1, got %d", *monitorN)
+	case *calcN < 1:
+		return usagef("-calc must be >= 1, got %d", *calcN)
+	case *tenants < 1:
+		return usagef("-tenants must be >= 1, got %d", *tenants)
+	case *shards < 1:
+		return usagef("-shards must be >= 1, got %d", *shards)
+	case *queue < 1:
+		return usagef("-queue must be >= 1, got %d", *queue)
+	case *tick <= 0:
+		return usagef("-tick must be positive, got %v", *tick)
+	case *drift < 0:
+		return usagef("-drift must be >= 0, got %v", *drift)
+	case *rearm < 0 || (*rearm > *drift && *drift <= 1):
+		return usagef("-rearm must be in [0, -drift], got %v", *rearm)
+	case *spacing <= 0:
+		return usagef("-spacing must be positive, got %v", *spacing)
+	case *slo < 0:
+		return usagef("-slo must be >= 0, got %v", *slo)
+	case *budget < 0:
+		return usagef("-write-budget must be >= 0, got %d", *budget)
+	case *window <= 0:
+		return usagef("-budget-window must be positive, got %v", *window)
+	case *duration < 0:
+		return usagef("-duration must be >= 0, got %v", *duration)
+	case *rate < 1:
+		return usagef("-rate must be >= 1, got %d", *rate)
+	case *batchN < 1:
+		return usagef("-batch must be >= 1, got %d", *batchN)
+	}
+	ops := map[string]arith.UnaryOp{
+		"square": arith.OpSquare, "double": arith.OpDouble,
+		"sqrt": arith.OpSqrt, "log2": arith.OpLog2, "recip": arith.OpRecip,
+	}
+	op, ok := ops[*opName]
+	if !ok {
+		return usagef("unknown operation %q", *opName)
+	}
+
+	reg, err := core.NewRegistry(core.SharedConfig{
+		Name:         "adaserve",
+		TotalEntries: *tenants * *calcN,
+	})
+	if err != nil {
+		return err
+	}
+	names := make([]string, *tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%02d", i)
+		cfg := core.DefaultConfig(*width)
+		cfg.MonitorEntries = *monitorN
+		cfg.CalcEntries = *calcN
+		if _, err := reg.MountUnary(names[i], cfg, op); err != nil {
+			return err
+		}
+	}
+
+	srv, err := serve.NewServer(reg, serve.Config{
+		Shards:            *shards,
+		QueueDepth:        *queue,
+		Drift:             serve.DriftConfig{Trigger: *drift, Rearm: *rearm},
+		MinRoundSpacing:   *spacing,
+		MaxRoundStaleness: *stale,
+		ErrorSLO:          *slo,
+		WriteBudget:       *budget,
+		WriteBudgetWindow: *window,
+		TickEvery:         *tick,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	for _, name := range names {
+		if err := srv.Attach(name); err != nil {
+			return err
+		}
+	}
+
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	var httpSrv *http.Server
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		httpSrv = &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		fmt.Fprintf(stdout, "serving http://%s/metrics and /healthz\n", ln.Addr())
+		defer func() {
+			sctx, scancel := context.WithTimeout(context.Background(), time.Second)
+			defer scancel()
+			httpSrv.Shutdown(sctx)
+		}()
+	}
+
+	fmt.Fprintf(stdout, "adaserve: %d %v tenants, drift trigger %v, tick %v",
+		*tenants, op, *drift, *tick)
+	if *duration > 0 {
+		fmt.Fprintf(stdout, ", running %v", *duration)
+	}
+	fmt.Fprintln(stdout)
+
+	// The load generator streams seeded batches round-robin over the
+	// tenants; halfway through a bounded run the operand distribution
+	// shifts so drift rounds have something to react to.
+	genCtx, genStop := context.WithCancel(ctx)
+	genDone := make(chan struct{})
+	go func() {
+		defer close(genDone)
+		loadgen(genCtx, srv, names, *width, *rate, *batchN, *seed, shiftAt(*duration))
+	}()
+
+	if err := srv.Run(ctx); err != nil && !errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded) {
+		genStop()
+		<-genDone
+		return err
+	}
+	genStop()
+	<-genDone
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Second)
+	defer dcancel()
+	srv.Drain(dctx)
+
+	summarise(stdout, srv, names)
+	if *dumpMet {
+		fmt.Fprintln(stdout)
+		if err := srv.Metrics().WriteText(stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shiftAt returns the wall-clock moment the workload's distribution moves
+// (zero time = never, for unbounded runs).
+func shiftAt(d time.Duration) time.Time {
+	if d <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(d / 2)
+}
+
+// loadgen streams seeded batches into the server until ctx ends. Before
+// shift the operands cluster low in the domain; after it they cluster
+// high — a distribution change the drift detector must catch.
+func loadgen(ctx context.Context, srv *serve.Server, names []string,
+	width, rate, batchN int, seed int64, shift time.Time) {
+	rng := rand.New(rand.NewSource(seed))
+	max := uint64(1)<<uint(width) - 1
+	xs := make([]uint64, batchN)
+	interval := time.Second / time.Duration(rate*len(names))
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i := 0; ; i++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		peak := max / 8
+		if !shift.IsZero() && time.Now().After(shift) {
+			peak = max - max/8
+		}
+		spread := max/16 + 1
+		for j := range xs {
+			d := int64(rng.Uint64()%spread) - int64(rng.Uint64()%spread)
+			v := int64(peak) + d
+			if v < 0 {
+				v = 0
+			}
+			if v > int64(max) {
+				v = int64(max)
+			}
+			xs[j] = uint64(v)
+		}
+		srv.Ingest(names[i%len(names)], xs)
+	}
+}
+
+// summarise prints the per-tenant round/write/error table and the service
+// totals from the metrics registry.
+func summarise(stdout io.Writer, srv *serve.Server, names []string) {
+	snap := srv.Metrics().Snapshot()
+	get := func(name, labels string) float64 { return snap[name+labels] }
+	tl := func(tenant string) string { return fmt.Sprintf(`{tenant="%s"}`, tenant) }
+
+	tbl := stats.NewTable("Service summary by tenant",
+		"tenant", "lookups", "drift rounds", "slo rounds", "stale rounds",
+		"suppressed", "tcam writes", "error est")
+	for _, name := range names {
+		suppressed := get("ada_serve_rounds_suppressed_total",
+			fmt.Sprintf(`{reason="spacing",tenant="%s"}`, name)) +
+			get("ada_serve_rounds_suppressed_total",
+				fmt.Sprintf(`{reason="budget",tenant="%s"}`, name))
+		tbl.AddF(name,
+			int(get("ada_serve_lookups_total", tl(name))),
+			int(get("ada_serve_rounds_total", fmt.Sprintf(`{cause="drift",tenant="%s"}`, name))),
+			int(get("ada_serve_rounds_total", fmt.Sprintf(`{cause="slo",tenant="%s"}`, name))),
+			int(get("ada_serve_rounds_total", fmt.Sprintf(`{cause="staleness",tenant="%s"}`, name))),
+			int(suppressed),
+			int(get("ada_serve_tcam_writes_total", tl(name))),
+			fmt.Sprintf("%.4f", get("ada_serve_error_estimate", tl(name))),
+		)
+	}
+	fmt.Fprintln(stdout, tbl.String())
+
+	var dropped float64
+	for key, v := range snap {
+		if strings.HasPrefix(key, "ada_serve_dropped_batches_total{") {
+			dropped += v
+		}
+	}
+	fmt.Fprintf(stdout, "ticks: %d, batches: %d, dropped: %d, degraded: %v\n",
+		int(get("ada_serve_ticks_total", "")),
+		int(get("ada_serve_batch_seconds_count", "")),
+		int(dropped),
+		srv.Degraded())
+}

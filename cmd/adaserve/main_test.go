@@ -1,0 +1,204 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncWriter lets the HTTP test read partial output while run still writes.
+type syncWriter struct {
+	mu sync.Mutex
+	b  *strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+// waitForAddr polls run's output for the "serving http://HOST:PORT/metrics"
+// line and extracts the bound address.
+func waitForAddr(t *testing.T, w *syncWriter) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s := w.String()
+		if i := strings.Index(s, "serving http://"); i >= 0 {
+			rest := s[i+len("serving http://"):]
+			if j := strings.Index(rest, "/metrics"); j >= 0 {
+				return rest[:j]
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("listener address never printed; output:\n%s", w.String())
+	return ""
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestBadFlagsAreUsageErrors pins the validation sweep: flag values that
+// parse but make no sense must come back as usageError (exit 2 in main),
+// before any service starts.
+func TestBadFlagsAreUsageErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"zero width", []string{"-width", "0"}},
+		{"width above 64", []string{"-width", "65"}},
+		{"zero monitor budget", []string{"-monitor", "0"}},
+		{"zero calc budget", []string{"-calc", "0"}},
+		{"zero tenants", []string{"-tenants", "0"}},
+		{"negative tenants", []string{"-tenants", "-3"}},
+		{"zero shards", []string{"-shards", "0"}},
+		{"zero queue depth", []string{"-queue", "0"}},
+		{"zero tick", []string{"-tick", "0s"}},
+		{"negative tick", []string{"-tick", "-100ms"}},
+		{"negative drift trigger", []string{"-drift", "-0.1"}},
+		{"rearm above trigger", []string{"-drift", "0.2", "-rearm", "0.5"}},
+		{"negative rearm", []string{"-rearm", "-0.1"}},
+		{"zero spacing", []string{"-spacing", "0s"}},
+		{"negative slo", []string{"-slo", "-0.01"}},
+		{"negative write budget", []string{"-write-budget", "-5"}},
+		{"zero budget window", []string{"-budget-window", "0s"}},
+		{"negative duration", []string{"-duration", "-1s"}},
+		{"zero rate", []string{"-rate", "0"}},
+		{"zero batch", []string{"-batch", "0"}},
+		{"unknown op", []string{"-op", "cube"}},
+		{"unknown flag", []string{"-no-such-flag"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out strings.Builder
+			err := run(context.Background(), tt.args, &out)
+			if err == nil {
+				t.Fatalf("run(%v): want usage error, got nil", tt.args)
+			}
+			var ue usageError
+			if !errors.As(err, &ue) {
+				t.Fatalf("run(%v): got %v (%T), want usageError", tt.args, err, err)
+			}
+		})
+	}
+}
+
+// TestRunBoundedService runs a short real service: the summary table, the
+// tick counter, and at least one control round must all appear.
+func TestRunBoundedService(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-duration", "600ms", "-tick", "25ms", "-spacing", "25ms",
+		"-staleness", "200ms", "-tenants", "2", "-rate", "400",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Service summary by tenant", "t00", "t01", "ticks:", "degraded: false"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in output:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "ticks: 0,") {
+		t.Errorf("pacer never ticked:\n%s", s)
+	}
+	if strings.Contains(s, "# HELP") {
+		t.Errorf("metrics dumped without -dump-metrics:\n%s", s)
+	}
+}
+
+// TestRunDumpMetrics checks the -dump-metrics exposition carries the
+// service's key families in Prometheus text format.
+func TestRunDumpMetrics(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-duration", "300ms", "-tick", "25ms", "-spacing", "25ms",
+		"-tenants", "1", "-dump-metrics",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"# TYPE ada_serve_lookups_total counter",
+		"# TYPE ada_serve_batch_seconds histogram",
+		"# TYPE ada_serve_drift_distance gauge",
+		`ada_serve_tenants 1`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunCancelledContext covers the interrupt path: a cancelled parent
+// context must stop an unbounded run cleanly, not error.
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		cancel()
+	}()
+	var out strings.Builder
+	err := run(ctx, []string{"-tick", "25ms", "-tenants", "1"}, &out)
+	if err != nil {
+		t.Fatalf("interrupted run returned %v, want nil", err)
+	}
+	if !strings.Contains(out.String(), "Service summary by tenant") {
+		t.Errorf("no summary after interrupt:\n%s", out.String())
+	}
+}
+
+// TestRunHTTPListener boots the HTTP side on an ephemeral port and scrapes
+// /metrics and /healthz while the service runs.
+func TestRunHTTPListener(t *testing.T) {
+	out := &syncWriter{b: &strings.Builder{}}
+	done := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		done <- run(ctx, []string{
+			"-listen", "127.0.0.1:0", "-tick", "25ms", "-tenants", "1",
+			"-duration", "2s",
+		}, out)
+	}()
+	addr := waitForAddr(t, out)
+
+	body := httpGet(t, "http://"+addr+"/metrics")
+	if !strings.Contains(body, "ada_serve_ticks_total") {
+		t.Errorf("/metrics missing families:\n%s", body)
+	}
+	if body := httpGet(t, "http://"+addr+"/healthz"); !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %q, want ok", body)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

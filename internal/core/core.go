@@ -186,6 +186,10 @@ type SyncReport struct {
 	Reads int
 	// Writes is registers reset plus TCAM entries written.
 	Writes int
+	// TCAMWrites is the TCAM-row share of Writes — the scarce-resource count
+	// the service layer's rolling write budget meters (register resets are
+	// cheap and excluded).
+	TCAMWrites int
 	// Rebalances counts Algorithm 2 steps across all monitored variables.
 	Rebalances int
 	// Computed and Reused split the calculation entries of this round into
@@ -511,6 +515,7 @@ func (s *UnarySystem) SyncCtx(ctx context.Context) (SyncReport, error) {
 		Delay:           rep.Delay,
 		Reads:           rep.Reads,
 		Writes:          rep.RegisterWrites + rep.TCAMWrites,
+		TCAMWrites:      rep.TCAMWrites,
 		Rebalances:      rep.Rebalances,
 		Computed:        rep.Computed,
 		Reused:          rep.Reused,
@@ -874,6 +879,7 @@ func (s *BinarySystem) SyncCtx(ctx context.Context) (SyncReport, error) {
 	out := SyncReport{
 		Reads:          repX.Reads + repY.Reads,
 		Writes:         repX.RegisterWrites + repX.TCAMWrites + repY.RegisterWrites + repY.TCAMWrites,
+		TCAMWrites:     repX.TCAMWrites + repY.TCAMWrites,
 		Rebalances:     repX.Rebalances + repY.Rebalances,
 		Computed:       repX.Computed + repY.Computed,
 		Reused:         repX.Reused + repY.Reused,
@@ -906,6 +912,7 @@ func (s *BinarySystem) SyncCtx(ctx context.Context) (SyncReport, error) {
 		out.AuditRan = true
 		out.Audit.Add(arep)
 		out.Writes += arep.RepairWrites
+		out.TCAMWrites += arep.RepairWrites
 		out.Delay += time.Duration(arep.Audited)*s.cfg.Cost.PerRowRead +
 			time.Duration(arep.RepairWrites)*s.cfg.Cost.PerTCAMWrite
 		if aerr != nil {
@@ -932,6 +939,7 @@ func (s *BinarySystem) SyncCtx(ctx context.Context) (SyncReport, error) {
 		return out, nil
 	}
 	out.Writes += calcWrites
+	out.TCAMWrites += calcWrites
 	out.Computed += computed
 	out.Reused += reused
 	out.Delay += time.Duration(calcWrites)*s.cfg.Cost.PerTCAMWrite +
@@ -949,6 +957,7 @@ func (s *BinarySystem) SyncCtx(ctx context.Context) (SyncReport, error) {
 		out.TierDemotions = moves.Demotions
 		out.SRAMWrites = moves.SRAMWrites
 		out.Writes += moves.TCAMWrites
+		out.TCAMWrites += moves.TCAMWrites
 		out.Delay += time.Duration(moves.TCAMWrites)*s.cfg.Cost.PerTCAMWrite +
 			time.Duration(moves.SRAMWrites)*s.cfg.Cost.PerSRAMWrite
 	}

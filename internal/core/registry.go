@@ -177,6 +177,58 @@ func (r *Registry) SyncCtx(ctx context.Context) (RegistrySyncReport, error) {
 	return out, nil
 }
 
+// SyncTenants runs one control round for only the named tenants — the
+// externally-paced seam the service layer's drift pacer drives: a round is
+// spent where traffic moved instead of on every tenant every cadence. The
+// subset's rounds run concurrently exactly as in SyncCtx, and the arbiter
+// still sees every mounted member afterwards, so budget keeps flowing toward
+// pressure even when most tenants sat the round out. Unknown names are
+// errors; an empty subset just runs the arbiter settle step. Fabric
+// implements the same method switch-by-switch, so the serve layer paces
+// either through one seam.
+func (r *Registry) SyncTenants(ctx context.Context, names []string) (map[string]SyncReport, error) {
+	out := make(map[string]SyncReport, len(names))
+	subset := make([]*Tenant, len(names))
+	for i, name := range names {
+		t, ok := r.byName[name]
+		if !ok {
+			return out, fmt.Errorf("core: sync subset: %w: %q", tenant.ErrTenant, name)
+		}
+		subset[i] = t
+	}
+	reps := make([]SyncReport, len(subset))
+	errs := make([]error, len(subset))
+	var wg sync.WaitGroup
+	for i, t := range subset {
+		wg.Add(1)
+		go func(i int, t *Tenant) {
+			defer wg.Done()
+			reps[i], errs[i] = t.SyncCtx(ctx)
+		}(i, t)
+	}
+	wg.Wait()
+	for i, t := range subset {
+		if errs[i] != nil {
+			return out, fmt.Errorf("core: tenant %q: %w", t.name, errs[i])
+		}
+		out[t.name] = reps[i]
+	}
+	members := make([]tenant.Member, len(r.tenants))
+	for i, t := range r.tenants {
+		members[i] = t
+	}
+	if _, err := r.arb.RoundDone(members); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// FindTenant returns a mounted tenant by name — the lookup shape the serve
+// package's Cluster seam expects (Fabric implements the same method).
+func (r *Registry) FindTenant(name string) (*Tenant, bool) {
+	return r.Tenant(name)
+}
+
 // Unmount evicts a tenant: its slice's physical rows are deleted in one
 // transactional commit and its reservation leaves the ledger, freeing
 // headroom for the remaining tenants. The evicted system keeps functioning

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/tenant"
+)
+
+func newSubsetRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg, err := NewRegistry(SharedConfig{Name: "subset", TotalEntries: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(8)
+	cfg.CalcEntries = 48
+	for _, name := range []string{"a", "b", "c"} {
+		if _, err := reg.MountUnary(name, cfg, arith.OpSquare); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}
+
+// TestSyncTenantsSubset proves a subset round touches only the named
+// tenants' monitors: the others keep their accumulated hits.
+func TestSyncTenantsSubset(t *testing.T) {
+	reg := newSubsetRegistry(t)
+	for _, name := range []string{"a", "b", "c"} {
+		tn, _ := reg.Tenant(name)
+		for v := uint64(0); v < 100; v++ {
+			tn.Unary().Observe(v)
+		}
+	}
+	reps, err := reg.SyncTenants(context.Background(), []string{"a", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("reports for %d tenants, want 2", len(reps))
+	}
+	for _, name := range []string{"a", "c"} {
+		if reps[name].Reads == 0 {
+			t.Errorf("tenant %s: no register reads in its round", name)
+		}
+	}
+	// b sat the round out: its registers were not consumed.
+	b, _ := reg.Tenant("b")
+	var total uint64
+	for _, v := range b.Unary().Controller().Monitor().Snapshot() {
+		total += v
+	}
+	if total != 100 {
+		t.Errorf("bystander tenant b lost hits: %d remain, want 100", total)
+	}
+}
+
+func TestSyncTenantsUnknownName(t *testing.T) {
+	reg := newSubsetRegistry(t)
+	_, err := reg.SyncTenants(context.Background(), []string{"a", "ghost"})
+	if !errors.Is(err, tenant.ErrTenant) {
+		t.Fatalf("unknown name error = %v, want tenant.ErrTenant", err)
+	}
+}
+
+// TestSyncTenantsEmptySubset still runs the arbiter settle step and
+// reports no tenants.
+func TestSyncTenantsEmptySubset(t *testing.T) {
+	reg := newSubsetRegistry(t)
+	reps, err := reg.SyncTenants(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 0 {
+		t.Fatalf("reports = %v, want none", reps)
+	}
+}
+
+// TestSyncReportTCAMWriteSplit pins the new TCAMWrites field: it never
+// exceeds the merged Writes count, and a round that rewrites calculation
+// rows reports a positive TCAM share.
+func TestSyncReportTCAMWriteSplit(t *testing.T) {
+	reg := newSubsetRegistry(t)
+	tn, _ := reg.Tenant("a")
+	// Skew traffic so the first round moves bins and rewrites rows.
+	for v := uint64(0); v < 2000; v++ {
+		tn.Unary().Observe(v % 16)
+	}
+	rep, err := tn.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TCAMWrites > rep.Writes {
+		t.Errorf("TCAMWrites %d exceeds Writes %d", rep.TCAMWrites, rep.Writes)
+	}
+	if rep.TCAMWrites == 0 {
+		t.Errorf("adapting round reported zero TCAM writes (Writes=%d, Rebalances=%d)",
+			rep.Writes, rep.Rebalances)
+	}
+	if rep.Writes-rep.TCAMWrites < 0 {
+		t.Errorf("negative register share: Writes=%d TCAMWrites=%d", rep.Writes, rep.TCAMWrites)
+	}
+}

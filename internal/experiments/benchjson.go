@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// WriteBenchJSON writes v as an indented JSON artefact with a trailing
+// newline — the one serialisation every committed BENCH_*.json baseline in
+// this repo shares, so the CI gates and the plotting scripts can parse any
+// of them the same way.
+func WriteBenchJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

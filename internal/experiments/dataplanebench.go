@@ -1,10 +1,8 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand"
-	"os"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -441,11 +439,7 @@ func RunDataplaneBench(cfg DataplaneBenchConfig) ([]DataplaneBenchRow, error) {
 // WriteDataplaneBenchJSON writes the rows as the committed
 // BENCH_dataplane.json artefact.
 func WriteDataplaneBenchJSON(path string, rows []DataplaneBenchRow) error {
-	data, err := json.MarshalIndent(rows, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return WriteBenchJSON(path, rows)
 }
 
 // RenderDataplaneBench formats the rows.

@@ -2,10 +2,8 @@ package experiments
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"math/rand"
-	"os"
 	"sort"
 	"time"
 
@@ -452,11 +450,7 @@ func RunFabricBench(cfg FabricBenchConfig) (*FabricBenchResult, error) {
 // WriteFabricBenchJSON writes the result as the committed BENCH_fabric.json
 // artefact.
 func WriteFabricBenchJSON(path string, res *FabricBenchResult) error {
-	data, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return WriteBenchJSON(path, res)
 }
 
 // RenderFabricBench formats the result.

@@ -1,10 +1,8 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand"
-	"os"
 	"time"
 
 	"github.com/ada-repro/ada/internal/netsim"
@@ -181,11 +179,7 @@ func RunLookupBench(cfg LookupBenchConfig) ([]LookupBenchRow, error) {
 // WriteLookupBenchJSON writes the rows as an indented JSON baseline (the
 // committed BENCH_lookup.json artefact).
 func WriteLookupBenchJSON(path string, rows []LookupBenchRow) error {
-	data, err := json.MarshalIndent(rows, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return WriteBenchJSON(path, rows)
 }
 
 // RenderLookupBench formats the rows.

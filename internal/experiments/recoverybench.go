@@ -1,10 +1,8 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand"
-	"os"
 
 	"github.com/ada-repro/ada/internal/arith"
 	"github.com/ada-repro/ada/internal/core"
@@ -219,11 +217,7 @@ func RunRecoveryBench(cfg RecoveryBenchConfig) ([]RecoveryBenchRow, error) {
 // WriteRecoveryBenchJSON writes the rows as the committed
 // BENCH_recovery.json artefact.
 func WriteRecoveryBenchJSON(path string, rows []RecoveryBenchRow) error {
-	data, err := json.MarshalIndent(rows, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return WriteBenchJSON(path, rows)
 }
 
 // RenderRecoveryBench formats the rows.

@@ -1,9 +1,7 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"time"
 
 	"github.com/ada-repro/ada/internal/arith"
@@ -182,11 +180,7 @@ func RunRoundBench(cfg RoundBenchConfig) ([]RoundBenchRow, error) {
 // WriteRoundBenchJSON writes the rows as an indented JSON baseline (the
 // committed BENCH_round.json artefact).
 func WriteRoundBenchJSON(path string, rows []RoundBenchRow) error {
-	data, err := json.MarshalIndent(rows, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return WriteBenchJSON(path, rows)
 }
 
 // RenderRoundBench formats the rows.

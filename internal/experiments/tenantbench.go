@@ -1,10 +1,8 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand"
-	"os"
 
 	"github.com/ada-repro/ada/internal/arith"
 	"github.com/ada-repro/ada/internal/core"
@@ -307,11 +305,7 @@ func RunTenantBench(cfg TenantBenchConfig) (*TenantBenchResult, error) {
 // WriteTenantBenchJSON writes the result as an indented JSON baseline (the
 // committed BENCH_tenant.json artefact).
 func WriteTenantBenchJSON(path string, res *TenantBenchResult) error {
-	data, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return WriteBenchJSON(path, res)
 }
 
 // RenderTenantBench formats the result.

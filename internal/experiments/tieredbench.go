@@ -1,10 +1,8 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
-	"os"
 
 	"github.com/ada-repro/ada/internal/arith"
 	"github.com/ada-repro/ada/internal/core"
@@ -225,11 +223,7 @@ func TieredDifferential(cfg TieredBenchConfig, budget int) (int, error) {
 // committed BENCH_tiered.json artefact). Struct keys in declaration order,
 // no wall-clock timestamps: reruns with the same config are byte-identical.
 func WriteTieredBenchJSON(path string, rows []TieredBenchRow) error {
-	data, err := json.MarshalIndent(rows, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return WriteBenchJSON(path, rows)
 }
 
 // RenderTieredBench formats the rows.

@@ -426,6 +426,77 @@ func Makespan(delays []time.Duration, workers int) time.Duration {
 	return max
 }
 
+// FindTenant returns the live core handle for a tenant name — the lookup
+// shape the serve package's Cluster seam expects (core.Registry implements
+// the same method).
+func (f *Fabric) FindTenant(name string) (*core.Tenant, bool) {
+	t, _, ok := f.Tenant(name)
+	return t, ok
+}
+
+// SyncTenants runs one control round for only the named tenants — the
+// fabric side of the externally-paced sync seam. Names are grouped by home
+// switch and each involved switch's registry runs its subset round on the
+// fabric's bounded worker pool; uninvolved switches are not touched, and no
+// migrations are decided (migration stays on SyncAll's cadence). Per-tenant
+// reports are merged across switches. Unknown names are errors.
+func (f *Fabric) SyncTenants(ctx context.Context, names []string) (map[string]core.SyncReport, error) {
+	f.mu.RLock()
+	bySwitch := make(map[int][]string)
+	for _, name := range names {
+		ft, ok := f.byName[name]
+		if !ok {
+			f.mu.RUnlock()
+			return nil, fmt.Errorf("fabric: sync subset: unknown tenant %q", name)
+		}
+		bySwitch[ft.sw] = append(bySwitch[ft.sw], name)
+	}
+	f.mu.RUnlock()
+
+	switches := make([]int, 0, len(bySwitch))
+	for sw := range bySwitch {
+		switches = append(switches, sw)
+	}
+	out := make(map[string]core.SyncReport, len(names))
+	reps := make([]map[string]core.SyncReport, len(switches))
+	errs := make([]error, len(switches))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	workers := f.cfg.Workers
+	if workers > len(switches) {
+		workers = len(switches)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				reps[i], errs[i] = f.regs[switches[i]].SyncTenants(ctx, bySwitch[switches[i]])
+			}
+		}()
+	}
+	for i := range switches {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			close(work)
+			wg.Wait()
+			return out, ctx.Err()
+		}
+	}
+	close(work)
+	wg.Wait()
+	for i, sw := range switches {
+		if errs[i] != nil {
+			return out, fmt.Errorf("fabric: switch %d: %w", sw, errs[i])
+		}
+		for name, rep := range reps[i] {
+			out[name] = rep
+		}
+	}
+	return out, nil
+}
+
 // Budgets snapshots every tenant's current entry budget by name.
 func (f *Fabric) Budgets() map[string]int {
 	f.mu.RLock()

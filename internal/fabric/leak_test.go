@@ -1,0 +1,11 @@
+package fabric
+
+import (
+	"testing"
+
+	"github.com/ada-repro/ada/internal/leakcheck"
+)
+
+// TestMain backstops the package: the control-round worker pools and
+// migration machinery must leave no goroutine behind once the tests end.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

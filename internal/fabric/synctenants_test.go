@@ -1,0 +1,102 @@
+package fabric
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/ada-repro/ada/internal/arith"
+)
+
+// TestFabricSyncTenantsSubset syncs a subset that spans switches and checks
+// the per-switch rounds merge into one report map.
+func TestFabricSyncTenantsSubset(t *testing.T) {
+	f, err := New(Config{Switches: 2, SwitchEntries: 256, Workers: 2, VNodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough tenants that the ring almost surely uses both switches.
+	names := []string{"st-a", "st-b", "st-c", "st-d", "st-e", "st-f"}
+	for _, name := range names {
+		if _, err := f.AddUnary(name, tenantCfg(16), arith.OpSquare); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[int]bool{}
+	for _, name := range names {
+		_, sw, ok := f.Tenant(name)
+		if !ok {
+			t.Fatalf("tenant %s missing", name)
+		}
+		seen[sw] = true
+	}
+	if len(seen) < 2 {
+		t.Skip("ring placed all tenants on one switch; subset merge not exercised")
+	}
+	for _, name := range names {
+		tn, _, _ := f.Tenant(name)
+		for v := uint64(0); v < 200; v++ {
+			tn.Unary().Observe(v % 64)
+		}
+	}
+	subset := names[:4]
+	reps, err := f.SyncTenants(context.Background(), subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(subset) {
+		t.Fatalf("got %d reports, want %d: %v", len(reps), len(subset), reps)
+	}
+	for _, name := range subset {
+		rep, ok := reps[name]
+		if !ok {
+			t.Errorf("no report for %s", name)
+			continue
+		}
+		if rep.Reads == 0 {
+			t.Errorf("tenant %s: round did no register reads", name)
+		}
+	}
+	for _, name := range names[4:] {
+		if _, ok := reps[name]; ok {
+			t.Errorf("tenant %s outside subset got a report", name)
+		}
+	}
+}
+
+func TestFabricSyncTenantsUnknown(t *testing.T) {
+	f, err := New(Config{Switches: 2, SwitchEntries: 128, Workers: 1, VNodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddUnary("known", tenantCfg(16), arith.OpSquare); err != nil {
+		t.Fatal(err)
+	}
+	_, err = f.SyncTenants(context.Background(), []string{"known", "nope"})
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("unknown tenant error = %v, want mention of %q", err, "nope")
+	}
+}
+
+// TestFabricSyncTenantsCancel covers the ctx-abort path: a pre-cancelled
+// context must return promptly with ctx.Err and leave no stuck workers
+// (the package TestMain leak check backstops the latter).
+func TestFabricSyncTenantsCancel(t *testing.T) {
+	f, err := New(Config{Switches: 4, SwitchEntries: 256, Workers: 1, VNodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for i := 0; i < 8; i++ {
+		n := "cancel-" + string(rune('a'+i))
+		if _, err := f.AddUnary(n, tenantCfg(16), arith.OpSquare); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, n)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.SyncTenants(ctx, names); err == nil {
+		t.Fatal("pre-cancelled sync returned nil error")
+	}
+}

@@ -1,0 +1,92 @@
+// Package leakcheck is a stdlib-only goroutine-leak verifier for the
+// concurrency-heavy test packages (fabric worker pools, netsim replay
+// fan-outs, the serve ingest shards). It asserts that the goroutines a test
+// — or a whole package run — started have exited by the time it finishes:
+// worker pools that are merely abandoned instead of shut down keep their
+// goroutines parked on channel receives forever, which NumGoroutine exposes
+// and a stack dump pins to the leaking function.
+//
+// The verifier is deliberately simple: snapshot the goroutine count up
+// front, and at cleanup time poll until the count returns to the baseline
+// or a deadline passes. Polling absorbs benign stragglers (goroutines in
+// the last instructions before exiting, runtime bookkeeping); a real leak
+// is stable and survives the full deadline, at which point the check fails
+// with the goroutine dump so the parked frame is visible.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// deadline bounds how long a check waits for stragglers to exit before
+// declaring a leak.
+const deadline = 5 * time.Second
+
+// settle polls until the goroutine count is back at (or below) baseline,
+// returning the final count and whether it settled.
+func settle(baseline int) (int, bool) {
+	dl := time.Now().Add(deadline)
+	for {
+		runtime.GC() // let finalizer-driven and pool goroutines wind down
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return n, true
+		}
+		if time.Now().After(dl) {
+			return n, false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// dump returns the full goroutine stack dump (the evidence attached to a
+// failed check).
+func dump() string {
+	buf := make([]byte, 1<<20)
+	return string(buf[:runtime.Stack(buf, true)])
+}
+
+// Check snapshots the current goroutine count and registers a cleanup that
+// fails tb if the count has not returned to that baseline by the end of the
+// test. Call it first thing in a test that starts workers:
+//
+//	func TestSoak(t *testing.T) {
+//		leakcheck.Check(t)
+//		...
+//	}
+//
+// Subtests sharing goroutines with their parent should call Check in the
+// parent only — the cleanup runs after the subtests complete.
+func Check(tb testing.TB) {
+	tb.Helper()
+	baseline := runtime.NumGoroutine()
+	tb.Cleanup(func() {
+		if n, ok := settle(baseline); !ok {
+			tb.Errorf("leakcheck: %d goroutines leaked (%d -> %d):\n%s",
+				n-baseline, baseline, n, dump())
+		}
+	})
+}
+
+// VerifyTestMain wraps a package's TestMain: it runs the tests, then
+// verifies the package exits with no more goroutines than it started with,
+// and exits non-zero (with a stack dump) if any leaked. Use it as the whole
+// package's backstop — per-test Check calls localise a leak faster:
+//
+//	func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }
+func VerifyTestMain(m *testing.M) {
+	baseline := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		if n, ok := settle(baseline); !ok {
+			fmt.Fprintf(os.Stderr, "leakcheck: %d goroutines leaked across the package run (%d -> %d):\n%s\n",
+				n-baseline, baseline, n, dump())
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,40 @@
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) { VerifyTestMain(m) }
+
+// TestSettleDetectsExit pins the polling core: a goroutine parked past the
+// snapshot makes settle fail fast-forward, and settles once released.
+func TestSettleDetectsExit(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		<-release
+		close(done)
+	}()
+	if n := runtime.NumGoroutine(); n <= baseline {
+		t.Fatalf("goroutine not started: %d <= %d", n, baseline)
+	}
+	close(release)
+	<-done
+	if n, ok := settle(baseline); !ok {
+		t.Fatalf("settle failed after release: %d goroutines vs baseline %d", n, baseline)
+	}
+}
+
+// TestCheckCleanTest proves Check passes a test whose goroutines exit.
+func TestCheckCleanTest(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		close(done)
+	}()
+	<-done
+}

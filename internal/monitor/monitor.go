@@ -365,6 +365,43 @@ func (m *Monitor) SnapshotAndResetInto(dst []uint64) []uint64 {
 	return dst
 }
 
+// HitDistance is the total-variation distance between two register
+// snapshots viewed as distributions: the histograms are normalised by their
+// totals and the distance is half the L1 norm of their difference, in
+// [0, 1]. It is the drift signal the service pacer compares against its
+// trigger threshold — scale-invariant (proportional traffic growth scores
+// 0) and monotone under progressive skew. Histograms of different lengths
+// cannot be compared bin-for-bin (the monitoring layout moved), so they
+// score the maximum distance 1; two empty histograms score 0, and an empty
+// histogram against a non-empty one scores 1.
+func HitDistance(a, b []uint64) float64 {
+	if len(a) != len(b) {
+		return 1
+	}
+	var ta, tb uint64
+	for _, v := range a {
+		ta += v
+	}
+	for _, v := range b {
+		tb += v
+	}
+	if ta == 0 && tb == 0 {
+		return 0
+	}
+	if ta == 0 || tb == 0 {
+		return 1
+	}
+	var l1 float64
+	for i := range a {
+		d := float64(a[i])/float64(ta) - float64(b[i])/float64(tb)
+		if d < 0 {
+			d = -d
+		}
+		l1 += d
+	}
+	return l1 / 2
+}
+
 // sizeFor returns dst resized to n elements, reusing its backing array when
 // the capacity allows.
 func sizeFor(dst []uint64, n int) []uint64 {

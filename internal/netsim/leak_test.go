@@ -1,0 +1,11 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/ada-repro/ada/internal/leakcheck"
+)
+
+// TestMain backstops the package: the replay fan-out workers must all have
+// exited by the time the test binary finishes.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"testing"
+
+	"github.com/ada-repro/ada/internal/monitor"
+)
+
+func TestHitDistanceIdenticalIsZero(t *testing.T) {
+	h := []uint64{5, 0, 12, 83, 1}
+	if d := monitor.HitDistance(h, h); d != 0 {
+		t.Errorf("HitDistance(h, h) = %v, want 0", d)
+	}
+}
+
+// TestHitDistanceScaleInvariant pins the normalisation: tripling every bin
+// is rate growth, not drift.
+func TestHitDistanceScaleInvariant(t *testing.T) {
+	a := []uint64{10, 20, 30, 40}
+	b := []uint64{30, 60, 90, 120}
+	if d := monitor.HitDistance(a, b); d != 0 {
+		t.Errorf("HitDistance(h, 3h) = %v, want 0", d)
+	}
+}
+
+// TestHitDistanceMonotoneUnderSkew moves progressively more mass from a
+// uniform histogram into one bin and requires the distance to grow with it.
+func TestHitDistanceMonotoneUnderSkew(t *testing.T) {
+	base := []uint64{100, 100, 100, 100}
+	prev := -1.0
+	for _, k := range []uint64{0, 25, 50, 75, 100} {
+		skew := []uint64{100 + 3*k, 100 - k, 100 - k, 100 - k}
+		d := monitor.HitDistance(base, skew)
+		if d <= prev {
+			t.Errorf("skew %d: distance %v not above %v", k, d, prev)
+		}
+		prev = d
+	}
+	if prev > 1 {
+		t.Errorf("final distance %v above 1", prev)
+	}
+}
+
+func TestHitDistanceEdgeCases(t *testing.T) {
+	if d := monitor.HitDistance([]uint64{1, 2}, []uint64{1, 2, 3}); d != 1 {
+		t.Errorf("length mismatch = %v, want 1 (layout moved)", d)
+	}
+	if d := monitor.HitDistance([]uint64{0, 0}, []uint64{0, 0}); d != 0 {
+		t.Errorf("both empty = %v, want 0", d)
+	}
+	if d := monitor.HitDistance([]uint64{0, 0}, []uint64{3, 4}); d != 1 {
+		t.Errorf("one empty = %v, want 1", d)
+	}
+	// Disjoint support is total drift.
+	if d := monitor.HitDistance([]uint64{9, 0}, []uint64{0, 4}); d != 1 {
+		t.Errorf("disjoint = %v, want 1", d)
+	}
+}
+
+// skewed builds a 4-bin histogram whose total-variation distance from the
+// uniform [100,100,100,100] baseline is exactly k/400.
+func skewed(k uint64) []uint64 {
+	return []uint64{100 + k, 100 - k, 100, 100}
+}
+
+func TestDetectorFirstEvalIsFullDrift(t *testing.T) {
+	d, err := NewDetector(DriftConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, high := d.Eval(skewed(0))
+	if dist != 1 || !high {
+		t.Errorf("first Eval = (%v, %v), want (1, true): no baseline means a round is wanted", dist, high)
+	}
+}
+
+func TestDetectorMinSamplesHoldsLevel(t *testing.T) {
+	d, err := NewDetector(DriftConfig{MinSamples: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, high := d.Eval(skewed(100)); high {
+		t.Error("signal went high on an under-sampled window")
+	}
+	d.Rebase(skewed(0))
+	if _, high := d.Eval(skewed(100)); high {
+		t.Error("signal went high on an under-sampled window after rebase")
+	}
+}
+
+// TestDetectorHysteresisNoFlapping walks the drift distance through the
+// Schmitt band: in-band values must never flip the signal, in either
+// direction.
+func TestDetectorHysteresisNoFlapping(t *testing.T) {
+	// Trigger 0.15 → k=60; Rearm 0.075 → k=30; band is k in (30, 60).
+	d, err := NewDetector(DriftConfig{Trigger: 0.15, Rearm: 0.075, MinSamples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Rebase(skewed(0))
+	for i := 0; i < 5; i++ { // oscillate inside the band while low
+		if _, high := d.Eval(skewed(40)); high {
+			t.Fatalf("iteration %d: in-band distance flipped a low signal high", i)
+		}
+		if _, high := d.Eval(skewed(55)); high {
+			t.Fatalf("iteration %d: in-band distance flipped a low signal high", i)
+		}
+	}
+	if _, high := d.Eval(skewed(80)); !high { // 0.2 ≥ trigger
+		t.Fatal("above-trigger distance did not raise the signal")
+	}
+	for i := 0; i < 5; i++ { // oscillate inside the band while high
+		if _, high := d.Eval(skewed(40)); !high {
+			t.Fatalf("iteration %d: in-band distance dropped a high signal", i)
+		}
+		if _, high := d.Eval(skewed(35)); !high {
+			t.Fatalf("iteration %d: in-band distance dropped a high signal", i)
+		}
+	}
+	if _, high := d.Eval(skewed(10)); high { // 0.025 < rearm
+		t.Fatal("below-rearm distance did not drop the signal")
+	}
+}
+
+// TestDetectorSignalIsLevelNotEdge pins the property the pacer's
+// suppression logic depends on: a high signal stays high across repeated
+// evaluations until the drift actually subsides, so a round suppressed by
+// spacing or budget still fires later.
+func TestDetectorSignalIsLevelNotEdge(t *testing.T) {
+	d, err := NewDetector(DriftConfig{MinSamples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Rebase(skewed(0))
+	for i := 0; i < 10; i++ {
+		if _, high := d.Eval(skewed(100)); !high {
+			t.Fatalf("evaluation %d: high signal did not hold", i)
+		}
+	}
+	if !d.High() {
+		t.Error("High() disagrees with the last Eval")
+	}
+}
+
+func TestDetectorRebaseAndInvalidate(t *testing.T) {
+	d, err := NewDetector(DriftConfig{MinSamples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Rebase(skewed(100))
+	if dist, high := d.Eval(skewed(100)); dist != 0 || high {
+		t.Errorf("post-rebase Eval of the baseline = (%v, %v), want (0, false)", dist, high)
+	}
+	d.Invalidate()
+	if dist, high := d.Eval(skewed(100)); dist != 1 || !high {
+		t.Errorf("post-invalidate Eval = (%v, %v), want (1, true)", dist, high)
+	}
+}
+
+func TestDetectorDisabledByHighTrigger(t *testing.T) {
+	d, err := NewDetector(DriftConfig{Trigger: 2, Rearm: 1, MinSamples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, high := d.Eval(skewed(100)); high {
+		t.Error("trigger above 1 must never fire (fixed-cadence mode)")
+	}
+}
+
+func TestDriftConfigValidation(t *testing.T) {
+	bad := []DriftConfig{
+		{Trigger: -0.1},
+		{Trigger: 0.2, Rearm: 0.3}, // rearm above trigger
+		{Trigger: 0.2, Rearm: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := NewDetector(cfg); err == nil {
+			t.Errorf("NewDetector(%+v) accepted an invalid config", cfg)
+		}
+	}
+	d, err := NewDetector(DriftConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.cfg.Trigger != 0.15 || d.cfg.Rearm != 0.075 || d.cfg.MinSamples != 32 {
+		t.Errorf("defaults = %+v", d.cfg)
+	}
+}

@@ -1,0 +1,39 @@
+package serve
+
+import (
+	"net/http"
+)
+
+// contentType is the Prometheus text exposition format version the
+// registry renders.
+const contentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns the server's HTTP surface:
+//
+//	/metrics — the metrics registry in Prometheus text format
+//	/healthz — 200 "ok" while healthy, 503 "degraded" while admission
+//	           control is shedding
+//
+// Mount it on any mux or serve it directly; it holds no per-request state.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(s.metrics))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Degraded() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("degraded\n"))
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// MetricsHandler serves any registry in Prometheus text format — the
+// standalone form for callers co-hosting several servers' registries.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", contentType)
+		r.WriteText(w)
+	})
+}

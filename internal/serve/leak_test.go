@@ -1,0 +1,11 @@
+package serve
+
+import (
+	"testing"
+
+	"github.com/ada-repro/ada/internal/leakcheck"
+)
+
+// TestMain backstops the whole package: a server whose shards outlive
+// Close, or a test that abandons its workers, fails the run.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

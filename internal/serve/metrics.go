@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use and allocation-free.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. Stored as float64 bits; all
+// methods are safe for concurrent use and allocation-free.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution metric in the Prometheus
+// cumulative style: Observe is lock-free (per-bucket atomic add plus a CAS
+// float accumulator for the sum) so the ingest hot path can time every
+// batch without contention or allocation.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf bucket is implicit
+	buckets []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DefBuckets are the default latency buckets in seconds (500ns .. ~130ms in
+// ×4 steps) — sized for batch ingest latencies, not request round-trips.
+var DefBuckets = []float64{
+	0.0000005, 0.000002, 0.000008, 0.000032, 0.000128,
+	0.000512, 0.002048, 0.008192, 0.032768, 0.131072,
+}
+
+// kind is a metric family's Prometheus type.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// series is one (labels → metric) instance inside a family.
+type series struct {
+	labels string // rendered `{k="v",...}` form, "" for unlabelled
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series map[string]*series // keyed by rendered labels
+	order  []string           // insertion order of label keys; sorted at write
+}
+
+// Registry holds the service's metric families and renders them in the
+// Prometheus text exposition format. Registration is idempotent: asking for
+// an existing name+labels returns the same instance, so per-tenant series
+// survive tenant churn without double-registration panics. Lookups on the
+// hot path should be done once and the returned handle cached — the handle
+// methods are the allocation-free part, not the registration.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// renderLabels renders alternating key, value pairs as a deterministic
+// `{k="v",...}` string (keys sorted), escaping backslashes, quotes, and
+// newlines in values as the exposition format requires.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("serve: odd label key/value list %q", kv))
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		v := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`).Replace(p.v)
+		fmt.Fprintf(&sb, `%s="%s"`, p.k, v)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// get returns (creating if needed) the series for name+labels, enforcing
+// one kind per family.
+func (r *Registry) get(name, help string, k kind, kv []string) *series {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("serve: invalid metric name %q", name))
+	}
+	labels := renderLabels(kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k, series: make(map[string]*series)}
+		r.families[name] = f
+	} else if f.kind != k {
+		panic(fmt.Sprintf("serve: metric %q re-registered as %s (was %s)", name, k, f.kind))
+	}
+	s, ok := f.series[labels]
+	if !ok {
+		s = &series{labels: labels}
+		switch k {
+		case kindCounter:
+			s.ctr = &Counter{}
+		case kindGauge:
+			s.gauge = &Gauge{}
+		case kindHistogram:
+			h := &Histogram{bounds: DefBuckets}
+			h.buckets = make([]atomic.Uint64, len(h.bounds)+1)
+			s.hist = h
+		}
+		f.series[labels] = s
+		f.order = append(f.order, labels)
+	}
+	return s
+}
+
+// validMetricName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Counter returns the counter for name with the given alternating label
+// key/value pairs, registering it on first use.
+func (r *Registry) Counter(name, help string, kv ...string) *Counter {
+	return r.get(name, help, kindCounter, kv).ctr
+}
+
+// Gauge returns the gauge for name with the given labels.
+func (r *Registry) Gauge(name, help string, kv ...string) *Gauge {
+	return r.get(name, help, kindGauge, kv).gauge
+}
+
+// Histogram returns the histogram for name with the given labels, using
+// DefBuckets.
+func (r *Registry) Histogram(name, help string, kv ...string) *Histogram {
+	return r.get(name, help, kindHistogram, kv).hist
+}
+
+// formatFloat renders a sample value the way Prometheus expects: integers
+// without exponent noise, +Inf spelled out.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteText renders every family in the Prometheus text exposition format
+// (version 0.0.4): families sorted by name, each with its # HELP and # TYPE
+// header, series in registration order. Histograms emit the cumulative
+// _bucket/_sum/_count triplet.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, labels := range f.order {
+			s := f.series[labels]
+			var err error
+			switch f.kind {
+			case kindCounter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, labels, s.ctr.Value())
+			case kindGauge:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatFloat(s.gauge.Value()))
+			case kindHistogram:
+				err = writeHistogram(w, f.name, labels, s.hist)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram series with cumulative buckets.
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) error {
+	// Re-open the label set to append le: `{a="b"}` -> `{a="b",le="x"}`.
+	open := "{"
+	if labels != "" {
+		open = labels[:len(labels)-1] + ","
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%sle=%q} %d\n", name, open, formatFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"} %d\n", name, open, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
+	return err
+}
+
+// Snapshot returns every sample as a flat map keyed by the exposition line's
+// series part (`name` or `name{k="v"}`; histograms contribute their _sum and
+// _count entries) — the programmatic view tests assert against.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64)
+	for _, f := range r.families {
+		for _, s := range f.series {
+			switch f.kind {
+			case kindCounter:
+				out[f.name+s.labels] = float64(s.ctr.Value())
+			case kindGauge:
+				out[f.name+s.labels] = s.gauge.Value()
+			case kindHistogram:
+				out[f.name+"_sum"+s.labels] = s.hist.Sum()
+				out[f.name+"_count"+s.labels] = float64(s.hist.Count())
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests.")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("depth", "Depth.")
+	g.Set(3.5)
+	if g.Value() != 3.5 {
+		t.Errorf("gauge = %v, want 3.5", g.Value())
+	}
+	g.Set(-1)
+	if g.Value() != -1 {
+		t.Errorf("gauge = %v, want -1", g.Value())
+	}
+	h := r.Histogram("latency_seconds", "Latency.")
+	h.Observe(0.000001)
+	h.Observe(0.01)
+	h.Observe(100) // above every bound → +Inf bucket
+	if h.Count() != 3 {
+		t.Errorf("histogram count = %d, want 3", h.Count())
+	}
+	if got, want := h.Sum(), 100.010001; math.Abs(got-want) > 1e-9 {
+		t.Errorf("histogram sum = %v, want %v", got, want)
+	}
+
+	snap := r.Snapshot()
+	if snap["requests_total"] != 5 {
+		t.Errorf("snapshot counter = %v", snap["requests_total"])
+	}
+	if snap["depth"] != -1 {
+		t.Errorf("snapshot gauge = %v", snap["depth"])
+	}
+	if snap["latency_seconds_count"] != 3 {
+		t.Errorf("snapshot histogram count = %v", snap["latency_seconds_count"])
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits_total", "Hits.", "tenant", "a")
+	b := r.Counter("hits_total", "Hits.", "tenant", "b")
+	if a == b {
+		t.Fatal("different labels returned the same series")
+	}
+	again := r.Counter("hits_total", "Hits.", "tenant", "a")
+	if a != again {
+		t.Fatal("same name+labels returned a new series")
+	}
+	// Label order must not matter.
+	x := r.Gauge("temp", "T.", "b", "2", "a", "1")
+	y := r.Gauge("temp", "T.", "a", "1", "b", "2")
+	if x != y {
+		t.Fatal("label order produced distinct series")
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("thing", "A thing.")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("thing", "A thing.")
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"", "9lives", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", name)
+				}
+			}()
+			r.Counter(name, "")
+		}()
+	}
+}
+
+// sampleLine matches one exposition sample: name, optional labels, value.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (\+Inf|-?[0-9].*|-?\.[0-9].*)$`)
+
+func TestWriteTextExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zoo_total", "Zoo.", "animal", `ka"ng`+"\n"+`aroo\`).Add(7)
+	r.Gauge("alpha", "First by sort order.").Set(2.25)
+	h := r.Histogram("lat_seconds", "Latency.", "op", "eval")
+	h.Observe(0.000001) // first bucket
+	h.Observe(1000)     // +Inf only
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	var families []string
+	var samples int
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			families = append(families, strings.Fields(line)[2])
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Errorf("malformed sample line: %q", line)
+		}
+		samples++
+	}
+	// Families render sorted by name.
+	for i := 1; i < len(families); i++ {
+		if families[i-1] > families[i] {
+			t.Errorf("families out of order: %q before %q", families[i-1], families[i])
+		}
+	}
+	if samples == 0 {
+		t.Fatal("no samples rendered")
+	}
+	// Label escaping: quote and newline escaped, backslash doubled.
+	if !strings.Contains(text, `zoo_total{animal="ka\"ng\naroo\\"} 7`) {
+		t.Errorf("escaped label sample missing from:\n%s", text)
+	}
+	// Histogram: cumulative buckets ending at +Inf == count, plus sum/count.
+	if !strings.Contains(text, `lat_seconds_bucket{op="eval",le="+Inf"} 2`) {
+		t.Errorf("+Inf bucket missing or wrong in:\n%s", text)
+	}
+	if !strings.Contains(text, `lat_seconds_count{op="eval"} 2`) {
+		t.Errorf("_count missing in:\n%s", text)
+	}
+	assertCumulative(t, text, "lat_seconds_bucket")
+}
+
+// assertCumulative checks that a histogram's bucket values never decrease
+// as le grows (the property scrapers rely on).
+func assertCumulative(t *testing.T, text, prefix string) {
+	t.Helper()
+	prev := -1.0
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Errorf("bucket series not cumulative at %q", line)
+		}
+		prev = v
+	}
+}
+
+func TestRenderLabelsPanicsOnOddPairs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("odd key/value list did not panic")
+		}
+	}()
+	renderLabels([]string{"k"})
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:           "0",
+		42:          "42",
+		-3:          "-3",
+		2.5:         "2.5",
+		math.Inf(1): "+Inf",
+		0.000000125: "1.25e-07",
+		1e14:        "100000000000000",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

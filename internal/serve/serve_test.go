@@ -1,0 +1,496 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/core"
+	"github.com/ada-repro/ada/internal/fabric"
+	"github.com/ada-repro/ada/internal/leakcheck"
+)
+
+// Both cluster backends must satisfy the pacer's seam.
+var (
+	_ Cluster = (*core.Registry)(nil)
+	_ Cluster = (*fabric.Fabric)(nil)
+)
+
+// fakeClock is the pacer's injected time source.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// newTestCluster mounts one unary tenant ("sq", x² at width 10) and one
+// binary tenant ("mul", x·y at width 6) on a shared 512-entry table.
+func newTestCluster(t *testing.T) *core.Registry {
+	t.Helper()
+	reg, err := core.NewRegistry(core.SharedConfig{Name: "phys", TotalEntries: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ucfg := core.DefaultConfig(10)
+	ucfg.CalcEntries = 64
+	if _, err := reg.MountUnary("sq", ucfg, arith.OpSquare); err != nil {
+		t.Fatal(err)
+	}
+	bcfg := core.DefaultConfig(6)
+	bcfg.CalcEntries = 64
+	if _, err := reg.MountBinary("mul", bcfg, arith.OpMul); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func newTestServer(t *testing.T, clk *fakeClock, cfg Config) (*Server, *core.Registry) {
+	t.Helper()
+	leakcheck.Check(t)
+	reg := newTestCluster(t)
+	if clk != nil {
+		cfg.Now = clk.now
+	}
+	s, err := NewServer(reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, reg
+}
+
+// ingestUniform pushes n uniformly distributed unary samples and drains.
+func ingestUniform(t *testing.T, s *Server, tenant string, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]uint64, 64)
+	for sent := 0; sent < n; sent += len(xs) {
+		for i := range xs {
+			xs[i] = uint64(rng.Intn(1 << 10))
+		}
+		if ok, err := s.Ingest(tenant, xs); err != nil || !ok {
+			t.Fatalf("ingest: ok=%v err=%v", ok, err)
+		}
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ingestSkewed pushes n samples confined to [lo, lo+span) and drains.
+func ingestSkewed(t *testing.T, s *Server, tenant string, n int, lo, span uint64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(lo) + 7))
+	xs := make([]uint64, 64)
+	for sent := 0; sent < n; sent += len(xs) {
+		for i := range xs {
+			xs[i] = lo + uint64(rng.Intn(int(span)))
+		}
+		if ok, err := s.Ingest(tenant, xs); err != nil || !ok {
+			t.Fatalf("ingest: ok=%v err=%v", ok, err)
+		}
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachDetachLifecycle(t *testing.T) {
+	s, _ := newTestServer(t, nil, Config{})
+	if err := s.Attach("sq"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Attach("sq"); !errors.Is(err, ErrAttached) {
+		t.Errorf("double attach = %v, want ErrAttached", err)
+	}
+	if err := s.Attach("nope"); !errors.Is(err, ErrUnknownTenant) {
+		t.Errorf("attach unknown = %v, want ErrUnknownTenant", err)
+	}
+	if err := s.Detach("sq"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Detach("sq"); !errors.Is(err, ErrUnknownTenant) {
+		t.Errorf("double detach = %v, want ErrUnknownTenant", err)
+	}
+	if _, err := s.Ingest("sq", []uint64{1}); !errors.Is(err, ErrUnknownTenant) {
+		t.Errorf("ingest after detach = %v, want ErrUnknownTenant", err)
+	}
+}
+
+func TestIngestArityAndClosedErrors(t *testing.T) {
+	s, _ := newTestServer(t, nil, Config{})
+	if err := s.Attach("sq"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Attach("mul"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.IngestPairs("sq", []uint64{1}, []uint64{2}); !errors.Is(err, ErrArity) {
+		t.Errorf("pairs into unary = %v, want ErrArity", err)
+	}
+	if _, err := s.Ingest("mul", []uint64{1}); !errors.Is(err, ErrArity) {
+		t.Errorf("unary into binary = %v, want ErrArity", err)
+	}
+	if _, err := s.IngestPairs("mul", []uint64{1, 2}, []uint64{3}); !errors.Is(err, ErrArity) {
+		t.Errorf("ragged pairs = %v, want ErrArity", err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Ingest("sq", []uint64{1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("ingest after close = %v, want ErrClosed", err)
+	}
+	if err := s.Attach("sq"); !errors.Is(err, ErrClosed) {
+		t.Errorf("attach after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestIngestCountsLookups(t *testing.T) {
+	s, _ := newTestServer(t, nil, Config{})
+	for _, name := range []string{"sq", "mul"} {
+		if err := s.Attach(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ingestUniform(t, s, "sq", 640, 1)
+	xs, ys := []uint64{1, 2, 3}, []uint64{4, 5, 6}
+	if ok, err := s.IngestPairs("mul", xs, ys); err != nil || !ok {
+		t.Fatalf("pairs: ok=%v err=%v", ok, err)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Metrics().Snapshot()
+	if got := snap[`ada_serve_lookups_total{tenant="sq"}`]; got != 640 {
+		t.Errorf("sq lookups = %v, want 640", got)
+	}
+	if got := snap[`ada_serve_lookups_total{tenant="mul"}`]; got != 3 {
+		t.Errorf("mul lookups = %v, want 3", got)
+	}
+	if got := snap[`ada_serve_batch_seconds_count`]; got != 11 {
+		t.Errorf("batch histogram count = %v, want 11", got)
+	}
+}
+
+// TestDriftTriggersAndConverges drives the whole adaptive loop: the first
+// tick fires a round (no baseline = full drift), the loop converges to
+// zero rounds under a stable distribution, and a distribution shift
+// re-triggers with cause drift.
+func TestDriftTriggersAndConverges(t *testing.T) {
+	clk := newFakeClock()
+	s, _ := newTestServer(t, clk, Config{MaxRoundStaleness: time.Hour, MinRoundSpacing: time.Millisecond})
+	if err := s.Attach("sq"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	ingestSkewed(t, s, "sq", 640, 0, 256)
+	rep, err := s.Tick(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rounds) != 1 {
+		t.Fatalf("first tick rounds = %v, want one for sq", rep.Rounds)
+	}
+
+	// Stable traffic: the loop must stop spending rounds within a few
+	// ticks (layout changes invalidate the baseline at most a few times).
+	converged := false
+	for i := 0; i < 8 && !converged; i++ {
+		clk.advance(50 * time.Millisecond)
+		ingestSkewed(t, s, "sq", 640, 0, 256)
+		rep, err = s.Tick(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		converged = len(rep.Rounds) == 0 && len(rep.Suppressed) == 0
+	}
+	if !converged {
+		t.Fatalf("pacer never went quiet under a stable distribution; last report %+v", rep)
+	}
+
+	// Shift the distribution wholesale; the next adequately-spaced tick
+	// must fire with cause drift.
+	clk.advance(50 * time.Millisecond)
+	ingestSkewed(t, s, "sq", 640, 768, 256)
+	rep, err = s.Tick(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cause := rep.Rounds["sq"]; cause != CauseDrift {
+		t.Fatalf("post-shift tick = %+v, want a drift round for sq", rep)
+	}
+	snap := s.Metrics().Snapshot()
+	if snap[`ada_serve_rounds_total{cause="drift",tenant="sq"}`] == 0 {
+		t.Error("drift round not counted")
+	}
+	if snap[`ada_serve_tcam_writes_total{tenant="sq"}`] == 0 {
+		t.Error("round TCAM writes not counted")
+	}
+}
+
+// TestStalenessActsAsFixedCadence disables drift (trigger above 1) and
+// checks the staleness bound paces rounds like the paper's fixed cadence.
+func TestStalenessActsAsFixedCadence(t *testing.T) {
+	clk := newFakeClock()
+	s, _ := newTestServer(t, clk, Config{
+		Drift:             DriftConfig{Trigger: 2, Rearm: 1, MinSamples: 1},
+		MaxRoundStaleness: time.Second,
+		MinRoundSpacing:   time.Millisecond,
+		ErrorSLO:          0,
+	})
+	if err := s.Attach("sq"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ingestUniform(t, s, "sq", 640, 2)
+
+	rep, err := s.Tick(ctx) // zero lastRound: immediately stale
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds["sq"] != CauseStaleness {
+		t.Fatalf("first tick = %+v, want staleness round", rep)
+	}
+	clk.advance(500 * time.Millisecond)
+	if rep, err = s.Tick(ctx); err != nil || len(rep.Rounds) != 0 {
+		t.Fatalf("tick inside staleness bound = %+v err=%v, want no rounds", rep, err)
+	}
+	clk.advance(600 * time.Millisecond)
+	if rep, err = s.Tick(ctx); err != nil || rep.Rounds["sq"] != CauseStaleness {
+		t.Fatalf("tick past staleness bound = %+v err=%v, want staleness round", rep, err)
+	}
+}
+
+// TestSpacingSuppression pins MinRoundSpacing outranking a raging trigger.
+func TestSpacingSuppression(t *testing.T) {
+	clk := newFakeClock()
+	s, _ := newTestServer(t, clk, Config{
+		MaxRoundStaleness: time.Hour,
+		MinRoundSpacing:   10 * time.Second,
+		Drift:             DriftConfig{MinSamples: 1},
+	})
+	if err := s.Attach("sq"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ingestSkewed(t, s, "sq", 640, 0, 128)
+	if rep, err := s.Tick(ctx); err != nil || len(rep.Rounds) != 1 {
+		t.Fatalf("first tick = %+v err=%v", rep, err)
+	}
+	// Shift hard so drift is high again, but inside the spacing floor.
+	clk.advance(time.Second)
+	ingestSkewed(t, s, "sq", 640, 896, 128)
+	rep, err := s.Tick(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Suppressed["sq"] != SuppressSpacing || len(rep.Rounds) != 0 {
+		t.Fatalf("tick inside spacing = %+v, want spacing suppression", rep)
+	}
+	// Once spacing clears, the held level fires the round (level, not edge).
+	clk.advance(10 * time.Second)
+	if rep, err = s.Tick(ctx); err != nil || rep.Rounds["sq"] != CauseDrift {
+		t.Fatalf("tick past spacing = %+v err=%v, want drift round", rep, err)
+	}
+}
+
+// TestWriteBudgetSuppressionAndSLOBypass exhausts the rolling write budget
+// and checks that staleness/drift rounds are held while an SLO round still
+// goes through (the budget's reserve case).
+func TestWriteBudgetSuppressionAndSLOBypass(t *testing.T) {
+	clk := newFakeClock()
+	s, _ := newTestServer(t, clk, Config{
+		Drift:             DriftConfig{Trigger: 2, Rearm: 1, MinSamples: 1},
+		MaxRoundStaleness: time.Second,
+		MinRoundSpacing:   time.Millisecond,
+		WriteBudget:       10,
+		WriteBudgetWindow: time.Hour,
+	})
+	if err := s.Attach("sq"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ingestUniform(t, s, "sq", 640, 3)
+
+	// White-box: pretend past rounds spent the whole window and taught the
+	// pacer that a round costs ~8 writes.
+	s.mu.Lock()
+	s.window.add(clk.now(), 10)
+	ts := (*s.tenants.Load())["sq"]
+	ts.costEWMA = 8
+	ts.lastRound = clk.now()
+	s.mu.Unlock()
+
+	clk.advance(2 * time.Second) // stale again
+	rep, err := s.Tick(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Suppressed["sq"] != SuppressBudget || len(rep.Rounds) != 0 {
+		t.Fatalf("tick with exhausted budget = %+v, want budget suppression", rep)
+	}
+
+	// An SLO violation bypasses the budget: width 10 with 64 entries
+	// leaves real quantisation error, so any positive estimate beats an
+	// SLO of ~0.
+	s.mu.Lock()
+	s.cfg.ErrorSLO = 1e-12
+	s.mu.Unlock()
+	clk.advance(2 * time.Second)
+	if rep, err = s.Tick(ctx); err != nil || rep.Rounds["sq"] != CauseSLO {
+		t.Fatalf("tick with SLO violated = %+v err=%v, want slo round", rep, err)
+	}
+	snap := s.Metrics().Snapshot()
+	if snap[`ada_serve_rounds_suppressed_total{reason="budget",tenant="sq"}`] == 0 {
+		t.Error("budget suppression not counted")
+	}
+}
+
+func TestWriteWindowRollsOff(t *testing.T) {
+	w := writeWindow{limit: 100, span: 10 * time.Second}
+	t0 := time.Unix(0, 0)
+	w.add(t0, 60)
+	w.add(t0.Add(5*time.Second), 30)
+	if got := w.remaining(t0.Add(6 * time.Second)); got != 10 {
+		t.Errorf("remaining = %d, want 10", got)
+	}
+	// First spend expires at t0+10s.
+	if got := w.remaining(t0.Add(11 * time.Second)); got != 70 {
+		t.Errorf("remaining after roll-off = %d, want 70", got)
+	}
+	if got := w.remaining(t0.Add(16 * time.Second)); got != 100 {
+		t.Errorf("remaining after full roll-off = %d, want 100", got)
+	}
+	unlimited := writeWindow{}
+	if got := unlimited.remaining(t0); got <= 0 {
+		t.Errorf("unlimited window remaining = %d", got)
+	}
+}
+
+// TestDegradedModeHysteresis drives the admission drop-ratio state machine
+// directly: a shed-heavy window degrades, an in-band ratio holds, a clean
+// window recovers.
+func TestDegradedModeHysteresis(t *testing.T) {
+	s, _ := newTestServer(t, nil, Config{})
+	ctx := context.Background()
+	if s.Degraded() {
+		t.Fatal("fresh server degraded")
+	}
+	s.winDropped.Add(60)
+	s.winAccepted.Add(40)
+	if _, err := s.Tick(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Degraded() {
+		t.Fatal("60% drop ratio did not degrade")
+	}
+	// In-band ratio (between RecoverAt and DegradeAt): hold degraded.
+	s.winDropped.Add(20)
+	s.winAccepted.Add(80)
+	if _, err := s.Tick(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Degraded() {
+		t.Fatal("in-band ratio flapped out of degraded")
+	}
+	// Clean window: recover.
+	s.winAccepted.Add(100)
+	if _, err := s.Tick(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s.Degraded() {
+		t.Fatal("clean window did not recover")
+	}
+	// Idle windows also recover a degraded server.
+	s.winDropped.Add(100)
+	if _, err := s.Tick(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Degraded() {
+		t.Fatal("pure-drop window did not degrade")
+	}
+	if _, err := s.Tick(ctx); err != nil { // no traffic at all
+		t.Fatal(err)
+	}
+	if s.Degraded() {
+		t.Fatal("idle window did not recover")
+	}
+}
+
+// TestEnqueueShedsWhenFull pins the non-blocking admission path against a
+// hand-built full shard.
+func TestEnqueueShedsWhenFull(t *testing.T) {
+	s, _ := newTestServer(t, nil, Config{})
+	sh := &shard{ch: make(chan *batch, 1)}
+	sh.ch <- &batch{} // no worker consumes this shard
+	ts := &tenantState{
+		name:     "x",
+		shard:    sh,
+		cDropped: s.metrics.Counter("ada_serve_dropped_batches_total", "", "tenant", "x"),
+	}
+	ok, err := s.enqueue(ts, s.getBatch())
+	if err != nil || ok {
+		t.Fatalf("enqueue into full shard = (%v, %v), want shed", ok, err)
+	}
+	if ts.cDropped.Value() != 1 || s.winDropped.Load() != 1 {
+		t.Errorf("drop not counted: tenant=%d window=%d", ts.cDropped.Value(), s.winDropped.Load())
+	}
+	<-sh.ch // leave nothing behind
+}
+
+// TestServerOverFabric runs the same loop against the multi-switch
+// backend, proving the Cluster seam really is backend-agnostic.
+func TestServerOverFabric(t *testing.T) {
+	leakcheck.Check(t)
+	fab, err := fabric.New(fabric.Config{Switches: 2, SwitchEntries: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ucfg := core.DefaultConfig(10)
+	ucfg.CalcEntries = 48
+	for _, name := range []string{"a", "b", "c"} {
+		if _, err := fab.AddUnary(name, ucfg, arith.OpSquare); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk := newFakeClock()
+	s, err := NewServer(fab, Config{Now: clk.now, MaxRoundStaleness: time.Hour, MinRoundSpacing: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, name := range []string{"a", "b", "c"} {
+		if err := s.Attach(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ingestSkewed(t, s, "a", 640, 0, 256)
+	ingestSkewed(t, s, "b", 640, 512, 256)
+	rep, err := s.Tick(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a and b saw traffic (full drift, no baseline); c has no samples, so
+	// MinSamples holds its drift signal low and only the from-attach
+	// staleness bound (zero last-round time) gives it its first round.
+	want := map[string]string{"a": CauseDrift, "b": CauseDrift, "c": CauseStaleness}
+	if len(rep.Rounds) != len(want) {
+		t.Fatalf("fabric tick rounds = %+v, want %+v", rep.Rounds, want)
+	}
+	for name, cause := range want {
+		if rep.Rounds[name] != cause {
+			t.Errorf("tenant %s cause = %q, want %q", name, rep.Rounds[name], cause)
+		}
+	}
+	for name, r := range rep.Reports {
+		if r.Reads == 0 {
+			t.Errorf("tenant %s report has no register reads", name)
+		}
+	}
+}
