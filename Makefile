@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short vet bench bench-lookup bench-round bench-tenant bench-dataplane bench-recovery bench-tiered bench-fabric bench-serve bench-compare bench-all chaos experiments examples cover clean
+.PHONY: all build test test-short vet bench bench-lookup bench-round bench-tenant bench-dataplane bench-recovery bench-tiered bench-fabric bench-serve bench-cache bench-compare bench-all chaos experiments examples cover clean
 
 all: build vet test
 
@@ -79,6 +79,15 @@ bench-serve:
 	$(GO) test -run TestServeBenchAcceptance -v ./internal/experiments
 	$(GO) run ./cmd/adabench -serve-out BENCH_serve.json serve
 
+# Lookup-cache hot path: the Zipf × cache-size sweep with cached-vs-uncached
+# throughput, standalone dedup rows, the 500-round bitwise differential
+# (churn, faults, crash/restart), and the committed BENCH_cache.json
+# artefact. The acceptance test asserts the headline speedup and that the
+# cached path stays allocation-free per batch.
+bench-cache:
+	$(GO) test -run TestCacheBenchAcceptance -v -timeout 30m ./internal/experiments
+	$(GO) run ./cmd/adabench -cache-out BENCH_cache.json cache
+
 # A/B comparison capture for benchstat. Run once before a change and once
 # after, then diff:
 #   make bench-compare OUT=before.txt
@@ -91,7 +100,7 @@ bench-compare:
 	$(GO) test -bench . -benchmem -count 6 -run '^$$' ./internal/tcam ./internal/core ./internal/experiments | tee $(OUT)
 
 # All committed benchmark baselines in one go.
-bench-all: bench-lookup bench-round bench-tenant bench-dataplane bench-recovery bench-tiered bench-fabric bench-serve
+bench-all: bench-lookup bench-round bench-tenant bench-dataplane bench-recovery bench-tiered bench-fabric bench-serve bench-cache
 
 # Regenerate every evaluation table/figure as text.
 experiments:

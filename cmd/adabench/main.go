@@ -2,11 +2,16 @@
 //
 // Usage:
 //
-//	adabench [-parallel N] [-lookup-out FILE] [-round-out FILE] [-tenant-out FILE] [-dataplane-out FILE] [-recovery-out FILE] [-tiered-out FILE] [-fabric-out FILE] [-serve-out FILE] [experiment...]
+//	adabench [-parallel N] [-zipf S] [-lookup-out FILE] [-round-out FILE] [-tenant-out FILE] [-dataplane-out FILE] [-recovery-out FILE] [-tiered-out FILE] [-fabric-out FILE] [-serve-out FILE] [-cache-out FILE] [experiment...]
 //
-// Experiments: dataplane fabric fig1a fig1b fig1c fig5 fig6 fig7a fig7b
-// fig7c fig8 fig9 fig10 lookup recovery roundbench serve table2 tenant
-// tiered xcp all (default: all). serve is the service-mode soak: identical
+// Experiments: cache dataplane fabric fig1a fig1b fig1c fig5 fig6 fig7a
+// fig7b fig7c fig8 fig9 fig10 lookup recovery roundbench serve table2 tenant
+// tiered xcp all (default: all). cache is the lookup-cache experiment: a
+// Zipf-skew × cache-size sweep comparing cached vs uncached single-thread
+// eval throughput (plus standalone intra-batch dedup rows), with a built-in
+// differential that drives a cached and an uncached control plane through
+// identical churn, faults, audits, and a crash/restart and fails on any
+// bitwise divergence. serve is the service-mode soak: identical
 // phase-shifting workloads run once under the drift-paced pacer (with error
 // SLO and rolling TCAM write budget) and once under the paper's fixed
 // repopulation cadence, comparing round counts, TCAM writes, and error
@@ -37,8 +42,14 @@
 // (BENCH_dataplane.json), -recovery-out for the corruption-recovery
 // benchmark (BENCH_recovery.json), -tiered-out for the tiered-store budget
 // sweep (BENCH_tiered.json), -fabric-out for the sharded-fabric benchmark
-// (BENCH_fabric.json), and -serve-out for the service-mode soak
-// (BENCH_serve.json).
+// (BENCH_fabric.json), -serve-out for the service-mode soak
+// (BENCH_serve.json), and -cache-out for the lookup-cache sweep
+// (BENCH_cache.json).
+//
+// -zipf overrides the operand-stream Zipf exponent for the dataplane and
+// serve experiments (0 = uniform draws; negative keeps each experiment's
+// default workload); the chosen skew is recorded in the JSON rows so
+// committed baselines are self-describing.
 //
 // Invalid flag values (e.g. a negative -parallel) are usage errors: adabench
 // prints the usage text and exits with status 2; experiment failures exit 1.
@@ -64,6 +75,8 @@ var (
 	tieredOut = flag.String("tiered-out", "", "write tiered-store budget sweep rows as JSON to this file")
 	fabricOut = flag.String("fabric-out", "", "write sharded-fabric benchmark result as JSON to this file")
 	serveOut  = flag.String("serve-out", "", "write service-mode soak benchmark result as JSON to this file")
+	cacheOut  = flag.String("cache-out", "", "write lookup-cache benchmark result as JSON to this file")
+	zipfS     = flag.Float64("zipf", -1, "override the operand-stream Zipf exponent for dataplane and serve (0 = uniform; <0 = experiment default)")
 )
 
 // validateFlags rejects flag values that parse but make no sense; main
@@ -225,7 +238,11 @@ var runners = map[string]func() (string, error){
 		return experiments.RenderFabricBench(res), nil
 	},
 	"serve": func() (string, error) {
-		res, err := experiments.RunServeBench(experiments.DefaultServeBenchConfig())
+		cfg := experiments.DefaultServeBenchConfig()
+		if *zipfS >= 0 {
+			cfg.ZipfS = *zipfS
+		}
+		res, err := experiments.RunServeBench(cfg)
 		if err != nil {
 			return "", err
 		}
@@ -253,6 +270,9 @@ var runners = map[string]func() (string, error){
 		if *parallel > 0 {
 			cfg.Workers = []int{1, *parallel}
 		}
+		if *zipfS >= 0 {
+			cfg.ZipfS = *zipfS
+		}
 		rows, err := experiments.RunDataplaneBench(cfg)
 		if err != nil {
 			return "", err
@@ -263,6 +283,18 @@ var runners = map[string]func() (string, error){
 			}
 		}
 		return experiments.RenderDataplaneBench(rows), nil
+	},
+	"cache": func() (string, error) {
+		res, err := experiments.RunCacheBench(experiments.DefaultCacheBenchConfig())
+		if err != nil {
+			return "", err
+		}
+		if *cacheOut != "" {
+			if err := experiments.WriteCacheBenchJSON(*cacheOut, res); err != nil {
+				return "", err
+			}
+		}
+		return experiments.RenderCacheBench(res), nil
 	},
 	"table2": func() (string, error) {
 		rows, err := experiments.RunTable2(experiments.DefaultTable2Config())

@@ -3,7 +3,7 @@ package main
 import "testing"
 
 func TestRunnersRegistered(t *testing.T) {
-	want := []string{"dataplane", "fabric", "fig1a", "fig1b", "fig1c", "fig5",
+	want := []string{"cache", "dataplane", "fabric", "fig1a", "fig1b", "fig1c", "fig5",
 		"fig6", "fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10", "lookup",
 		"recovery", "roundbench", "serve", "table2", "tenant", "tiered", "xcp"}
 	for _, name := range want {

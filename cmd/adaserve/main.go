@@ -18,9 +18,13 @@
 //	adaserve -duration 10s -drift 2 -staleness 500ms   # fixed-cadence baseline
 //	adaserve -duration 10s -slo 0.02 -write-budget 256 -budget-window 2s
 //
+// Each ingest worker fronts its tenant's calculation table with a
+// generation-keyed hot-key lookup cache (-lookup-cache entries per worker,
+// 0 disables; see the ada_lookup_cache_* counters on /metrics).
+//
 // Invalid flag values (zero or negative budgets, a width outside [1, 64], a
-// drift trigger or SLO below zero, a non-positive rate or batch size,
-// -rearm above -drift) are usage errors: adaserve reports them and exits
+// drift trigger or SLO below zero, a non-positive rate or batch size, a
+// negative -lookup-cache, -rearm above -drift) are usage errors: adaserve reports them and exits
 // with status 2; runtime failures exit 1. With -duration 0 the service runs
 // until interrupted.
 package main
@@ -92,6 +96,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		rate     = fs.Int("rate", 200, "ingest batches per second per tenant")
 		batchN   = fs.Int("batch", 64, "operands per ingest batch")
 		seed     = fs.Int64("seed", 1, "workload generator seed")
+		cacheN   = fs.Int("lookup-cache", 4096, "hot-key lookup cache entries per ingest worker (0 disables)")
 		dumpMet  = fs.Bool("dump-metrics", false, "write the final Prometheus exposition to stdout")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -130,6 +135,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return usagef("-rate must be >= 1, got %d", *rate)
 	case *batchN < 1:
 		return usagef("-batch must be >= 1, got %d", *batchN)
+	case *cacheN < 0:
+		return usagef("-lookup-cache must be >= 0, got %d", *cacheN)
 	}
 	ops := map[string]arith.UnaryOp{
 		"square": arith.OpSquare, "double": arith.OpDouble,
@@ -153,6 +160,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		cfg := core.DefaultConfig(*width)
 		cfg.MonitorEntries = *monitorN
 		cfg.CalcEntries = *calcN
+		cfg.LookupCacheEntries = *cacheN
 		if _, err := reg.MountUnary(names[i], cfg, op); err != nil {
 			return err
 		}

@@ -90,6 +90,7 @@ func TestBadFlagsAreUsageErrors(t *testing.T) {
 		{"negative duration", []string{"-duration", "-1s"}},
 		{"zero rate", []string{"-rate", "0"}},
 		{"zero batch", []string{"-batch", "0"}},
+		{"negative lookup cache", []string{"-lookup-cache", "-1"}},
 		{"unknown op", []string{"-op", "cube"}},
 		{"unknown flag", []string{"-no-such-flag"}},
 	}

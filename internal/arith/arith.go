@@ -234,13 +234,151 @@ func (e *UnaryEngine) Eval(x uint64) (uint64, error) {
 
 // Scratch holds the reusable buffers the typed batch-evaluation path
 // threads through the TCAM's ordinal lookup: the flat packed-key buffer
-// (binary engines only) and the resolved-ordinal buffer. The zero value is
-// ready to use; a caller that keeps one Scratch per replay worker makes
-// every steady-state EvalBatchInto call allocation-free. A Scratch must not
-// be shared by concurrent callers.
+// (binary engines only) and the resolved-ordinal buffer, plus the two
+// opt-in accelerations — a generation-keyed hot-key result cache
+// (EnableCache) and an intra-batch operand dedup pass (EnableDedup). The
+// zero value is ready to use; a caller that keeps one Scratch per replay
+// worker makes every steady-state EvalBatchInto call allocation-free. A
+// Scratch must not be shared by concurrent callers.
 type Scratch struct {
 	flat []uint64
 	ords []int32
+
+	// cache memoizes key → ordinal across batches; see tcam.LookupCache
+	// for the invalidation model. It serves only the store it was armed
+	// for — an engine over a different store bypasses it.
+	cache        *tcam.LookupCache
+	cacheEntries int
+
+	// dedup state: a per-batch open-addressing fold of repeated operands.
+	// htab maps key hashes to 1-based indices into uniq; uniq holds each
+	// distinct packed key tuple once; remap holds, per sample, its tuple's
+	// index into uniq.
+	dedup bool
+	htab  []int32
+	uniq  []uint64
+	remap []int32
+}
+
+// EnableCache arms the scratch with a hot-key result cache of at least
+// `entries` slots in front of store. Re-arming with the same store and size
+// is a no-op (the warm cache is kept); a different store or size rebinds a
+// cold cache. entries <= 0, or a store that cannot be cached (no snapshot
+// surface), leaves lookups uncached.
+func (sc *Scratch) EnableCache(store tcam.Store, entries int) {
+	if sc.cache != nil && sc.cache.Store() == store && sc.cacheEntries == entries {
+		return
+	}
+	sc.cache = tcam.NewLookupCache(store, entries)
+	sc.cacheEntries = entries
+}
+
+// EnableDedup turns on the intra-batch operand dedup pass: repeated key
+// tuples within one EvalBatchInto call are looked up once and the result
+// scattered to every occurrence. On heavily skewed (Zipf) batches this
+// shrinks a 4096-sample batch to tens of distinct lookups; on all-unique
+// batches it costs one extra pass over the keys.
+func (sc *Scratch) EnableDedup() { sc.dedup = true }
+
+// CacheStats returns the armed cache's cumulative counters (zero when no
+// cache is armed).
+func (sc *Scratch) CacheStats() tcam.CacheStats {
+	if sc.cache == nil {
+		return tcam.CacheStats{}
+	}
+	return sc.cache.Stats()
+}
+
+// lookupBatch resolves packed key tuples through the armed cache when it
+// fronts this store, else directly. Either way the ordinal buffer is the
+// scratch's reusable one and the results are bit-identical.
+func (sc *Scratch) lookupBatch(store tcam.Store, flat []uint64) ([]int32, tcam.Payloads) {
+	var ords []int32
+	var pay tcam.Payloads
+	if sc.cache != nil && sc.cache.Store() == store {
+		ords, pay = sc.cache.LookupIndexBatch(flat, sc.ords)
+	} else {
+		ords, pay = store.LookupIndexBatch(flat, sc.ords)
+	}
+	sc.ords = ords
+	return ords, pay
+}
+
+// fold deduplicates the packed key tuples in flat (arity values per tuple):
+// on return sc.uniq holds each distinct tuple once in first-seen order,
+// sc.remap[i] is sample i's tuple index into it, and the returned count is
+// the number of distinct tuples. The hash table is sized to the next power
+// of two above 2n and reused across batches, so steady state allocates
+// nothing.
+func (sc *Scratch) fold(flat []uint64, arity int) int {
+	n := len(flat) / arity
+	size := 4
+	for size < 2*n {
+		size <<= 1
+	}
+	if cap(sc.htab) >= size {
+		sc.htab = sc.htab[:size]
+		clear(sc.htab)
+	} else {
+		sc.htab = make([]int32, size)
+	}
+	if cap(sc.remap) >= n {
+		sc.remap = sc.remap[:n]
+	} else {
+		sc.remap = make([]int32, n)
+	}
+	sc.uniq = sc.uniq[:0]
+	mask := size - 1
+	u := 0
+	for i := 0; i < n; i++ {
+		k0 := flat[i*arity]
+		var k1 uint64
+		h := k0 * 0x9E3779B97F4A7C15
+		if arity == 2 {
+			k1 = flat[i*arity+1]
+			h ^= (k1 + 0x9E3779B97F4A7C15) * 0xBF58476D1CE4E5B9
+		}
+		slot := int(h>>32) & mask
+		for {
+			e := sc.htab[slot]
+			if e == 0 {
+				sc.htab[slot] = int32(u + 1)
+				sc.uniq = append(sc.uniq, flat[i*arity:(i+1)*arity]...)
+				sc.remap[i] = int32(u)
+				u++
+				break
+			}
+			j := int(e - 1)
+			if sc.uniq[j*arity] == k0 && (arity == 1 || sc.uniq[j*arity+1] == k1) {
+				sc.remap[i] = e - 1
+				break
+			}
+			slot = (slot + 1) & mask
+		}
+	}
+	return u
+}
+
+// scatter resolves every sample's result from its unique tuple's ordinal,
+// writing positional results into dst and counting misses per occurrence —
+// exactly the accounting the non-deduped path produces.
+func scatter(dst []uint64, remap []int32, ords []int32, pay tcam.Payloads) (misses int) {
+	for i, u := range remap {
+		ord := ords[u]
+		if ord < 0 {
+			dst[i] = 0
+			misses++
+			continue
+		}
+		r, ok := pay.Value(ord)
+		if !ok {
+			dst[i] = 0
+			misses++
+			continue
+		}
+		dst[i] = r
+	}
+	return misses
 }
 
 // sizeU64 returns dst resized to n elements, reusing its backing array when
@@ -272,9 +410,13 @@ func (e *UnaryEngine) EvalBatchInto(dst []uint64, xs []uint64, sc *Scratch) (res
 	if sc == nil {
 		sc = &local
 	}
-	ords, pay := e.store.LookupIndexBatch(xs, sc.ords)
-	sc.ords = ords
 	dst = sizeU64(dst, len(xs))
+	if sc.dedup {
+		u := sc.fold(xs, 1)
+		ords, pay := sc.lookupBatch(e.store, sc.uniq[:u])
+		return dst, scatter(dst, sc.remap[:len(xs)], ords, pay)
+	}
+	ords, pay := sc.lookupBatch(e.store, xs)
 	for i, ord := range ords {
 		if ord < 0 {
 			dst[i] = 0
@@ -419,9 +561,13 @@ func (e *BinaryEngine) EvalBatchInto(dst []uint64, xs, ys []uint64, sc *Scratch)
 	for i := 0; i < n; i++ {
 		flat[2*i], flat[2*i+1] = xs[i], ys[i]
 	}
-	ords, pay := e.store.LookupIndexBatch(flat, sc.ords)
-	sc.ords = ords
 	dst = sizeU64(dst, n)
+	if sc.dedup {
+		u := sc.fold(flat, 2)
+		ords, pay := sc.lookupBatch(e.store, sc.uniq[:2*u])
+		return dst, scatter(dst, sc.remap[:n], ords, pay)
+	}
+	ords, pay := sc.lookupBatch(e.store, flat)
 	for i, ord := range ords {
 		if ord < 0 {
 			dst[i] = 0

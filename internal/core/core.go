@@ -98,6 +98,14 @@ type Config struct {
 	// CrashHook, when set, is consulted at each controller crash point —
 	// the seam internal/faults uses to inject controller crashes.
 	CrashHook func(controlplane.CrashPoint) bool
+	// LookupCacheEntries, when positive, arms each data-plane worker's
+	// Scratch passed to ObserveEvalAll with a hot-key result cache of this
+	// many slots in front of the calculation store, plus the intra-batch
+	// operand dedup pass (see arith.Scratch and tcam.LookupCache). The
+	// monitoring path stays fully uncached — every sample still lands in
+	// its per-bin register — so drift detection and tier placement see
+	// histograms bit-identical to an uncached run. 0 disables both.
+	LookupCacheEntries int
 }
 
 // DefaultConfig returns the paper's parameters for width-bit operands.
@@ -138,6 +146,9 @@ func (c *Config) normalise() error {
 			return fmt.Errorf("%w: tiered TCAM slice %d above calc capacity %d",
 				ErrConfig, c.TieredTCAMEntries, capacity)
 		}
+	}
+	if c.LookupCacheEntries < 0 {
+		return fmt.Errorf("%w: lookup cache entries %d", ErrConfig, c.LookupCacheEntries)
 	}
 	if c.MaxMonitorEntries == 0 {
 		c.MaxMonitorEntries = 4 * c.MonitorEntries
@@ -486,6 +497,10 @@ func (s *UnarySystem) ObserveAll(xs []uint64) { s.ctl.Monitor().ObserveAll(xs) }
 // themselves may be observed concurrently.
 func (s *UnarySystem) ObserveEvalAll(dst []uint64, xs []uint64, sc *arith.Scratch) ([]uint64, int) {
 	s.ctl.Monitor().ObserveAll(xs)
+	if sc != nil && s.cfg.LookupCacheEntries > 0 {
+		sc.EnableCache(s.engine.Store(), s.cfg.LookupCacheEntries)
+		sc.EnableDedup()
+	}
 	return s.engine.EvalBatchInto(dst, xs, sc)
 }
 
@@ -845,6 +860,10 @@ func (s *BinarySystem) ObserveAll(xs, ys []uint64) {
 func (s *BinarySystem) ObserveEvalAll(dst []uint64, xs, ys []uint64, sc *arith.Scratch) ([]uint64, int) {
 	s.ctlX.Monitor().ObserveAll(xs)
 	s.ctlY.Monitor().ObserveAll(ys)
+	if sc != nil && s.cfg.LookupCacheEntries > 0 {
+		sc.EnableCache(s.engine.Store(), s.cfg.LookupCacheEntries)
+		sc.EnableDedup()
+	}
 	return s.engine.EvalBatchInto(dst, xs, ys, sc)
 }
 

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ada-repro/ada/internal/arith"
+	"github.com/ada-repro/ada/internal/population"
+)
+
+// BenchmarkCachedEval is the cachebench headline cell (Zipf s=1.1, 4096
+// cache entries over the width-17 exact population) as a plain Go
+// benchmark — the profiling entry point for cache work:
+//
+//	go test -run '^$' -bench CachedEval -cpuprofile cpu.out ./internal/experiments
+func BenchmarkCachedEval(b *testing.B) {
+	const width, calc, batch, entries = 17, 131072, 4096, 4096
+	const total = 400_000 / batch * batch
+	f := arith.OpSqrt.Func()
+	rows, err := population.NaiveUnaryRange(f, width, calc, 0, uint64(1)<<width-1, population.Midpoint)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := arith.NewUnaryEngine("prof", width, calc+8, rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := &arith.Scratch{}
+	sc.EnableCache(eng.Store(), entries)
+	stream := make([]uint64, total)
+	rng := rand.New(rand.NewSource(47))
+	newZipf(rng.Float64, width, 1.1).Fill(stream)
+	dst := make([]uint64, batch)
+	for off := 0; off < total; off += batch {
+		eng.EvalBatchInto(dst, stream[off:off+batch], sc)
+	}
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		for off := 0; off < total; off += batch {
+			eng.EvalBatchInto(dst, stream[off:off+batch], sc)
+			n += batch
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(n), "ns/sample")
+}

@@ -36,6 +36,10 @@ type DataplaneBenchConfig struct {
 	// WarmRounds is the number of observe+Sync rounds that shape the
 	// monitoring and calculation tables before measurement.
 	WarmRounds int
+	// ZipfS skews the operand streams with a bounded Zipf draw of this
+	// exponent (hot ranks scattered across the domain). 0 keeps the
+	// historical uniform streams.
+	ZipfS float64
 }
 
 // DefaultDataplaneBenchConfig measures 400k samples in 1k batches across
@@ -73,9 +77,11 @@ type DataplanePoint struct {
 type DataplaneBenchRow struct {
 	// Path is "unary" or "binary".
 	Path string `json:"path"`
-	// Samples and Batch echo the measurement shape.
-	Samples int `json:"samples"`
-	Batch   int `json:"batch"`
+	// Samples and Batch echo the measurement shape; ZipfS is the operand
+	// skew the streams were drawn with (0 = uniform).
+	Samples int     `json:"samples"`
+	Batch   int     `json:"batch"`
+	ZipfS   float64 `json:"zipf_s"`
 	// Points is the per-worker-count sweep.
 	Points []DataplanePoint `json:"points"`
 	// BestSpeedup is the largest same-worker-count typed/baseline ratio.
@@ -327,13 +333,11 @@ func finishRow(row *DataplaneBenchRow) {
 // or register state fails the run.
 func RunDataplaneBench(cfg DataplaneBenchConfig) ([]DataplaneBenchRow, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	domain := uint64(1) << uint(cfg.Width)
+	zs := newZipf(rng.Float64, cfg.Width, cfg.ZipfS)
 	xs := make([]uint64, cfg.Samples)
 	ys := make([]uint64, cfg.Samples)
-	for i := range xs {
-		xs[i] = rng.Uint64() % domain
-		ys[i] = rng.Uint64() % domain
-	}
+	zs.Fill(xs)
+	zs.Fill(ys)
 	batches := batchCount(cfg.Samples, cfg.Batch)
 
 	// Unary pipeline: shape the tables on the measurement stream, then
@@ -353,7 +357,7 @@ func RunDataplaneBench(cfg DataplaneBenchConfig) ([]DataplaneBenchRow, error) {
 	if err := verifyUnary(uni, &uniBase, xs, cfg.Batch); err != nil {
 		return nil, err
 	}
-	uniRow := DataplaneBenchRow{Path: "unary", Samples: cfg.Samples, Batch: cfg.Batch}
+	uniRow := DataplaneBenchRow{Path: "unary", Samples: cfg.Samples, Batch: cfg.Batch, ZipfS: cfg.ZipfS}
 	for _, w := range cfg.Workers {
 		baseSec, baseAllocs := measure(cfg.Samples, batches, func() {
 			netsim.ReplayBatched(w, cfg.Batch, xs, func(_ int, batch []uint64) {
@@ -397,7 +401,7 @@ func RunDataplaneBench(cfg DataplaneBenchConfig) ([]DataplaneBenchRow, error) {
 	if err := verifyBinary(bin, &binBase, xs, ys, cfg.Batch); err != nil {
 		return nil, err
 	}
-	binRow := DataplaneBenchRow{Path: "binary", Samples: cfg.Samples, Batch: cfg.Batch}
+	binRow := DataplaneBenchRow{Path: "binary", Samples: cfg.Samples, Batch: cfg.Batch, ZipfS: cfg.ZipfS}
 	for _, w := range cfg.Workers {
 		baseSec, baseAllocs := measure(cfg.Samples, batches, func() {
 			netsim.Replay(w, cfg.Samples, func(lo, hi int) {

@@ -67,6 +67,14 @@ type ServeBenchConfig struct {
 	// the soak, this many pure-ingest batches run between two
 	// runtime.ReadMemStats readings.
 	AllocWindowBatches int
+	// LookupCacheEntries arms each tenant's data-plane scratch with a
+	// hot-key lookup cache of this many slots (0 = uncached); the serve
+	// registry then exports the ada_lookup_cache_* counters.
+	LookupCacheEntries int
+	// ZipfS, when positive, replaces the peaked operand noise with a
+	// bounded Zipf draw of this exponent shifted by the phase peak, so
+	// skew and drift compose. 0 keeps the historical peaked streams.
+	ZipfS float64
 	// Seed drives the workload generator; both modes replay the same
 	// stream.
 	Seed int64
@@ -95,6 +103,7 @@ func DefaultServeBenchConfig() ServeBenchConfig {
 		RestartAt:          125,
 		FaultSpec:          "seed=11,write=0.02,latency=50us",
 		AllocWindowBatches: 4096,
+		LookupCacheEntries: 4096,
 		Seed:               1,
 	}
 }
@@ -130,6 +139,12 @@ type ServeBenchMode struct {
 	// AllocsPerBatch is the steady-state ingest allocation rate measured
 	// over the post-soak pure-ingest window.
 	AllocsPerBatch float64 `json:"allocs_per_batch"`
+	// ZipfS echoes the stream skew; the cache counters sum the
+	// ada_lookup_cache_* metrics across tenants at soak end.
+	ZipfS              float64 `json:"zipf_s"`
+	CacheHits          uint64  `json:"cache_hits"`
+	CacheMisses        uint64  `json:"cache_misses"`
+	CacheInvalidations uint64  `json:"cache_invalidations"`
 	// LeakedGoroutines is the post-Close goroutine delta against the
 	// pre-soak baseline (after settling).
 	LeakedGoroutines int `json:"leaked_goroutines"`
@@ -215,6 +230,7 @@ func runServeMode(cfg ServeBenchConfig, adaptive bool) (ServeBenchMode, error) {
 		tcfg := core.DefaultConfig(cfg.Width)
 		tcfg.MonitorEntries = cfg.MonitorEntries
 		tcfg.CalcEntries = cfg.CalcEntries
+		tcfg.LookupCacheEntries = cfg.LookupCacheEntries
 		tcfg.EnableJournal = true // the mid-soak Restart needs a journal
 		if cfg.FaultSpec != "" {
 			p := prof
@@ -272,7 +288,16 @@ func runServeMode(cfg ServeBenchConfig, adaptive bool) (ServeBenchMode, error) {
 	max := uint64(1)<<uint(cfg.Width) - 1
 	spread := max/16 + 1
 	xs := make([]uint64, cfg.BatchSize)
+	zs := newZipf(rng.Float64, cfg.Width, cfg.ZipfS)
 	fill := func(peak uint64) {
+		if cfg.ZipfS > 0 {
+			// Zipf ranks shifted by the phase peak: the hot set stays
+			// heavy-tailed but moves with the drift phases.
+			for j := range xs {
+				xs[j] = (peak + zs.Next()) & max
+			}
+			return
+		}
 		for j := range xs {
 			d := int64(rng.Uint64()%spread) - int64(rng.Uint64()%spread)
 			v := int64(peak) + d
@@ -423,7 +448,11 @@ func runServeMode(cfg ServeBenchConfig, adaptive bool) (ServeBenchMode, error) {
 	for _, name := range names {
 		mode.Lookups += uint64(snap[fmt.Sprintf(`ada_serve_lookups_total{tenant="%s"}`, name)])
 		mode.TCAMWrites += int(snap[fmt.Sprintf(`ada_serve_tcam_writes_total{tenant="%s"}`, name)])
+		mode.CacheHits += uint64(snap[fmt.Sprintf(`ada_lookup_cache_hits_total{tenant="%s"}`, name)])
+		mode.CacheMisses += uint64(snap[fmt.Sprintf(`ada_lookup_cache_misses_total{tenant="%s"}`, name)])
+		mode.CacheInvalidations += uint64(snap[fmt.Sprintf(`ada_lookup_cache_invalidations_total{tenant="%s"}`, name)])
 	}
+	mode.ZipfS = cfg.ZipfS
 	mode.Batches = uint64(snap["ada_serve_batch_seconds_count"])
 	mode.MaxWindowWrites = maxWindowSum(writesPerTick, cfg.BudgetWindowTicks)
 	if warm := cfg.BudgetWindowTicks; warm < len(meteredPerTick) {
@@ -501,6 +530,10 @@ func RenderServeBench(res ServeBenchResult) string {
 	out := t.String()
 	out += fmt.Sprintf("\nfixed cadence spent %.2fx the adaptive pacer's TCAM writes for err p99 %.4f vs %.4f\n",
 		res.WriteRatio, res.Fixed.ErrP99, res.Adaptive.ErrP99)
+	if tot := res.Adaptive.CacheHits + res.Adaptive.CacheMisses; tot > 0 {
+		out += fmt.Sprintf("lookup cache: %.1f%% hit rate, %d invalidations (adaptive soak)\n",
+			100*float64(res.Adaptive.CacheHits)/float64(tot), res.Adaptive.CacheInvalidations)
+	}
 	return out
 }
 

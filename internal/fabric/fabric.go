@@ -215,14 +215,17 @@ func (f *Fabric) RouteSnapshot(dst []int) []int {
 func Pack(tidx int, v uint64) uint64 { return uint64(tidx)<<32 | (v & 0xffffffff) }
 
 // IngestScratch is caller-owned scratch for ObserveEvalPacked: per-tenant
-// regroup buffers, the shared eval output buffer, and the engine scratch.
-// One scratch per replay worker keeps the steady-state ingest path
-// allocation-free.
+// regroup buffers, the shared eval output buffer, and per-tenant engine
+// scratches. The engine scratch is per tenant, not shared, because each
+// tenant's Scratch may carry a hot-key lookup cache bound to that tenant's
+// store (core.Config.LookupCacheEntries) — a shared one would rebind cold
+// on every tenant switch. One IngestScratch per replay worker keeps the
+// steady-state ingest path allocation-free.
 type IngestScratch struct {
 	xs    [][]uint64 // per dense tenant index
 	order []int      // tenant indices touched by the current batch
 	dst   []uint64
-	sc    arith.Scratch
+	scs   []arith.Scratch // per dense tenant index
 }
 
 // ObserveEvalPacked ingests one batch of packed samples (tidx<<32|operand):
@@ -236,6 +239,9 @@ func (f *Fabric) ObserveEvalPacked(batch []uint64, sc *IngestScratch, fn func(ti
 	defer f.mu.RUnlock()
 	if n := len(f.tenants); len(sc.xs) < n {
 		sc.xs = append(sc.xs, make([][]uint64, n-len(sc.xs))...)
+	}
+	if n := len(f.tenants); len(sc.scs) < n {
+		sc.scs = append(sc.scs, make([]arith.Scratch, n-len(sc.scs))...)
 	}
 	sc.order = sc.order[:0]
 	for _, p := range batch {
@@ -251,7 +257,7 @@ func (f *Fabric) ObserveEvalPacked(batch []uint64, sc *IngestScratch, fn func(ti
 	misses := 0
 	for _, tidx := range sc.order {
 		xs := sc.xs[tidx]
-		dst, m := f.tenants[tidx].t.Unary().ObserveEvalAll(sc.dst[:0], xs, &sc.sc)
+		dst, m := f.tenants[tidx].t.Unary().ObserveEvalAll(sc.dst[:0], xs, &sc.scs[tidx])
 		sc.dst = dst[:0]
 		misses += m
 		if fn != nil {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"io"
 	"net/http/httptest"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -46,7 +48,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"ada_serve_rounds_suppressed_total", "ada_serve_tcam_writes_total",
 		"ada_serve_drift_distance", "ada_serve_error_estimate",
 		"ada_serve_audits_total", "ada_serve_degraded", "ada_serve_tenants",
-		"ada_serve_ticks_total",
+		"ada_serve_ticks_total", "ada_lookup_cache_hits_total",
+		"ada_lookup_cache_misses_total", "ada_lookup_cache_invalidations_total",
 	} {
 		if !strings.Contains(text, "# TYPE "+family+" ") {
 			t.Errorf("family %s missing from /metrics", family)
@@ -62,6 +65,23 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if !strings.Contains(text, `ada_serve_lookups_total{tenant="sq"} 640`) {
 		t.Errorf("ingested lookups not visible in:\n%s", text)
+	}
+	// The test cluster arms the lookup cache, so the ingest above must have
+	// driven live cache traffic into the exposition, not just the TYPE
+	// headers. hits + misses account every calculation lookup that reached
+	// the cache — at most the 640 ingested samples, less whatever the
+	// intra-batch dedup fold collapsed before the probe, and never zero.
+	cm := regexp.MustCompile(`ada_lookup_cache_(hits|misses)_total\{tenant="sq"\} (\d+)`)
+	total := 0
+	for _, m := range cm.FindAllStringSubmatch(text, -1) {
+		v, err := strconv.Atoi(m[2])
+		if err != nil {
+			t.Fatalf("unparseable cache counter %q", m[0])
+		}
+		total += v
+	}
+	if total == 0 || total > 640 {
+		t.Errorf("cache hits+misses = %d, want (0, 640] for 640 ingested lookups in:\n%s", total, text)
 	}
 }
 

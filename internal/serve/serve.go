@@ -38,6 +38,7 @@ import (
 
 	"github.com/ada-repro/ada/internal/arith"
 	"github.com/ada-repro/ada/internal/core"
+	"github.com/ada-repro/ada/internal/tcam"
 )
 
 var (
@@ -199,8 +200,18 @@ type tenantState struct {
 	errEst    float64
 	costEWMA  float64 // smoothed TCAM writes per round (budget admission)
 
+	// sc is the tenant's evaluation scratch. It lives on the tenant, not
+	// the shard worker, because it may carry a hot-key lookup cache bound
+	// to this tenant's calculation store (core.Config.LookupCacheEntries);
+	// a tenant is pinned to exactly one shard goroutine, so only that
+	// worker ever touches it. cacheSeen is the last cache-stat snapshot
+	// pushed to the counters (delta accounting after each batch).
+	sc        arith.Scratch
+	cacheSeen tcam.CacheStats
+
 	cBatches, cLookups, cMisses, cDropped *Counter
 	cWrites, cDegradedRounds              *Counter
+	cCacheHits, cCacheMisses, cCacheInv   *Counter
 	gErr, gDist                           *Gauge
 	cRounds, cSuppressed                  map[string]*Counter
 	cAudit                                map[string]*Counter
@@ -322,6 +333,12 @@ func (s *Server) Attach(name string) error {
 		cMisses:  m.Counter("ada_serve_misses_total", "Lookups that missed the calculation table.", "tenant", name),
 		cDropped: m.Counter("ada_serve_dropped_batches_total", "Ingest batches shed by admission control.", "tenant", name),
 		cWrites:  m.Counter("ada_serve_tcam_writes_total", "TCAM row writes issued by control rounds.", "tenant", name),
+		cCacheHits: m.Counter("ada_lookup_cache_hits_total",
+			"Calculation lookups served from the hot-key result cache.", "tenant", name),
+		cCacheMisses: m.Counter("ada_lookup_cache_misses_total",
+			"Calculation lookups forwarded to the TCAM search.", "tenant", name),
+		cCacheInv: m.Counter("ada_lookup_cache_invalidations_total",
+			"Wholesale cache resets on snapshot-generation changes.", "tenant", name),
 		cDegradedRounds: m.Counter("ada_serve_degraded_rounds_total",
 			"Control rounds that came back degraded.", "tenant", name),
 		gErr:  m.Gauge("ada_serve_error_estimate", "Live mean relative error estimate.", "tenant", name),
@@ -442,26 +459,32 @@ func (s *Server) enqueue(ts *tenantState, b *batch) (bool, error) {
 	}
 }
 
-// worker is one shard's pinned goroutine: it owns a result buffer and an
-// evaluation scratch, so every batch runs the system's allocation-free
-// hot path. On Close it drains what is already queued, then exits.
+// worker is one shard's pinned goroutine: it owns a result buffer, and
+// each batch evaluates through its tenant's own scratch (and lookup cache,
+// when armed), so every batch runs the system's allocation-free hot path.
+// On Close it drains what is already queued, then exits.
 func (s *Server) worker(sh *shard) {
 	defer s.wg.Done()
 	var dst []uint64
-	sc := &arith.Scratch{}
 	process := func(b *batch) {
 		start := time.Now()
 		var misses int
 		n := len(b.xs)
 		if b.ts.binary {
-			dst, misses = b.ts.tn.Binary().ObserveEvalAll(dst, b.xs, b.ys, sc)
+			dst, misses = b.ts.tn.Binary().ObserveEvalAll(dst, b.xs, b.ys, &b.ts.sc)
 		} else {
-			dst, misses = b.ts.tn.Unary().ObserveEvalAll(dst, b.xs, sc)
+			dst, misses = b.ts.tn.Unary().ObserveEvalAll(dst, b.xs, &b.ts.sc)
 		}
 		b.ts.cBatches.Inc()
 		b.ts.cLookups.Add(uint64(n))
 		if misses > 0 {
 			b.ts.cMisses.Add(uint64(misses))
+		}
+		if st := b.ts.sc.CacheStats(); st != b.ts.cacheSeen {
+			b.ts.cCacheHits.Add(st.Hits - b.ts.cacheSeen.Hits)
+			b.ts.cCacheMisses.Add(st.Misses - b.ts.cacheSeen.Misses)
+			b.ts.cCacheInv.Add(st.Invalidations - b.ts.cacheSeen.Invalidations)
+			b.ts.cacheSeen = st
 		}
 		s.hBatch.Observe(time.Since(start).Seconds())
 		s.putBatch(b)

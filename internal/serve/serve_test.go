@@ -39,11 +39,13 @@ func newTestCluster(t *testing.T) *core.Registry {
 	}
 	ucfg := core.DefaultConfig(10)
 	ucfg.CalcEntries = 64
+	ucfg.LookupCacheEntries = 256 // every serve test runs the cached ingest path
 	if _, err := reg.MountUnary("sq", ucfg, arith.OpSquare); err != nil {
 		t.Fatal(err)
 	}
 	bcfg := core.DefaultConfig(6)
 	bcfg.CalcEntries = 64
+	bcfg.LookupCacheEntries = 256
 	if _, err := reg.MountBinary("mul", bcfg, arith.OpMul); err != nil {
 		t.Fatal(err)
 	}

@@ -223,3 +223,55 @@ func BenchmarkTieredSingleBatch1280(b *testing.B) {
 		dst = ts.LookupSingleBatch(keys, dst)
 	}
 }
+
+// benchCacheBatch draws one skewed 4096-key batch over the bench table's
+// 32-bit domain: 7 of 8 draws come from a 64-key hot set, the rest are
+// uniform tail — roughly the per-batch repeat mass of a Zipf s≈1.1 stream,
+// which is the regime the cache is designed for.
+func benchCacheBatch() []uint64 {
+	rng := rand.New(rand.NewSource(3))
+	hot := make([]uint64, 64)
+	for i := range hot {
+		hot[i] = rng.Uint64() & 0xFFFFFFFF
+	}
+	flat := make([]uint64, 4096)
+	for i := range flat {
+		if rng.Intn(8) > 0 {
+			flat[i] = hot[rng.Intn(len(hot))]
+		} else {
+			flat[i] = rng.Uint64() & 0xFFFFFFFF
+		}
+	}
+	return flat
+}
+
+// BenchmarkLookupCacheBatch4096 is the cached typed batch path on a skewed
+// stream: one warm LookupCache in front of the compiled table index. Run
+// with -benchmem — steady state must report 0 allocs/op; an allocation here
+// is a hot-path regression (the CI short-bench job runs exactly this).
+func BenchmarkLookupCacheBatch4096(b *testing.B) {
+	tb := benchTable(b, 1024)
+	flat := benchCacheBatch()
+	c := NewLookupCache(tb, 4096)
+	var dst []int32
+	dst, _ = c.LookupIndexBatch(flat, dst) // warm: compile index, fill cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = c.LookupIndexBatch(flat, dst)
+	}
+}
+
+// BenchmarkLookupCacheUncached4096 is the same batch resolved directly by
+// the store — the baseline the cached benchmark above is read against.
+func BenchmarkLookupCacheUncached4096(b *testing.B) {
+	tb := benchTable(b, 1024)
+	flat := benchCacheBatch()
+	var dst []int32
+	dst, _ = tb.LookupIndexBatch(flat, dst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = tb.LookupIndexBatch(flat, dst)
+	}
+}

@@ -38,8 +38,8 @@ type Store interface {
 	Len() int
 	// FieldWidths reports the match-field widths in bits.
 	FieldWidths() []int
-	// Version increases on every mutation attempt, successful or rolled
-	// back; equal versions imply identical contents.
+	// Version increases on every mutation attempt per the package's
+	// generation/version contract (see the package doc).
 	Version() uint64
 	// Fingerprint digests the installed rows (match key + action data),
 	// independent of insertion order.

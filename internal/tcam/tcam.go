@@ -1,17 +1,3 @@
-// Package tcam models the ternary content-addressable memory found in
-// PISA/RMT switch pipeline stages.
-//
-// A Table holds ternary entries over one or more key fields. Each field of an
-// entry carries a value and a mask; a key matches when key & mask == value for
-// every field. When several entries match, the table resolves the conflict by
-// longest prefix match — the entry with the most total significant (masked)
-// bits wins, mirroring the LPM resolution the paper relies on — with explicit
-// priority and insertion order as tie-breakers.
-//
-// Capacity is a hard limit, as TCAM is the scarce resource whose footprint
-// ADA exists to minimise. The table also keeps operation counters so the
-// control-plane overhead accounting (paper Table II, Fig 9) can be derived
-// from real operation counts rather than estimates.
 package tcam
 
 import (
@@ -319,6 +305,14 @@ func (t *Table) Generation() uint64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.generation
+}
+
+// GenerationChanged reports whether the bulk-commit generation has advanced
+// past since — the idiom control-plane callers use to ask "did any round,
+// audit repair, or repopulation commit since I last looked?" without
+// restating the counter semantics (see doc.go for the full contract).
+func (t *Table) GenerationChanged(since uint64) bool {
+	return t.Generation() != since
 }
 
 // Version returns the content mutation counter. Unlike Generation it advances
@@ -705,6 +699,17 @@ func (t *Table) LookupIndexBatch(flat []uint64, dst []int32) ([]int32, Payloads)
 		t.stats.misses.Add(uint64(n) - hits)
 	}
 	return dst, Payloads{entries: ix.entries, vals: ix.payload, typed: ix.typed}
+}
+
+// LookupSnapshot implements Snapshotter: the current compiled snapshot's
+// payload view plus its generation token. The token is the compiled-index
+// sequence, which advances on every content change — bulk commits,
+// single-row writes, rollbacks, and silent tampering alike — so a
+// LookupCache keyed on it can never serve an ordinal from a superseded
+// snapshot.
+func (t *Table) LookupSnapshot() (Payloads, uint64) {
+	ix := t.loadIndex()
+	return Payloads{entries: ix.entries, vals: ix.payload, typed: ix.typed}, ix.version
 }
 
 // LookupAll returns every matching entry in resolution order. This is the

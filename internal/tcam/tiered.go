@@ -60,6 +60,7 @@ type RowHeat func(fields []Field, priority int) uint64
 // union entry/payload arrays batch lookups hand out.
 type tieredSnap struct {
 	seq     uint64
+	token   uint64 // monotonic snapshot generation (Snapshotter contract)
 	hot     *index
 	cold    *sramIndex
 	entries []*Entry
@@ -93,12 +94,12 @@ type TieredStore struct {
 	hot      *Table
 	cold     *sramTier
 
-	// version mirrors Table.Version: every mutation attempt through the
-	// Store API advances it. seq keys the combined snapshot and additionally
-	// advances on tier placement and tampering — content the data plane must
-	// serve but a Version-guarded shadow must not notice.
+	// version and seq follow the package's Version / snapshot-generation
+	// contract (see the package doc): seq additionally advances on tier
+	// placement and tampering, which Version must not notice.
 	version atomic.Uint64
 	seq     atomic.Uint64
+	snapGen atomic.Uint64 // tokens handed to combined snapshots, monotonic
 	snap    atomic.Pointer[tieredSnap]
 	snapMu  sync.Mutex // serialises snapshot rebuilds
 
@@ -172,8 +173,8 @@ func (s *TieredStore) ColdLen() int {
 // FieldWidths returns a copy of the declared per-field widths.
 func (s *TieredStore) FieldWidths() []int { return s.hot.FieldWidths() }
 
-// Version returns the mutation counter; placement and tampering do not
-// advance it (see the package comment on tier placement).
+// Version returns the mutation counter per the package's Version contract;
+// placement and tampering do not advance it.
 func (s *TieredStore) Version() uint64 { return s.version.Load() }
 
 // Promotions returns the cumulative SRAM → TCAM row moves.
@@ -225,9 +226,19 @@ func (s *TieredStore) rebuildSnap() *tieredSnap {
 		vals = append(vals, hix.payload...)
 		vals = append(vals, cix.payload...)
 	}
-	sn := &tieredSnap{seq: seq, hot: hix, cold: cix, entries: entries, vals: vals, typed: typed}
+	sn := &tieredSnap{seq: seq, token: s.snapGen.Add(1), hot: hix, cold: cix,
+		entries: entries, vals: vals, typed: typed}
 	s.snap.Store(sn)
 	return sn
+}
+
+// LookupSnapshot implements Snapshotter over the combined two-tier
+// snapshot. The token advances whenever the snapshot recompiles — content
+// mutations, tier re-placement, and tampering in either tier — so cached
+// ordinals never outlive the entry/payload arrays they index.
+func (s *TieredStore) LookupSnapshot() (Payloads, uint64) {
+	sn := s.loadSnap()
+	return Payloads{entries: sn.entries, vals: sn.vals, typed: sn.typed}, sn.token
 }
 
 // Lookup resolves one key tuple: the TCAM tier wins, the SRAM tier serves

@@ -1,0 +1,81 @@
+package tenant
+
+import (
+	"testing"
+
+	"github.com/ada-repro/ada/internal/tcam"
+)
+
+// sliceParity resolves one tenant-local batch through the cache and directly
+// through the slice and requires bit-identical ordinals and values.
+func sliceParity(t *testing.T, c *tcam.LookupCache, s *Slice, keys []uint64) {
+	t.Helper()
+	got, gpay := c.LookupIndexBatch(keys, nil)
+	want, wpay := s.LookupIndexBatch(keys, nil)
+	for i := range want {
+		gv, gok := gpay.Value(got[i])
+		wv, wok := wpay.Value(want[i])
+		if got[i] != want[i] || gv != wv || gok != wok {
+			t.Fatalf("key %#x: cached (ord %d, val %d/%v) vs uncached (ord %d, val %d/%v)",
+				keys[i], got[i], gv, gok, want[i], wv, wok)
+		}
+	}
+}
+
+// TestLookupCacheTenantChurn covers the multi-tenant invalidation cases: a
+// cache over one tenant's slice must survive — and stay exact across — that
+// tenant's own commits, a neighbour tenant's commits, and the neighbour
+// being closed (its rows bulk-deleted from the shared physical table, which
+// shifts every surviving ordinal).
+func TestLookupCacheTenantChurn(t *testing.T) {
+	p := mustPartition(t, 64, 8, 8)
+	a, err := p.Open("a", []int{8}, 16)
+	if err != nil {
+		t.Fatalf("Open a: %v", err)
+	}
+	b, err := p.Open("b", []int{8}, 16)
+	if err != nil {
+		t.Fatalf("Open b: %v", err)
+	}
+	if _, err := a.ApplyRowsAtomic([]tcam.Row{row(3, uint64(30)), row(7, uint64(70))}); err != nil {
+		t.Fatalf("a commit: %v", err)
+	}
+	if _, err := b.ApplyRowsAtomic([]tcam.Row{row(3, uint64(999)), row(9, uint64(90))}); err != nil {
+		t.Fatalf("b commit: %v", err)
+	}
+
+	c := tcam.NewLookupCache(a, 64)
+	if !c.Enabled() {
+		t.Fatal("cache disabled over a tenant slice")
+	}
+	keys := []uint64{3, 7, 9, 3, 7}
+	sliceParity(t, c, a, keys) // warm
+	sliceParity(t, c, a, keys) // all-hit pass
+	if st := c.Stats(); st.Hits == 0 {
+		t.Fatalf("warm repeat produced no hits: %+v", st)
+	}
+
+	// A neighbour's commit mutates the shared physical table; the cache
+	// keyed on the physical snapshot must re-base, and tenant a's results
+	// must be untouched by tenant b's rows (isolation through the cache).
+	if _, err := b.ApplyRowsAtomic([]tcam.Row{row(3, uint64(888)), row(7, uint64(777))}); err != nil {
+		t.Fatalf("b recommit: %v", err)
+	}
+	sliceParity(t, c, a, keys)
+	ords, pay := c.LookupIndexBatch([]uint64{3}, nil)
+	if v, ok := pay.Value(ords[0]); !ok || v != 30 {
+		t.Fatalf("tenant a key 3 through cache = %d/%v, want 30", v, ok)
+	}
+
+	// Closing tenant b deletes its band from the physical table, shifting
+	// the ordinals of every surviving entry. Stale cached ordinals here
+	// would resolve to the wrong payloads; the snapshot token forbids it.
+	if _, err := p.Close("b"); err != nil {
+		t.Fatalf("Close b: %v", err)
+	}
+	sliceParity(t, c, a, keys)
+	ords, pay = c.LookupIndexBatch([]uint64{7}, nil)
+	if v, ok := pay.Value(ords[0]); !ok || v != 70 {
+		t.Fatalf("tenant a key 7 after neighbour close = %d/%v, want 70", v, ok)
+	}
+}

@@ -426,9 +426,8 @@ func (s *Slice) Len() int {
 	return len(s.installed)
 }
 
-// Version counts the slice's mutation attempts (rollbacks included), exactly
-// like tcam.Table.Version but scoped to this tenant: other tenants' commits
-// do not advance it.
+// Version follows the tcam package's Version contract (see the tcam package
+// doc), scoped to this tenant: other tenants' commits do not advance it.
 func (s *Slice) Version() uint64 {
 	s.p.mu.Lock()
 	defer s.p.mu.Unlock()
@@ -568,6 +567,18 @@ func (s *Slice) LookupIndexBatch(flat []uint64, dst []int32) ([]int32, tcam.Payl
 	physFlatPool.Put(bufp)
 	return ords, pay
 }
+
+// LookupSnapshot implements tcam.Snapshotter by delegating to the shared
+// physical table: the ordinals a slice lookup returns are physical-table
+// ordinals, so the physical snapshot generation is the correct validity
+// token. Any tenant's commit (or an Unmount tearing a neighbour's rows out)
+// advances it, which is conservative for the other tenants' caches but
+// never stale.
+func (s *Slice) LookupSnapshot() (tcam.Payloads, uint64) {
+	return s.p.phys.LookupSnapshot()
+}
+
+var _ tcam.Snapshotter = (*Slice)(nil)
 
 // ApplyRowsAtomic reconciles the slice toward rows, all-or-nothing, with the
 // same write accounting as a private table: unchanged rows cost nothing,
